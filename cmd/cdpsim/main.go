@@ -1,0 +1,122 @@
+// Command cdpsim runs one benchmark on one machine configuration and
+// prints the full measurement breakdown — the workhorse for exploring the
+// simulator interactively.
+//
+// Usage:
+//
+//	cdpsim [-ops N] [-cdp] [-markov stab-kb] [-l2 kb] [-tlb entries] [-inject] <benchmark>
+//	cdpsim list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/cache"
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/workloads"
+)
+
+func main() {
+	ops := flag.Int("ops", 0, "µop budget (0 = default)")
+	useCDP := flag.Bool("cdp", false, "enable the content-directed prefetcher")
+	depth := flag.Int("depth", 3, "content prefetch depth threshold")
+	next := flag.Int("next", 3, "content next-line prefetches")
+	prev := flag.Int("prev", 0, "content previous-line prefetches")
+	noReinf := flag.Bool("no-reinforce", false, "disable path reinforcement")
+	markovKB := flag.Int("markov", 0, "enable Markov prefetcher with STAB budget in KB (-1 = unbounded)")
+	l2kb := flag.Int("l2", 1024, "UL2 size in KB")
+	l2ways := flag.Int("l2ways", 8, "UL2 associativity")
+	tlbEntries := flag.Int("tlb", 64, "DTLB entries")
+	inject := flag.Bool("inject", false, "inject bad prefetches on idle bus cycles")
+	baseline := flag.Bool("baseline", false, "also run the stride baseline and report speedup")
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: cdpsim [flags] <benchmark> | list")
+		os.Exit(2)
+	}
+	if flag.Arg(0) == "list" {
+		for _, s := range workloads.All() {
+			fmt.Printf("%-14s %s\n", s.Name, s.Suite)
+		}
+		return
+	}
+	spec, err := workloads.ByName(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	ck := workloads.Checkpoint(spec, *ops)
+
+	cfg := sim.Default()
+	cfg.WarmupOps = uint64(ck.Trace.Len() / 8)
+	cfg.MPTUBucketOps = uint64(ck.Trace.Len() / 48)
+	cfg.L2 = cache.Config{SizeBytes: *l2kb * 1024, Ways: *l2ways, LineSize: sim.LineSize}
+	cfg.TLB.Entries = *tlbEntries
+	cfg.InjectBadPrefetches = *inject
+	if *useCDP {
+		cc := core.DefaultConfig
+		cc.DepthThreshold = *depth
+		cc.NextLines = *next
+		cc.PrevLines = *prev
+		cc.Reinforce = !*noReinf
+		cfg = cfg.WithContent(cc)
+	}
+	if *markovKB != 0 {
+		budget := *markovKB * 1024
+		if *markovKB < 0 {
+			budget = 0
+		}
+		cfg = cfg.WithMarkov(budget, cfg.L2)
+	}
+
+	res := sim.Run(ck, cfg)
+	printResult(ck.Name, res)
+
+	if *baseline {
+		base := sim.Default()
+		base.WarmupOps = cfg.WarmupOps
+		base.MPTUBucketOps = cfg.MPTUBucketOps
+		b := sim.Run(ck, base)
+		fmt.Printf("\nStride-baseline cycles: %d\nSpeedup over baseline:  %.4f\n",
+			b.MeasuredCycles, res.SpeedupOver(b))
+	}
+}
+
+func printResult(name string, r *sim.Result) {
+	c := r.Counters
+	fmt.Printf("benchmark        %s\nconfig           %s\n", name, r.Config.Name)
+	fmt.Printf("retired µops     %d (measured %d)\n", r.Core.Retired, r.MeasuredUops)
+	fmt.Printf("cycles           %d (measured %d)\n", r.Core.Cycles, r.MeasuredCycles)
+	fmt.Printf("IPC              %.3f\n", r.IPC())
+	fmt.Printf("branches         %d (%d mispredicted)\n", r.Core.Branches, r.Core.Mispredicts)
+	fmt.Printf("L1 demand        %d hits / %d misses\n", c.L1Hits, c.L1Misses)
+	fmt.Printf("L2 demand loads  %d hits / %d misses (MPTU %.2f)\n",
+		c.L2Hits, c.L2Misses, c.MPTUFor(r.MeasuredUops))
+	fmt.Printf("TLB              %d hits / %d misses, %d walks (+%d speculative)\n",
+		r.TLBHits, r.TLBMisses, c.Walks, c.CDPWalks)
+	srcs := []cache.Source{cache.SrcStride, cache.SrcContent, cache.SrcMarkov}
+	names := []string{"stride", "content", "markov"}
+	for i, s := range srcs {
+		if c.PrefIssued[s] == 0 {
+			continue
+		}
+		fmt.Printf("%-7s prefetch  issued %d, useful %d (full %d / partial %d), evicted-unused %d, accuracy %.3f\n",
+			names[i], c.PrefIssued[s], c.UsefulPrefetches(s), c.FullHits[s], c.PartialHits[s],
+			c.PrefEvictedUnused[s], c.Accuracy(s))
+	}
+	fmt.Printf("prefetch drops   present %d, inflight %d, queue-full %d, squashed %d, unmapped %d\n",
+		c.PrefDroppedPresent, c.PrefDroppedInflight, c.PrefDroppedQueue, c.PrefSquashed, c.PrefDroppedUnmapped)
+	if c.Rescans > 0 {
+		fmt.Printf("reinforcement    %d rescans, %d depth promotions\n", c.Rescans, c.PromotedDepths)
+	}
+	if c.UsefulPrefetches(cache.SrcContent) > 0 {
+		fmt.Printf("mask histogram   %v (fully masked: %.1f%%)\n", c.MaskBuckets, c.FullyMaskedShare()*100)
+	}
+	if c.InjectedPrefetches > 0 {
+		fmt.Printf("injected         %d bad prefetches\n", c.InjectedPrefetches)
+	}
+}

@@ -1,0 +1,60 @@
+// Command experiments regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	experiments [-ops N] [-reps] [-p N] <id>... | all | list
+//
+// Each id is a table/figure from the paper's evaluation (see DESIGN.md):
+// table1, fig1, table2, fig7, fig8, fig9, fig10, tlb, table3, fig11, limit.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	ops := flag.Int("ops", 0, "per-benchmark µop budget (0 = default)")
+	reps := flag.Bool("reps", false, "restrict sweeps to one benchmark per suite")
+	par := flag.Int("p", 0, "parallel simulations (0 = GOMAXPROCS)")
+	flag.Parse()
+
+	args := flag.Args()
+	if len(args) == 0 {
+		usage()
+		os.Exit(2)
+	}
+	opt := experiments.Options{Ops: *ops, Reps: *reps, Parallelism: *par}
+
+	if args[0] == "list" {
+		for _, id := range experiments.IDs() {
+			r, _ := experiments.Get(id)
+			fmt.Printf("%-8s %s\n", r.ID, r.Title)
+		}
+		return
+	}
+
+	ids := args
+	if args[0] == "all" {
+		ids = experiments.IDs()
+	}
+	for _, id := range ids {
+		r, err := experiments.Get(id)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		start := time.Now()
+		rep := r.Run(opt)
+		fmt.Println(rep.Text)
+		fmt.Printf("[%s completed in %v]\n\n", rep.ID, time.Since(start).Round(time.Millisecond))
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: experiments [-ops N] [-reps] [-p N] <id>... | all | list")
+}

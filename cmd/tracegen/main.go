@@ -1,0 +1,106 @@
+// Command tracegen generates, saves, and inspects LIT-like checkpoints
+// (memory snapshot + µop trace) for the Table 2 benchmarks.
+//
+// Usage:
+//
+//	tracegen gen  [-ops N] [-o file] <benchmark>
+//	tracegen info <file>
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/mem"
+	"repro/internal/trace"
+	"repro/internal/workloads"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "gen":
+		gen(os.Args[2:])
+	case "info":
+		info(os.Args[2:])
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: tracegen gen [-ops N] [-o file] <benchmark> | tracegen info <file>")
+	os.Exit(2)
+}
+
+func gen(args []string) {
+	ops := 0
+	out := ""
+	var name string
+	for i := 0; i < len(args); i++ {
+		switch args[i] {
+		case "-ops":
+			i++
+			fmt.Sscanf(args[i], "%d", &ops)
+		case "-o":
+			i++
+			out = args[i]
+		default:
+			name = args[i]
+		}
+	}
+	if name == "" {
+		usage()
+	}
+	spec, err := workloads.ByName(name)
+	if err != nil {
+		fatal(err)
+	}
+	ck := workloads.Checkpoint(spec, ops)
+	if out == "" {
+		out = name + ".cdpt"
+	}
+	f, err := os.Create(out)
+	if err != nil {
+		fatal(err)
+	}
+	n, err := ck.WriteTo(f)
+	if err != nil {
+		fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %s: %d bytes, %d µops, %d instructions, %d pages\n",
+		out, n, ck.Trace.Len(), ck.Instrs, ck.Space.Img.PageCount())
+}
+
+func info(args []string) {
+	if len(args) != 1 {
+		usage()
+	}
+	f, err := os.Open(args[0])
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	ck, err := trace.ReadCheckpoint(f)
+	if err != nil {
+		fatal(err)
+	}
+	mix := trace.MixOf(ck.Trace)
+	fmt.Printf("name          %s\n", ck.Name)
+	fmt.Printf("µops          %d (%s)\n", ck.Trace.Len(), mix)
+	fmt.Printf("instructions  %d (%.2f µops/instr)\n", ck.Instrs,
+		float64(ck.Trace.Len())/float64(max(ck.Instrs, 1)))
+	fmt.Printf("memory        %d pages backed (%d KiB), %d pages mapped\n",
+		ck.Space.Img.PageCount(), ck.Space.Img.PageCount()*mem.PageSize/1024,
+		ck.Space.MappedPages())
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

@@ -1,0 +1,249 @@
+// Package bus models the memory-request path below the L2: the L2 request
+// arbiter, the bus queue, and the front-side bus itself. Table 1's numbers
+// are built in as defaults: a 460-processor-cycle round trip (8 bus cycles
+// through the chipset plus 55 ns of DRAM at 4 GHz), 4.26 GB/s of bandwidth
+// (one 64-byte line occupies the bus for ~60 cycles), a 32-entry bus queue
+// and a 128-entry L2 queue.
+//
+// Arbiters keep the paper's strict priority order — demand requests first,
+// stride prefetches over content prefetches (higher accuracy), shallower
+// request depths over deeper ones — and implement its overflow rules: a
+// full arbiter drops incoming prefetches, and an incoming demand request
+// squashes the lowest-priority queued prefetch rather than stalling.
+package bus
+
+import "fmt"
+
+// Class ranks request sources for arbitration.
+type Class uint8
+
+const (
+	// ClassDemand is a demand fetch (highest priority). Page walks are
+	// demand-class: a stalled translation blocks a demand access.
+	ClassDemand Class = iota
+	// ClassStride is a stride-prefetcher request, favoured over content
+	// requests because of its higher accuracy.
+	ClassStride
+	// ClassContent is a content-directed prefetch.
+	ClassContent
+	// ClassMarkov is a Markov prefetch (same rank as content).
+	ClassMarkov
+)
+
+// rank collapses classes to arbitration levels.
+func (c Class) rank() int {
+	switch c {
+	case ClassDemand:
+		return 0
+	case ClassStride:
+		return 1
+	default:
+		return 2
+	}
+}
+
+// IsPrefetch reports whether the class is speculative.
+func (c Class) IsPrefetch() bool { return c != ClassDemand }
+
+func (c Class) String() string {
+	switch c {
+	case ClassDemand:
+		return "demand"
+	case ClassStride:
+		return "stride"
+	case ClassContent:
+		return "content"
+	case ClassMarkov:
+		return "markov"
+	default:
+		return fmt.Sprintf("Class(%d)", uint8(c))
+	}
+}
+
+// Request is one memory transaction below the L2.
+type Request struct {
+	ID       uint64
+	PABase   uint32 // physical line base address
+	VABase   uint32 // virtual line base (content scanning context)
+	TrigVA   uint32 // effective VA of the triggering access (scan compare)
+	Class    Class
+	Depth    int  // request depth (0 = non-speculative)
+	PageWalk bool // page-table fill: bypasses the content scanner
+	IsStore  bool
+	Injected bool // bad-prefetch injection (limit study): never scanned
+	Overlap  bool // content prefetch also covered by the stride engine
+	// Widened marks a next-/previous-line companion prefetch. Widened
+	// fills are not scanned: chaining recurses only through the lines
+	// candidate pointers actually name, which keeps the candidate tree
+	// from exploding combinatorially (cf. the page-walk bypass).
+	Widened bool
+
+	Enqueued int64 // cycle the request entered the memory system
+	Granted  int64 // cycle the bus transfer began
+	Arrive   int64 // cycle the fill returns
+
+	// Waiters are completions to run when the fill arrives; the demand
+	// promotion path appends here when a load catches an in-flight
+	// prefetch (a "partial" mask in Figure 10's terms).
+	Waiters []func(arrive int64)
+
+	// DemandWaited marks that some demand access attached to this
+	// request while it was in flight (partial timeliness accounting).
+	DemandWaited bool
+}
+
+// Better reports whether r should be granted before o: lower class rank
+// first, then shallower depth, then older.
+func (r *Request) Better(o *Request) bool {
+	if a, b := r.Class.rank(), o.Class.rank(); a != b {
+		return a < b
+	}
+	if r.Depth != o.Depth {
+		return r.Depth < o.Depth
+	}
+	return r.ID < o.ID
+}
+
+// Arbiter is a bounded priority queue of requests.
+type Arbiter struct {
+	name string
+	cap  int
+	q    []*Request
+}
+
+// NewArbiter builds an arbiter holding at most capacity requests.
+func NewArbiter(name string, capacity int) *Arbiter {
+	if capacity <= 0 {
+		panic("bus: arbiter needs positive capacity")
+	}
+	return &Arbiter{name: name, cap: capacity, q: make([]*Request, 0, capacity)}
+}
+
+// Len returns the number of queued requests.
+func (a *Arbiter) Len() int { return len(a.q) }
+
+// Full reports whether the arbiter has no free slot.
+func (a *Arbiter) Full() bool { return len(a.q) >= a.cap }
+
+// Enqueue inserts r, or reports false when full. Per the paper a full
+// arbiter simply drops prefetch requests — no retry buffering. Demand
+// requests should use EnqueueDemand.
+func (a *Arbiter) Enqueue(r *Request) bool {
+	if a.Full() {
+		return false
+	}
+	a.q = append(a.q, r)
+	return true
+}
+
+// EnqueueDemand inserts a demand-class request. If the arbiter is full, the
+// lowest-priority queued prefetch is removed (squashed) to make room; the
+// squashed request is returned so the caller can account for the drop. A
+// demand request is never rejected unless the arbiter is full of demands,
+// which the caller treats as back-pressure (ok = false).
+func (a *Arbiter) EnqueueDemand(r *Request) (squashed *Request, ok bool) {
+	if !a.Full() {
+		a.q = append(a.q, r)
+		return nil, true
+	}
+	worst := -1
+	for i, q := range a.q {
+		if !q.Class.IsPrefetch() {
+			continue
+		}
+		if worst == -1 || a.q[worst].Better(q) {
+			worst = i
+		}
+	}
+	if worst == -1 {
+		return nil, false // all demands: stall
+	}
+	squashed = a.q[worst]
+	a.q[worst] = r
+	return squashed, true
+}
+
+// PopBest removes and returns the highest-priority request, or nil when
+// empty.
+func (a *Arbiter) PopBest() *Request {
+	if len(a.q) == 0 {
+		return nil
+	}
+	best := 0
+	for i := 1; i < len(a.q); i++ {
+		if a.q[i].Better(a.q[best]) {
+			best = i
+		}
+	}
+	r := a.q[best]
+	a.q[best] = a.q[len(a.q)-1]
+	a.q = a.q[:len(a.q)-1]
+	return r
+}
+
+// Find returns the queued request for the given physical line base, or nil.
+func (a *Arbiter) Find(paBase uint32) *Request {
+	for _, r := range a.q {
+		if r.PABase == paBase {
+			return r
+		}
+	}
+	return nil
+}
+
+func (a *Arbiter) String() string {
+	return fmt.Sprintf("arbiter{%s %d/%d}", a.name, len(a.q), a.cap)
+}
+
+// Bus models front-side-bus timing: one transfer at a time, each occupying
+// the bus for Occupancy cycles and returning its fill Latency cycles after
+// the transfer begins.
+type Bus struct {
+	Latency   int64
+	Occupancy int64
+	freeAt    int64
+
+	transfers uint64
+	busyCycle uint64
+}
+
+// DefaultLatency is Table 1's 460-processor-cycle bus round trip.
+const DefaultLatency = 460
+
+// DefaultOccupancy is one 64-byte line at 4.26 GB/s on a 4 GHz core:
+// 64 / 4.26e9 s ≈ 15 ns ≈ 60 cycles.
+const DefaultOccupancy = 60
+
+// NewBus returns a bus with the given timing; zero values select Table 1
+// defaults.
+func NewBus(latency, occupancy int64) *Bus {
+	if latency == 0 {
+		latency = DefaultLatency
+	}
+	if occupancy == 0 {
+		occupancy = DefaultOccupancy
+	}
+	return &Bus{Latency: latency, Occupancy: occupancy}
+}
+
+// FreeAt returns the cycle at which the bus can begin its next transfer.
+func (b *Bus) FreeAt() int64 { return b.freeAt }
+
+// Idle reports whether the bus could start a transfer at cycle now.
+func (b *Bus) Idle(now int64) bool { return now >= b.freeAt }
+
+// Grant starts a transfer at or after cycle now and returns when the
+// transfer begins and when the fill arrives.
+func (b *Bus) Grant(now int64) (start, arrive int64) {
+	start = now
+	if b.freeAt > start {
+		start = b.freeAt
+	}
+	b.freeAt = start + b.Occupancy
+	b.transfers++
+	b.busyCycle += uint64(b.Occupancy)
+	return start, start + b.Latency
+}
+
+// Stats returns the number of transfers granted and total occupied cycles.
+func (b *Bus) Stats() (transfers, busyCycles uint64) { return b.transfers, b.busyCycle }

@@ -1,0 +1,201 @@
+// Package cache implements the set-associative, write-back caches of the
+// performance model: the virtually indexed DL1 and the physically indexed
+// unified L2. Each line carries the small amount of extra state the content
+// prefetcher needs for feedback-directed path reinforcement: a prefetched
+// flag, the originating requester, and the stored request depth (two bits
+// in hardware — less than ½% space overhead, as the paper reports).
+package cache
+
+import "fmt"
+
+// Source identifies which agent brought a line into a cache.
+type Source uint8
+
+const (
+	// SrcDemand marks a demand-fetched line.
+	SrcDemand Source = iota
+	// SrcStride marks a line prefetched by the stride prefetcher.
+	SrcStride
+	// SrcContent marks a line prefetched by the content-directed prefetcher.
+	SrcContent
+	// SrcMarkov marks a line prefetched by the Markov prefetcher.
+	SrcMarkov
+)
+
+func (s Source) String() string {
+	switch s {
+	case SrcDemand:
+		return "demand"
+	case SrcStride:
+		return "stride"
+	case SrcContent:
+		return "content"
+	case SrcMarkov:
+		return "markov"
+	default:
+		return fmt.Sprintf("Source(%d)", uint8(s))
+	}
+}
+
+// Line is one cache line's bookkeeping. Contents live in the memory image;
+// the simulator only tracks presence and metadata.
+type Line struct {
+	LineAddr   uint32 // address >> lineShift
+	Valid      bool
+	Dirty      bool
+	Prefetched bool   // set by prefetch fill, cleared on first demand touch
+	Source     Source // who filled it
+	Depth      uint8  // stored request depth (reinforcement state)
+	VA         uint32 // virtual line base of the fill (for rescans)
+	Overlap    bool   // content prefetch whose line stride also covered
+	lru        uint64
+}
+
+// Config sizes a cache.
+type Config struct {
+	SizeBytes int
+	Ways      int
+	LineSize  int
+}
+
+// Sets returns the number of sets implied by the configuration.
+func (c Config) Sets() int { return c.SizeBytes / (c.Ways * c.LineSize) }
+
+func (c Config) validate() error {
+	if c.SizeBytes <= 0 || c.Ways <= 0 || c.LineSize <= 0 {
+		return fmt.Errorf("cache: non-positive geometry %+v", c)
+	}
+	if c.LineSize&(c.LineSize-1) != 0 {
+		return fmt.Errorf("cache: line size %d not a power of two", c.LineSize)
+	}
+	sets := c.Sets()
+	if sets <= 0 || sets&(sets-1) != 0 {
+		return fmt.Errorf("cache: set count %d not a positive power of two", sets)
+	}
+	if sets*c.Ways*c.LineSize != c.SizeBytes {
+		return fmt.Errorf("cache: size %d not divisible by ways*line", c.SizeBytes)
+	}
+	return nil
+}
+
+// Cache is a single-level, true-LRU, set-associative cache.
+type Cache struct {
+	cfg       Config
+	lineShift uint
+	setMask   uint32
+	sets      []Line // sets*ways lines, flattened
+	clock     uint64
+}
+
+// New builds a cache. It panics on an invalid geometry: configurations are
+// static experiment inputs, not runtime data.
+func New(cfg Config) *Cache {
+	if err := cfg.validate(); err != nil {
+		panic(err)
+	}
+	shift := uint(0)
+	for 1<<shift != cfg.LineSize {
+		shift++
+	}
+	return &Cache{
+		cfg:       cfg,
+		lineShift: shift,
+		setMask:   uint32(cfg.Sets() - 1),
+		sets:      make([]Line, cfg.Sets()*cfg.Ways),
+	}
+}
+
+// Config returns the cache geometry.
+func (c *Cache) Config() Config { return c.cfg }
+
+// LineAddr maps an address to its line address (addr >> lineShift).
+func (c *Cache) LineAddr(addr uint32) uint32 { return addr >> c.lineShift }
+
+// LineBase maps an address to the first byte of its line.
+func (c *Cache) LineBase(addr uint32) uint32 { return addr &^ uint32(c.cfg.LineSize-1) }
+
+func (c *Cache) set(lineAddr uint32) []Line {
+	idx := int(lineAddr&c.setMask) * c.cfg.Ways
+	return c.sets[idx : idx+c.cfg.Ways]
+}
+
+// Lookup finds the line containing addr. When touch is set, a hit updates
+// LRU state (a probe with touch=false leaves replacement state alone, which
+// is what the prefetchers' presence checks need). Returns nil on miss.
+func (c *Cache) Lookup(addr uint32, touch bool) *Line {
+	la := c.LineAddr(addr)
+	set := c.set(la)
+	for i := range set {
+		if set[i].Valid && set[i].LineAddr == la {
+			if touch {
+				c.clock++
+				set[i].lru = c.clock
+			}
+			return &set[i]
+		}
+	}
+	return nil
+}
+
+// Fill installs the line containing addr with the given metadata, evicting
+// the LRU victim if the set is full. It returns the evicted line (Valid
+// false if the set had a free way). Filling a line that is already present
+// refreshes its metadata in place without eviction.
+func (c *Cache) Fill(addr uint32, meta Line) (evicted Line) {
+	la := c.LineAddr(addr)
+	set := c.set(la)
+	c.clock++
+	victim := -1
+	for i := range set {
+		switch {
+		case set[i].Valid && set[i].LineAddr == la:
+			meta.LineAddr = la
+			meta.Valid = true
+			meta.lru = c.clock
+			set[i] = meta
+			return Line{} // refresh, no eviction
+		case !set[i].Valid && victim == -1:
+			victim = i
+		}
+	}
+	if victim == -1 {
+		victim = 0
+		for i := 1; i < len(set); i++ {
+			if set[i].lru < set[victim].lru {
+				victim = i
+			}
+		}
+		evicted = set[victim]
+	}
+	meta.LineAddr = la
+	meta.Valid = true
+	meta.lru = c.clock
+	set[victim] = meta
+	return evicted
+}
+
+// Invalidate drops the line containing addr if present, returning whether
+// it was present.
+func (c *Cache) Invalidate(addr uint32) bool {
+	if l := c.Lookup(addr, false); l != nil {
+		l.Valid = false
+		return true
+	}
+	return false
+}
+
+// ValidLines counts resident lines (test and reporting helper).
+func (c *Cache) ValidLines() int {
+	n := 0
+	for i := range c.sets {
+		if c.sets[i].Valid {
+			n++
+		}
+	}
+	return n
+}
+
+func (c *Cache) String() string {
+	return fmt.Sprintf("cache{%dKB %d-way %dB lines, %d sets}",
+		c.cfg.SizeBytes/1024, c.cfg.Ways, c.cfg.LineSize, c.cfg.Sets())
+}

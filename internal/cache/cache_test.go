@@ -1,0 +1,177 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func small() *Cache {
+	// 4 sets x 2 ways x 64B = 512B.
+	return New(Config{SizeBytes: 512, Ways: 2, LineSize: 64})
+}
+
+func TestGeometryValidation(t *testing.T) {
+	bad := []Config{
+		{SizeBytes: 0, Ways: 1, LineSize: 64},
+		{SizeBytes: 512, Ways: 2, LineSize: 48},     // line not power of two
+		{SizeBytes: 96 * 64, Ways: 2, LineSize: 64}, // 48 sets, not power of two
+		{SizeBytes: 1024, Ways: 0, LineSize: 64},
+	}
+	for _, cfg := range bad {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("config %+v accepted", cfg)
+				}
+			}()
+			New(cfg)
+		}()
+	}
+	// The 7-way Markov-share geometry of Table 3 must be accepted.
+	c := New(Config{SizeBytes: 896 * 1024, Ways: 7, LineSize: 64})
+	if c.Config().Sets() != 2048 {
+		t.Fatalf("896KB 7-way sets = %d, want 2048", c.Config().Sets())
+	}
+}
+
+func TestLookupMissThenHit(t *testing.T) {
+	c := small()
+	if c.Lookup(0x1000, true) != nil {
+		t.Fatal("empty cache hit")
+	}
+	c.Fill(0x1000, Line{Source: SrcDemand})
+	l := c.Lookup(0x103F, true) // same 64B line
+	if l == nil {
+		t.Fatal("fill then lookup missed")
+	}
+	if l.Source != SrcDemand || l.Prefetched {
+		t.Fatalf("metadata wrong: %+v", l)
+	}
+	if c.Lookup(0x1040, true) != nil {
+		t.Fatal("adjacent line wrongly hit")
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	c := small() // 2 ways
+	// Three addresses mapping to the same set (set stride = 4 sets * 64B = 256B).
+	a, b, d := uint32(0x0000), uint32(0x0100), uint32(0x0200)
+	c.Fill(a, Line{})
+	c.Fill(b, Line{})
+	c.Lookup(a, true) // make a MRU
+	ev := c.Fill(d, Line{})
+	if !ev.Valid || ev.LineAddr != c.LineAddr(b) {
+		t.Fatalf("expected b evicted, got %+v", ev)
+	}
+	if c.Lookup(a, false) == nil || c.Lookup(d, false) == nil {
+		t.Fatal("a and d must be resident")
+	}
+	if c.Lookup(b, false) != nil {
+		t.Fatal("b must be gone")
+	}
+}
+
+func TestProbeDoesNotTouchLRU(t *testing.T) {
+	c := small()
+	a, b, d := uint32(0x0000), uint32(0x0100), uint32(0x0200)
+	c.Fill(a, Line{})
+	c.Fill(b, Line{})
+	c.Lookup(a, false) // probe only; a stays LRU
+	ev := c.Fill(d, Line{})
+	if ev.LineAddr != c.LineAddr(a) {
+		t.Fatalf("probe disturbed LRU: evicted %#x", ev.LineAddr<<6)
+	}
+}
+
+func TestFillRefreshNoEvict(t *testing.T) {
+	c := small()
+	c.Fill(0x0000, Line{Prefetched: true, Source: SrcContent, Depth: 2})
+	c.Fill(0x0100, Line{})
+	ev := c.Fill(0x0000, Line{Source: SrcDemand}) // refresh
+	if ev.Valid {
+		t.Fatalf("refresh evicted %+v", ev)
+	}
+	l := c.Lookup(0x0000, false)
+	if l.Prefetched || l.Source != SrcDemand {
+		t.Fatalf("refresh did not replace metadata: %+v", l)
+	}
+	if c.ValidLines() != 2 {
+		t.Fatalf("lines = %d, want 2", c.ValidLines())
+	}
+}
+
+func TestInvalidate(t *testing.T) {
+	c := small()
+	c.Fill(0x40, Line{})
+	if !c.Invalidate(0x40) {
+		t.Fatal("invalidate missed resident line")
+	}
+	if c.Invalidate(0x40) {
+		t.Fatal("invalidate hit twice")
+	}
+	if c.Lookup(0x40, false) != nil {
+		t.Fatal("line survived invalidation")
+	}
+}
+
+func TestDepthMetadataSurvives(t *testing.T) {
+	c := small()
+	c.Fill(0x2000, Line{Prefetched: true, Source: SrcContent, Depth: 3, VA: 0x7000})
+	l := c.Lookup(0x2000, true)
+	if l.Depth != 3 || l.VA != 0x7000 || l.Source != SrcContent {
+		t.Fatalf("metadata = %+v", l)
+	}
+	l.Depth = 0 // reinforcement promotion mutates in place
+	l.Prefetched = false
+	l2 := c.Lookup(0x2000, false)
+	if l2.Depth != 0 || l2.Prefetched {
+		t.Fatal("in-place mutation lost")
+	}
+}
+
+// Property: the cache never holds two lines with the same line address and
+// never exceeds its capacity, under random fills/invalidates.
+func TestNoDuplicatesQuick(t *testing.T) {
+	c := New(Config{SizeBytes: 4096, Ways: 4, LineSize: 64})
+	rng := rand.New(rand.NewSource(9))
+	f := func(n uint16) bool {
+		for i := 0; i < 64; i++ {
+			addr := uint32(rng.Intn(1 << 14))
+			if rng.Intn(4) == 0 {
+				c.Invalidate(addr)
+			} else {
+				c.Fill(addr, Line{})
+			}
+		}
+		seen := map[uint32]bool{}
+		count := 0
+		for la := uint32(0); la < 1<<8; la++ {
+			if l := c.Lookup(la<<6, false); l != nil {
+				if seen[l.LineAddr] {
+					return false
+				}
+				seen[l.LineAddr] = true
+				count++
+			}
+		}
+		return count <= 64 // capacity in lines
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: a line filled and never evicted (working set <= one set's ways)
+// always hits.
+func TestResidencyQuick(t *testing.T) {
+	f := func(base uint32) bool {
+		c := small()
+		a1 := base &^ 63
+		c.Fill(a1, Line{})
+		return c.Lookup(a1, true) != nil
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

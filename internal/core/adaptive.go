@@ -1,0 +1,111 @@
+package core
+
+import "fmt"
+
+// AdaptiveConfig enables the paper's stated future-work extension
+// (Section 4.1): runtime adjustment of the matching heuristic. The paper
+// fixes compare/filter bits offline per workload population and notes the
+// choice "would require further tuning if the content prefetcher was going
+// to be used beyond the scope of this study"; the adaptive controller tunes
+// the compare width online from the prefetcher's own accuracy feedback.
+type AdaptiveConfig struct {
+	// Window is the number of resolved prefetches (useful or evicted
+	// unused) per adaptation step.
+	Window uint64
+	// MinCompare and MaxCompare bound the compare-bit excursion.
+	MinCompare int
+	MaxCompare int
+	// LowAccuracy and HighAccuracy are the hysteresis thresholds: below
+	// Low, the predictor tightens (more compare bits — fewer, better
+	// candidates); above High, it loosens (fewer compare bits — more
+	// coverage).
+	LowAccuracy  float64
+	HighAccuracy float64
+}
+
+// DefaultAdaptive is a conservative controller around the paper's chosen
+// 8-compare-bit operating point.
+var DefaultAdaptive = AdaptiveConfig{
+	Window:       2048,
+	MinCompare:   8,
+	MaxCompare:   12,
+	LowAccuracy:  0.10,
+	HighAccuracy: 0.35,
+}
+
+// Validate checks the controller parameters.
+func (a AdaptiveConfig) Validate() error {
+	if a.Window == 0 {
+		return fmt.Errorf("core: zero adaptation window")
+	}
+	if a.MinCompare < 1 || a.MaxCompare > 30 || a.MinCompare > a.MaxCompare {
+		return fmt.Errorf("core: bad compare-bit bounds [%d,%d]", a.MinCompare, a.MaxCompare)
+	}
+	if !(0 <= a.LowAccuracy && a.LowAccuracy < a.HighAccuracy && a.HighAccuracy <= 1) {
+		return fmt.Errorf("core: bad accuracy thresholds [%v,%v]", a.LowAccuracy, a.HighAccuracy)
+	}
+	return nil
+}
+
+// Adaptive is the runtime controller. The memory system reports each
+// resolved prefetch (useful on a demand touch, useless on unused eviction);
+// every Window resolutions the controller moves the compare width one step
+// against the accuracy error and hands back the updated heuristic.
+type Adaptive struct {
+	cfg    AdaptiveConfig
+	match  MatchConfig
+	useful uint64
+	total  uint64
+
+	steps    uint64
+	tightens uint64
+	loosens  uint64
+}
+
+// NewAdaptive wraps a starting heuristic with the controller.
+func NewAdaptive(cfg AdaptiveConfig, start MatchConfig) *Adaptive {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	if start.CompareBits < cfg.MinCompare {
+		start.CompareBits = cfg.MinCompare
+	}
+	if start.CompareBits > cfg.MaxCompare {
+		start.CompareBits = cfg.MaxCompare
+	}
+	return &Adaptive{cfg: cfg, match: start}
+}
+
+// Match returns the current heuristic.
+func (a *Adaptive) Match() MatchConfig { return a.match }
+
+// Observe records one resolved prefetch and returns the (possibly updated)
+// heuristic along with whether it changed this call.
+func (a *Adaptive) Observe(useful bool) (m MatchConfig, changed bool) {
+	a.total++
+	if useful {
+		a.useful++
+	}
+	if a.total < a.cfg.Window {
+		return a.match, false
+	}
+	acc := float64(a.useful) / float64(a.total)
+	a.useful, a.total = 0, 0
+	a.steps++
+	switch {
+	case acc < a.cfg.LowAccuracy && a.match.CompareBits < a.cfg.MaxCompare:
+		a.match.CompareBits++
+		a.tightens++
+		return a.match, true
+	case acc > a.cfg.HighAccuracy && a.match.CompareBits > a.cfg.MinCompare:
+		a.match.CompareBits--
+		a.loosens++
+		return a.match, true
+	}
+	return a.match, false
+}
+
+// Stats reports adaptation activity.
+func (a *Adaptive) Stats() (steps, tightens, loosens uint64) {
+	return a.steps, a.tightens, a.loosens
+}

@@ -1,0 +1,123 @@
+package core
+
+import "testing"
+
+func adapt() *Adaptive {
+	return NewAdaptive(AdaptiveConfig{
+		Window: 100, MinCompare: 8, MaxCompare: 12,
+		LowAccuracy: 0.10, HighAccuracy: 0.35,
+	}, DefaultMatch)
+}
+
+// feed pushes one window of observations with the given useful count.
+func feed(a *Adaptive, useful, total int) (MatchConfig, bool) {
+	var m MatchConfig
+	var changed bool
+	for i := 0; i < total; i++ {
+		m, changed = a.Observe(i < useful)
+	}
+	return m, changed
+}
+
+func TestAdaptiveTightensOnLowAccuracy(t *testing.T) {
+	a := adapt()
+	m, changed := feed(a, 2, 100) // 2% accuracy
+	if !changed || m.CompareBits != 9 {
+		t.Fatalf("low accuracy: compare = %d, changed = %v", m.CompareBits, changed)
+	}
+	// Keep feeding junk: walks to the max and stays there.
+	for i := 0; i < 10; i++ {
+		m, _ = feed(a, 0, 100)
+	}
+	if m.CompareBits != 12 {
+		t.Fatalf("compare = %d, want clamped at 12", m.CompareBits)
+	}
+}
+
+func TestAdaptiveLoosensOnHighAccuracy(t *testing.T) {
+	a := adapt()
+	feed(a, 2, 100) // tighten to 9
+	m, changed := feed(a, 80, 100)
+	if !changed || m.CompareBits != 8 {
+		t.Fatalf("high accuracy: compare = %d, changed = %v", m.CompareBits, changed)
+	}
+	// Already at minimum: no further loosening.
+	if m, _ = feed(a, 90, 100); m.CompareBits != 8 {
+		t.Fatalf("compare = %d, want clamped at 8", m.CompareBits)
+	}
+}
+
+func TestAdaptiveHysteresisBand(t *testing.T) {
+	a := adapt()
+	m, changed := feed(a, 20, 100) // 20%: inside [10%, 35%]
+	if changed || m.CompareBits != 8 {
+		t.Fatalf("in-band accuracy moved the knob: %d, %v", m.CompareBits, changed)
+	}
+	steps, tightens, loosens := a.Stats()
+	if steps != 1 || tightens != 0 || loosens != 0 {
+		t.Fatalf("stats = %d/%d/%d", steps, tightens, loosens)
+	}
+}
+
+func TestAdaptiveNoStepMidWindow(t *testing.T) {
+	a := adapt()
+	for i := 0; i < 99; i++ {
+		if _, changed := a.Observe(false); changed {
+			t.Fatal("changed before window filled")
+		}
+	}
+}
+
+func TestAdaptiveConfigValidate(t *testing.T) {
+	bad := []AdaptiveConfig{
+		{Window: 0, MinCompare: 8, MaxCompare: 12, LowAccuracy: 0.1, HighAccuracy: 0.3},
+		{Window: 10, MinCompare: 12, MaxCompare: 8, LowAccuracy: 0.1, HighAccuracy: 0.3},
+		{Window: 10, MinCompare: 8, MaxCompare: 12, LowAccuracy: 0.5, HighAccuracy: 0.3},
+		{Window: 10, MinCompare: 0, MaxCompare: 12, LowAccuracy: 0.1, HighAccuracy: 0.3},
+	}
+	for _, c := range bad {
+		if c.Validate() == nil {
+			t.Errorf("bad adaptive config %+v accepted", c)
+		}
+	}
+	if err := DefaultAdaptive.Validate(); err != nil {
+		t.Fatalf("default adaptive config rejected: %v", err)
+	}
+}
+
+func TestAdaptiveClampsStartPoint(t *testing.T) {
+	a := NewAdaptive(AdaptiveConfig{
+		Window: 10, MinCompare: 10, MaxCompare: 12,
+		LowAccuracy: 0.1, HighAccuracy: 0.3,
+	}, MatchConfig{CompareBits: 8, FilterBits: 4, AlignBits: 1, ScanStep: 2})
+	if a.Match().CompareBits != 10 {
+		t.Fatalf("start point not clamped: %d", a.Match().CompareBits)
+	}
+}
+
+func TestPrefetcherAdaptiveIntegration(t *testing.T) {
+	cfg := DefaultConfig
+	ac := AdaptiveConfig{Window: 50, MinCompare: 8, MaxCompare: 12, LowAccuracy: 0.2, HighAccuracy: 0.6}
+	cfg.Adaptive = &ac
+	p := New(cfg)
+	if p.Config().Match.CompareBits != 8 {
+		t.Fatalf("start compare = %d", p.Config().Match.CompareBits)
+	}
+	for i := 0; i < 50; i++ {
+		p.ResolvePrefetch(false) // all useless
+	}
+	if p.Config().Match.CompareBits != 9 {
+		t.Fatalf("prefetcher did not tighten: %d", p.Config().Match.CompareBits)
+	}
+	if p.Adaptations() != 1 {
+		t.Fatalf("adaptations = %d", p.Adaptations())
+	}
+	// Non-adaptive prefetcher ignores resolutions.
+	q := New(DefaultConfig)
+	for i := 0; i < 500; i++ {
+		q.ResolvePrefetch(false)
+	}
+	if q.Adaptations() != 0 || q.Config().Match.CompareBits != 8 {
+		t.Fatal("non-adaptive prefetcher moved")
+	}
+}

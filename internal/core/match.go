@@ -1,0 +1,149 @@
+// Package core implements the paper's primary contribution: the stateless,
+// content-directed data prefetcher (CDP).
+//
+// When a cache line is filled into the L2, a copy of its contents is handed
+// to the prefetcher, which examines every address-sized word for a "likely"
+// virtual address — a technique modelled after conservative garbage
+// collection. The *virtual address matching* heuristic (Figure 2 of the
+// paper) deems a word a candidate when its upper compare bits equal those
+// of the effective address that triggered the fill, with filter bits
+// rescuing the all-zeros/all-ones regions and align bits rejecting
+// misaligned bit patterns. Candidates are issued as prefetches; prefetch
+// fills are scanned in turn (prefetch chaining), bounded by a request-depth
+// threshold, and a per-line stored depth lets demand hits on prefetched
+// lines re-arm the chain (feedback-directed path reinforcement, Figures 3
+// and 4).
+//
+// The package is pure policy: it decides what to prefetch and when to
+// rescan. Translation, arbitration, cache fills and timing live in
+// internal/sim, which makes the heuristics directly unit- and
+// property-testable.
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// addrBits is the width of the simulated virtual address space. The paper
+// targets IA-32; Figure 2's compare/filter/align fields are positions in a
+// 32-bit word.
+const addrBits = 32
+
+// MatchConfig is the virtual-address-matching heuristic's four knobs
+// (Section 3.3 and Figures 7/8 of the paper).
+type MatchConfig struct {
+	// CompareBits is N: the number of upper bits of the candidate word
+	// that must equal the triggering effective address's upper bits.
+	CompareBits int
+	// FilterBits is M: within the all-zeros (or all-ones) upper region,
+	// a candidate must have a non-zero (non-one) bit among the M bits
+	// following the compare field. Zero filter bits disables prediction
+	// in both extreme regions entirely.
+	FilterBits int
+	// AlignBits is the number of low-order bits that must be zero for a
+	// word to be considered (compilers place pointers on 2- or 4-byte
+	// boundaries).
+	AlignBits int
+	// ScanStep is the byte step between scanned words in a cache line.
+	ScanStep int
+}
+
+// DefaultMatch is the configuration the paper selects after tuning:
+// 8 compare bits, 4 filter bits, 1 align bit, 2-byte scan step ("8.4.1.2").
+var DefaultMatch = MatchConfig{CompareBits: 8, FilterBits: 4, AlignBits: 1, ScanStep: 2}
+
+// Validate reports whether the knobs are self-consistent.
+func (c MatchConfig) Validate() error {
+	if c.CompareBits < 1 || c.CompareBits > 30 {
+		return fmt.Errorf("core: compare bits %d out of range", c.CompareBits)
+	}
+	if c.FilterBits < 0 || c.CompareBits+c.FilterBits > addrBits {
+		return fmt.Errorf("core: filter bits %d out of range", c.FilterBits)
+	}
+	if c.AlignBits < 0 || c.AlignBits > 4 {
+		return fmt.Errorf("core: align bits %d out of range", c.AlignBits)
+	}
+	switch c.ScanStep {
+	case 1, 2, 4:
+	default:
+		return fmt.Errorf("core: scan step %d not in {1,2,4}", c.ScanStep)
+	}
+	return nil
+}
+
+// String renders the paper's compact "N.M.A.S" notation (e.g. "8.4.1.2").
+func (c MatchConfig) String() string {
+	return fmt.Sprintf("%d.%d.%d.%d", c.CompareBits, c.FilterBits, c.AlignBits, c.ScanStep)
+}
+
+// IsCandidate implements Figure 2: it reports whether word looks like a
+// virtual address, judged against the effective address eff of the memory
+// request that triggered the fill.
+func (c MatchConfig) IsCandidate(eff, word uint32) bool {
+	// Alignment: any non-zero bit among the low align bits disqualifies.
+	if c.AlignBits > 0 && word&(1<<uint(c.AlignBits)-1) != 0 {
+		return false
+	}
+	n := uint(c.CompareBits)
+	topWord := word >> (addrBits - n)
+	topEff := eff >> (addrBits - n)
+	if topWord != topEff {
+		return false
+	}
+	// Extreme regions: upper compare bits all zeros or all ones match far
+	// too much (small positive and negative integers). Demand a
+	// non-zero (resp. non-one) bit in the filter field to accept.
+	switch topWord {
+	case 0:
+		if c.FilterBits == 0 {
+			return false
+		}
+		filter := word << n >> (addrBits - uint(c.FilterBits))
+		return filter != 0
+	case 1<<n - 1:
+		if c.FilterBits == 0 {
+			return false
+		}
+		filter := word << n >> (addrBits - uint(c.FilterBits))
+		return filter != 1<<uint(c.FilterBits)-1
+	default:
+		return true
+	}
+}
+
+// ScanLine scans a cache line's bytes for candidate virtual addresses,
+// comparing each address-sized word against the triggering effective
+// address eff. Words are sampled every ScanStep bytes; the final partial
+// word positions are skipped, matching the paper's counts (61 values at
+// step 1 in a 64-byte line, 16 at step 4). Duplicate candidate values
+// within one line are reported once.
+func (c MatchConfig) ScanLine(eff uint32, line []byte) []uint32 {
+	var out []uint32
+	for off := 0; off+4 <= len(line); off += c.ScanStep {
+		w := binary.LittleEndian.Uint32(line[off : off+4])
+		if !c.IsCandidate(eff, w) {
+			continue
+		}
+		dup := false
+		for _, prev := range out {
+			if prev == w {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+// WordsScanned returns how many words one line scan examines, a proxy for
+// the scanner's work (the paper notes 61 vs 16 for steps 1 and 4).
+func (c MatchConfig) WordsScanned(lineSize int) int {
+	if lineSize < 4 {
+		return 0
+	}
+	return (lineSize-4)/c.ScanStep + 1
+}

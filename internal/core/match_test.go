@@ -1,0 +1,229 @@
+package core
+
+import (
+	"encoding/binary"
+	"testing"
+	"testing/quick"
+)
+
+// eff is a heap-looking effective address with upper byte 0x10.
+const eff = uint32(0x1040_2030)
+
+func TestIsCandidateBasicMatch(t *testing.T) {
+	m := DefaultMatch // 8.4.1.2
+	cases := []struct {
+		word uint32
+		want bool
+		why  string
+	}{
+		{0x1000_0000, true, "same upper byte, aligned"},
+		{0x10FF_FFFE, true, "same upper byte, 2-byte aligned"},
+		{0x1100_0000, false, "different upper byte"},
+		{0x0F40_2030, false, "different upper byte (close)"},
+		{0x1040_2031, false, "misaligned (align bit set)"},
+		{0x0000_0000, false, "zero word"},
+	}
+	for _, c := range cases {
+		if got := m.IsCandidate(eff, c.word); got != c.want {
+			t.Errorf("IsCandidate(%#x, %#x) = %v, want %v (%s)", eff, c.word, got, c.want, c.why)
+		}
+	}
+}
+
+func TestIsCandidateLowRegionFilter(t *testing.T) {
+	m := DefaultMatch
+	lowEff := uint32(0x0004_2030) // upper 8 bits all zero
+	// Filter bits are bits 23..20 (the 4 bits after the compare field).
+	if m.IsCandidate(lowEff, 0x0000_1234) {
+		t.Error("small integer accepted in low region (filter bits zero)")
+	}
+	if !m.IsCandidate(lowEff, 0x0010_1234) {
+		t.Error("low-region address with non-zero filter bit rejected")
+	}
+	if m.IsCandidate(lowEff, 0x0000_0004) {
+		t.Error("tiny aligned integer accepted")
+	}
+}
+
+func TestIsCandidateHighRegionFilter(t *testing.T) {
+	m := DefaultMatch
+	highEff := uint32(0xFF80_0010) // upper 8 bits all ones (stack-like)
+	// A large negative like -4 (0xFFFFFFFC) has all-ones filter bits.
+	if m.IsCandidate(highEff, 0xFFFF_FFFC) {
+		t.Error("small negative accepted in high region")
+	}
+	// A genuine high-region address with a non-one filter bit.
+	if !m.IsCandidate(highEff, 0xFF70_1234) {
+		t.Error("high-region address with non-one filter bit rejected")
+	}
+}
+
+func TestZeroFilterBitsDisablesExtremes(t *testing.T) {
+	m := MatchConfig{CompareBits: 8, FilterBits: 0, AlignBits: 0, ScanStep: 4}
+	if m.IsCandidate(0x0000_1000, 0x0010_0000) {
+		t.Error("low region predicted with zero filter bits")
+	}
+	if m.IsCandidate(0xFF00_1000, 0xFF70_0000) {
+		t.Error("high region predicted with zero filter bits")
+	}
+	// Interior regions unaffected.
+	if !m.IsCandidate(0x1000_0000, 0x1023_4560) {
+		t.Error("interior region broken by zero filter bits")
+	}
+}
+
+func TestAlignBitsReject(t *testing.T) {
+	for _, align := range []int{0, 1, 2} {
+		m := MatchConfig{CompareBits: 8, FilterBits: 4, AlignBits: align, ScanStep: 2}
+		w := uint32(0x1000_0002) // 2-byte aligned, not 4-byte aligned
+		got := m.IsCandidate(0x1000_0000, w)
+		want := align <= 1
+		if got != want {
+			t.Errorf("align=%d: IsCandidate(2-aligned) = %v, want %v", align, got, want)
+		}
+		odd := uint32(0x1000_0001)
+		if m.IsCandidate(0x1000_0000, odd) != (align == 0) {
+			t.Errorf("align=%d: odd word acceptance wrong", align)
+		}
+	}
+}
+
+func TestMoreCompareBitsStricter(t *testing.T) {
+	// Monotonicity: any word accepted at N+1 compare bits is accepted at N
+	// (for interior-region effective addresses).
+	f := func(word uint32) bool {
+		e := uint32(0x4A3B_2C10)
+		for n := 8; n < 12; n++ {
+			mN := MatchConfig{CompareBits: n, FilterBits: 4, AlignBits: 1, ScanStep: 2}
+			mN1 := MatchConfig{CompareBits: n + 1, FilterBits: 4, AlignBits: 1, ScanStep: 2}
+			if mN1.IsCandidate(e, word) && !mN.IsCandidate(e, word) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScanLineFindsPlantedPointers(t *testing.T) {
+	m := DefaultMatch
+	line := make([]byte, 64)
+	binary.LittleEndian.PutUint32(line[8:], 0x1012_3450)  // pointer
+	binary.LittleEndian.PutUint32(line[20:], 42)          // data
+	binary.LittleEndian.PutUint32(line[32:], 0x10AB_CDE0) // pointer
+	binary.LittleEndian.PutUint32(line[48:], 0xDEAD_BEEF) // wrong region
+	got := m.ScanLine(eff, line)
+	want := []uint32{0x1012_3450, 0x10AB_CDE0}
+	if len(got) != len(want) || got[0] != want[0] || got[1] != want[1] {
+		t.Fatalf("ScanLine = %#x, want %#x", got, want)
+	}
+}
+
+func TestScanLineDeduplicates(t *testing.T) {
+	m := DefaultMatch
+	line := make([]byte, 64)
+	binary.LittleEndian.PutUint32(line[0:], 0x1012_3450)
+	binary.LittleEndian.PutUint32(line[8:], 0x1012_3450)
+	if got := m.ScanLine(eff, line); len(got) != 1 {
+		t.Fatalf("duplicate candidate reported: %#x", got)
+	}
+}
+
+func TestScanStepMissesUnalignedPointer(t *testing.T) {
+	line := make([]byte, 64)
+	// Plant a pointer at byte offset 3 — visible to step 1 only.
+	binary.LittleEndian.PutUint32(line[3:], 0x1012_3450)
+	m1 := MatchConfig{CompareBits: 8, FilterBits: 4, AlignBits: 0, ScanStep: 1}
+	m4 := MatchConfig{CompareBits: 8, FilterBits: 4, AlignBits: 0, ScanStep: 4}
+	if len(m1.ScanLine(eff, line)) != 1 {
+		t.Error("step-1 scan missed offset-3 pointer")
+	}
+	if len(m4.ScanLine(eff, line)) != 0 {
+		t.Error("step-4 scan saw offset-3 pointer")
+	}
+}
+
+func TestWordsScanned(t *testing.T) {
+	// The paper: 61 words at step 1 in a 64-byte line, 16 at step 4.
+	if n := (MatchConfig{ScanStep: 1}).WordsScanned(64); n != 61 {
+		t.Fatalf("step 1: %d words, want 61", n)
+	}
+	if n := (MatchConfig{ScanStep: 4}).WordsScanned(64); n != 16 {
+		t.Fatalf("step 4: %d words, want 16", n)
+	}
+	if n := (MatchConfig{ScanStep: 2}).WordsScanned(64); n != 31 {
+		t.Fatalf("step 2: %d words, want 31", n)
+	}
+}
+
+func TestMatchConfigValidate(t *testing.T) {
+	good := []MatchConfig{DefaultMatch, {8, 0, 0, 1}, {12, 4, 2, 4}}
+	for _, m := range good {
+		if err := m.Validate(); err != nil {
+			t.Errorf("good config %v rejected: %v", m, err)
+		}
+	}
+	bad := []MatchConfig{
+		{0, 4, 1, 2}, {31, 4, 1, 2}, {8, -1, 1, 2},
+		{30, 4, 1, 2}, {8, 4, 5, 2}, {8, 4, 1, 3},
+	}
+	for _, m := range bad {
+		if err := m.Validate(); err == nil {
+			t.Errorf("bad config %v accepted", m)
+		}
+	}
+}
+
+func TestMatchString(t *testing.T) {
+	if s := DefaultMatch.String(); s != "8.4.1.2" {
+		t.Fatalf("String = %q", s)
+	}
+}
+
+// Property: a word equal to the effective address itself is always a
+// candidate when it is aligned and outside the extreme regions.
+func TestSelfAddressAlwaysCandidateQuick(t *testing.T) {
+	m := DefaultMatch
+	f := func(a uint32) bool {
+		a &^= 1 // 2-byte align
+		top := a >> 24
+		if top == 0 || top == 0xFF {
+			return true // extreme regions handled by filter tests
+		}
+		return m.IsCandidate(a, a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: candidates returned by ScanLine always pass IsCandidate and
+// appear in the line at some scanned offset.
+func TestScanLineSoundQuick(t *testing.T) {
+	m := DefaultMatch
+	f := func(raw []byte, e uint32) bool {
+		line := make([]byte, 64)
+		copy(line, raw)
+		for _, w := range m.ScanLine(e, line) {
+			if !m.IsCandidate(e, w) {
+				return false
+			}
+			found := false
+			for off := 0; off+4 <= 64; off += m.ScanStep {
+				if binary.LittleEndian.Uint32(line[off:off+4]) == w {
+					found = true
+					break
+				}
+			}
+			if !found {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,227 @@
+package core
+
+import "fmt"
+
+// Config assembles the full content-prefetcher policy: the matching
+// heuristic plus the chaining, width and reinforcement knobs explored in
+// Section 4.2 of the paper.
+type Config struct {
+	Match MatchConfig
+	// DepthThreshold bounds prefetch chaining: requests whose depth
+	// would exceed it are dropped, and lines arriving at the threshold
+	// depth are not scanned (Figure 3). The paper's best setting is 3.
+	DepthThreshold int
+	// NextLines is how many sequentially following cache lines are
+	// prefetched along with each candidate ("wider" instead of
+	// "deeper", Section 3.4.3). The paper's best setting is 3.
+	NextLines int
+	// PrevLines prefetches lines preceding the candidate; the paper
+	// finds this unhelpful on average (Figure 9) but evaluates it.
+	PrevLines int
+	// Reinforce enables feedback-directed path reinforcement: demand
+	// (or shallower) hits on prefetched lines promote the stored depth
+	// and rescan the line to re-arm the chain (Figure 4(b)).
+	Reinforce bool
+	// RescanSlack is the minimum difference between stored and incoming
+	// depth required to trigger a rescan. 1 reproduces Figure 4(b); 2
+	// halves the rescan traffic as in Figure 4(c).
+	RescanSlack int
+	// LineSize is the cache line size scanned (64 in Table 1).
+	LineSize int
+	// Adaptive, when non-nil, enables runtime tuning of the compare
+	// width from accuracy feedback (the paper's stated future work).
+	Adaptive *AdaptiveConfig
+}
+
+// DefaultConfig is the paper's chosen operating point: virtual address
+// matching at 8.4.1.2, depth threshold 3, three next-line prefetches, path
+// reinforcement on.
+var DefaultConfig = Config{
+	Match:          DefaultMatch,
+	DepthThreshold: 3,
+	NextLines:      3,
+	PrevLines:      0,
+	Reinforce:      true,
+	RescanSlack:    1,
+	LineSize:       64,
+}
+
+// Validate checks the policy's self-consistency.
+func (c Config) Validate() error {
+	if err := c.Match.Validate(); err != nil {
+		return err
+	}
+	if c.DepthThreshold < 1 {
+		return fmt.Errorf("core: depth threshold %d < 1", c.DepthThreshold)
+	}
+	if c.NextLines < 0 || c.PrevLines < 0 {
+		return fmt.Errorf("core: negative line width")
+	}
+	if c.Reinforce && c.RescanSlack < 1 {
+		return fmt.Errorf("core: rescan slack %d < 1", c.RescanSlack)
+	}
+	if c.LineSize < 4 || c.LineSize&(c.LineSize-1) != 0 {
+		return fmt.Errorf("core: bad line size %d", c.LineSize)
+	}
+	if c.Adaptive != nil {
+		if err := c.Adaptive.Validate(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Candidate is one prefetch the policy wants issued.
+type Candidate struct {
+	// VA is the virtual line base address to prefetch.
+	VA uint32
+	// Pointer is the raw candidate word that produced this request (for
+	// next-/prev-line candidates, the word that anchored the group).
+	Pointer uint32
+	// Depth is the request depth the prefetch will carry.
+	Depth int
+	// Widened marks next-/prev-line companions (not the pointer's own
+	// line); useful for ablation accounting.
+	Widened bool
+}
+
+// Prefetcher holds the policy state. It is deliberately tiny — the paper's
+// titular point is that the mechanism is *stateless*: no history tables, no
+// training. The only persistent state in the whole scheme is the 2-bit
+// stored depth per L2 line, which lives in the cache, not here.
+type Prefetcher struct {
+	cfg      Config
+	adaptive *Adaptive
+
+	linesScanned  uint64
+	wordsMatched  uint64
+	rescans       uint64
+	chainsStopped uint64 // scans suppressed by the depth threshold
+	adaptations   uint64
+}
+
+// New builds a content prefetcher; it panics on invalid configuration
+// (configurations are static experiment inputs).
+func New(cfg Config) *Prefetcher {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	p := &Prefetcher{cfg: cfg}
+	if cfg.Adaptive != nil {
+		p.adaptive = NewAdaptive(*cfg.Adaptive, cfg.Match)
+		p.cfg.Match = p.adaptive.Match()
+	}
+	return p
+}
+
+// Config returns the active policy.
+func (p *Prefetcher) Config() Config { return p.cfg }
+
+// lineBase truncates an address to its cache-line base.
+func (p *Prefetcher) lineBase(addr uint32) uint32 {
+	return addr &^ uint32(p.cfg.LineSize-1)
+}
+
+// ShouldScan reports whether a line that arrived with the given request
+// depth is scanned. Lines at the threshold depth terminate the chain
+// (Figure 3, step D).
+func (p *Prefetcher) ShouldScan(depth int) bool {
+	if depth >= p.cfg.DepthThreshold {
+		p.chainsStopped++
+		return false
+	}
+	return true
+}
+
+// OnFill scans a newly filled line and returns the prefetch candidates.
+// trigVA is the effective virtual address of the request that caused the
+// fill; depth is that request's depth (0 for a demand fetch). The returned
+// candidates carry depth+1 and include the configured next/previous lines
+// for each matched pointer. Candidate lines equal to the scanned line
+// itself are suppressed (a self-pointer prefetches nothing new).
+func (p *Prefetcher) OnFill(trigVA uint32, depth int, lineVA uint32, line []byte) []Candidate {
+	if !p.ShouldScan(depth) {
+		return nil
+	}
+	p.linesScanned++
+	words := p.cfg.Match.ScanLine(trigVA, line)
+	p.wordsMatched += uint64(len(words))
+	if len(words) == 0 {
+		return nil
+	}
+	scanned := p.lineBase(lineVA)
+	nd := depth + 1
+	var out []Candidate
+	seen := make(map[uint32]bool, len(words)*(1+p.cfg.NextLines+p.cfg.PrevLines))
+	add := func(base, ptr uint32, widened bool) {
+		if base == scanned || seen[base] {
+			return
+		}
+		seen[base] = true
+		out = append(out, Candidate{VA: base, Pointer: ptr, Depth: nd, Widened: widened})
+	}
+	ls := uint32(p.cfg.LineSize)
+	for _, w := range words {
+		base := p.lineBase(w)
+		add(base, w, false)
+		for k := 1; k <= p.cfg.NextLines; k++ {
+			add(base+uint32(k)*ls, w, true)
+		}
+		for k := 1; k <= p.cfg.PrevLines; k++ {
+			add(base-uint32(k)*ls, w, true)
+		}
+	}
+	return out
+}
+
+// OnCacheHit applies the reinforcement rules when a request of depth
+// incoming hits a line whose stored depth is stored. It returns the new
+// stored depth (promotion keeps the invariant that depth counts links since
+// a non-speculative request) and whether the line should be rescanned to
+// extend the chain.
+func (p *Prefetcher) OnCacheHit(stored, incoming int) (newDepth int, rescan bool) {
+	if incoming >= stored {
+		return stored, false
+	}
+	if !p.cfg.Reinforce {
+		// Without reinforcement the stored depth is still promoted (it
+		// is just bookkeeping), but no rescan is triggered.
+		return incoming, false
+	}
+	rescan = stored-incoming >= p.cfg.RescanSlack
+	if rescan {
+		p.rescans++
+	}
+	return incoming, rescan
+}
+
+// ResolvePrefetch feeds the adaptive controller with one resolved content
+// prefetch: useful (touched by a demand access) or useless (evicted
+// untouched). Without an adaptive configuration it is a no-op.
+func (p *Prefetcher) ResolvePrefetch(useful bool) {
+	if p.adaptive == nil {
+		return
+	}
+	if m, changed := p.adaptive.Observe(useful); changed {
+		p.cfg.Match = m
+		p.adaptations++
+	}
+}
+
+// Stats reports scanner activity counters.
+func (p *Prefetcher) Stats() (linesScanned, wordsMatched, rescans, chainsStopped uint64) {
+	return p.linesScanned, p.wordsMatched, p.rescans, p.chainsStopped
+}
+
+// Adaptations reports how many times the adaptive controller changed the
+// heuristic.
+func (p *Prefetcher) Adaptations() uint64 { return p.adaptations }
+
+func (p *Prefetcher) String() string {
+	r := "nr"
+	if p.cfg.Reinforce {
+		r = "reinf"
+	}
+	return fmt.Sprintf("cdp{%s d%d p%d.n%d %s}", p.cfg.Match, p.cfg.DepthThreshold,
+		p.cfg.PrevLines, p.cfg.NextLines, r)
+}

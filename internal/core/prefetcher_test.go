@@ -1,0 +1,176 @@
+package core
+
+import (
+	"encoding/binary"
+	"testing"
+)
+
+func lineWith(ptrs map[int]uint32) []byte {
+	line := make([]byte, 64)
+	for off, v := range ptrs {
+		binary.LittleEndian.PutUint32(line[off:], v)
+	}
+	return line
+}
+
+func TestOnFillEmitsCandidateAndNextLines(t *testing.T) {
+	cfg := DefaultConfig // next 3, prev 0, depth threshold 3
+	p := New(cfg)
+	trig := uint32(0x1000_0100)
+	line := lineWith(map[int]uint32{8: 0x1020_3040})
+	cands := p.OnFill(trig, 0, 0x1000_0100, line)
+	if len(cands) != 4 {
+		t.Fatalf("candidates = %d, want 4 (pointer line + 3 next)", len(cands))
+	}
+	base := uint32(0x1020_3040) &^ 63
+	for i, c := range cands {
+		if c.VA != base+uint32(i)*64 {
+			t.Fatalf("cand %d VA = %#x, want %#x", i, c.VA, base+uint32(i)*64)
+		}
+		if c.Depth != 1 {
+			t.Fatalf("cand %d depth = %d, want 1", i, c.Depth)
+		}
+		if c.Widened != (i > 0) {
+			t.Fatalf("cand %d widened = %v", i, c.Widened)
+		}
+		if c.Pointer != 0x1020_3040 {
+			t.Fatalf("cand %d pointer = %#x", i, c.Pointer)
+		}
+	}
+}
+
+func TestOnFillPrevLines(t *testing.T) {
+	cfg := DefaultConfig
+	cfg.NextLines = 0
+	cfg.PrevLines = 1
+	p := New(cfg)
+	line := lineWith(map[int]uint32{0: 0x1020_3040})
+	cands := p.OnFill(0x1000_0000, 0, 0x1000_0000, line)
+	if len(cands) != 2 {
+		t.Fatalf("candidates = %d, want 2", len(cands))
+	}
+	base := uint32(0x1020_3040) &^ 63
+	if cands[1].VA != base-64 {
+		t.Fatalf("prev-line VA = %#x, want %#x", cands[1].VA, base-64)
+	}
+}
+
+func TestOnFillDepthChainsAndTerminates(t *testing.T) {
+	p := New(DefaultConfig) // threshold 3
+	line := lineWith(map[int]uint32{8: 0x1020_3040})
+	// Depth 2 fill scans and yields depth-3 candidates.
+	cands := p.OnFill(0x1000_0000, 2, 0x1000_0000, line)
+	if len(cands) == 0 || cands[0].Depth != 3 {
+		t.Fatalf("depth-2 fill candidates = %+v", cands)
+	}
+	// Depth 3 fill (at threshold) is not scanned: chain terminated.
+	if got := p.OnFill(0x1000_0000, 3, 0x1000_0000, line); got != nil {
+		t.Fatalf("depth-3 fill scanned: %+v", got)
+	}
+	_, _, _, stopped := p.Stats()
+	if stopped != 1 {
+		t.Fatalf("chainsStopped = %d", stopped)
+	}
+}
+
+func TestOnFillSuppressesSelfLine(t *testing.T) {
+	cfg := DefaultConfig
+	cfg.NextLines = 0
+	p := New(cfg)
+	// The line contains a pointer into itself.
+	self := uint32(0x1000_0040)
+	line := lineWith(map[int]uint32{4: self + 8})
+	if cands := p.OnFill(self, 0, self, line); len(cands) != 0 {
+		t.Fatalf("self-pointing line produced %+v", cands)
+	}
+}
+
+func TestOnFillDeduplicatesAcrossPointers(t *testing.T) {
+	cfg := DefaultConfig
+	cfg.NextLines = 1
+	p := New(cfg)
+	// Two pointers into adjacent lines: B and B+64. Candidate sets
+	// {B, B+64} and {B+64, B+128} overlap at B+64.
+	line := lineWith(map[int]uint32{0: 0x1020_0000, 8: 0x1020_0040})
+	cands := p.OnFill(0x1000_0000, 0, 0x1000_0000, line)
+	if len(cands) != 3 {
+		t.Fatalf("candidates = %d, want 3 (deduplicated)", len(cands))
+	}
+	seen := map[uint32]bool{}
+	for _, c := range cands {
+		if seen[c.VA] {
+			t.Fatalf("duplicate VA %#x", c.VA)
+		}
+		seen[c.VA] = true
+	}
+}
+
+func TestOnCacheHitPromotionAndRescan(t *testing.T) {
+	p := New(DefaultConfig) // reinforce, slack 1
+	// Demand (0) hits a depth-2 prefetched line: promote + rescan.
+	nd, rescan := p.OnCacheHit(2, 0)
+	if nd != 0 || !rescan {
+		t.Fatalf("hit(2,0) = %d,%v", nd, rescan)
+	}
+	// Equal depth: nothing.
+	if nd, rescan = p.OnCacheHit(1, 1); nd != 1 || rescan {
+		t.Fatalf("hit(1,1) = %d,%v", nd, rescan)
+	}
+	// Deeper incoming: nothing.
+	if nd, rescan = p.OnCacheHit(0, 2); nd != 0 || rescan {
+		t.Fatalf("hit(0,2) = %d,%v", nd, rescan)
+	}
+}
+
+func TestOnCacheHitRescanSlack(t *testing.T) {
+	cfg := DefaultConfig
+	cfg.RescanSlack = 2 // Figure 4(c)
+	p := New(cfg)
+	if _, rescan := p.OnCacheHit(1, 0); rescan {
+		t.Fatal("slack 2 rescanned on difference 1")
+	}
+	nd, rescan := p.OnCacheHit(2, 0)
+	if !rescan || nd != 0 {
+		t.Fatalf("slack 2 failed on difference 2: %d,%v", nd, rescan)
+	}
+}
+
+func TestOnCacheHitNoReinforce(t *testing.T) {
+	cfg := DefaultConfig
+	cfg.Reinforce = false
+	p := New(cfg)
+	nd, rescan := p.OnCacheHit(3, 0)
+	if rescan {
+		t.Fatal("rescan without reinforcement")
+	}
+	if nd != 0 {
+		t.Fatalf("depth bookkeeping should still promote: %d", nd)
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := DefaultConfig.Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	bad := DefaultConfig
+	bad.DepthThreshold = 0
+	if bad.Validate() == nil {
+		t.Error("zero depth threshold accepted")
+	}
+	bad = DefaultConfig
+	bad.LineSize = 48
+	if bad.Validate() == nil {
+		t.Error("non-power-of-two line accepted")
+	}
+	bad = DefaultConfig
+	bad.RescanSlack = 0
+	if bad.Validate() == nil {
+		t.Error("zero rescan slack with reinforcement accepted")
+	}
+}
+
+func TestPrefetcherString(t *testing.T) {
+	if s := New(DefaultConfig).String(); s != "cdp{8.4.1.2 d3 p0.n3 reinf}" {
+		t.Fatalf("String = %q", s)
+	}
+}

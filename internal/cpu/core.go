@@ -1,0 +1,413 @@
+package cpu
+
+import (
+	"container/heap"
+	"fmt"
+
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// Config sizes the core per Table 1.
+type Config struct {
+	FetchWidth  int
+	IssueWidth  int
+	RetireWidth int
+	ROBSize     int
+	LoadBuf     int
+	StoreBuf    int
+	IntUnits    int
+	MemUnits    int
+	FPUnits     int
+	// MispredictPenalty is the fetch-redirect penalty in cycles, applied
+	// after a mispredicted branch resolves.
+	MispredictPenalty int64
+	// GshareBits is log2 of the predictor table (14 = 16K entries).
+	GshareBits uint
+	// FPLatency and IntLatency are execution latencies.
+	IntLatency int64
+	FPLatency  int64
+}
+
+// DefaultConfig is the 4 GHz machine of Table 1.
+func DefaultConfig() Config {
+	return Config{
+		FetchWidth: 3, IssueWidth: 3, RetireWidth: 3,
+		ROBSize: 128, LoadBuf: 48, StoreBuf: 32,
+		IntUnits: 3, MemUnits: 2, FPUnits: 1,
+		MispredictPenalty: 28, GshareBits: 14,
+		IntLatency: 1, FPLatency: 3,
+	}
+}
+
+// MemPort is the memory system as seen by the core.
+type MemPort interface {
+	// Tick processes memory-system events up to and including cycle.
+	Tick(cycle int64)
+	// NextEvent returns the cycle of the earliest pending memory event,
+	// or -1 when none (used to skip idle cycles).
+	NextEvent() int64
+	// Load issues a demand load; done is called exactly once with the
+	// cycle at which the value is available. done may be invoked
+	// synchronously (cache hit) or from a later Tick (miss).
+	Load(cycle int64, va, pc uint32, done func(at int64))
+	// Store issues a committed store; done is called when the store has
+	// drained from the store buffer's perspective.
+	Store(cycle int64, va, pc uint32, done func(at int64))
+}
+
+// Result summarises one run.
+type Result struct {
+	Cycles      int64
+	Retired     uint64
+	Branches    uint64
+	Mispredicts uint64
+	Loads       uint64
+	Stores      uint64
+}
+
+// IPC returns retired µops per cycle.
+func (r Result) IPC() float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	return float64(r.Retired) / float64(r.Cycles)
+}
+
+type entryState uint8
+
+const (
+	esEmpty entryState = iota
+	esWaiting
+	esReady
+	esIssued
+	esDone
+)
+
+type robEntry struct {
+	op          trace.Op
+	seq         uint64
+	state       entryState
+	pendingSrcs int
+	dependents  []int32
+	mispredict  bool
+}
+
+type writerRef struct {
+	slot  int32
+	seq   uint64
+	valid bool
+}
+
+type completion struct {
+	at   int64
+	slot int32
+	seq  uint64
+}
+
+type completionHeap []completion
+
+func (h completionHeap) Len() int           { return len(h) }
+func (h completionHeap) Less(i, j int) bool { return h[i].at < h[j].at }
+func (h completionHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *completionHeap) Push(x any)        { *h = append(*h, x.(completion)) }
+func (h *completionHeap) Pop() any          { old := *h; n := len(old); x := old[n-1]; *h = old[:n-1]; return x }
+func (h completionHeap) peekAt() int64      { return h[0].at }
+
+// Core runs traces against a memory port.
+type Core struct {
+	cfg Config
+	bp  *Gshare
+	st  *stats.Counters
+
+	rob   []robEntry
+	head  int32
+	count int
+
+	lastWriter [trace.NumRegs]writerRef
+	readyQ     []int32
+	completed  completionHeap
+
+	outstandingLoads  int
+	outstandingStores int
+
+	fetchIdx          int
+	nextSeq           uint64
+	haltFetch         bool
+	fetchBlockedUntil int64
+
+	cycle int64
+	res   Result
+
+	// OnRetire, if set, is called after each retired µop with the
+	// running retired count and current cycle (warm-up detection).
+	OnRetire func(retired uint64, cycle int64)
+}
+
+// New builds a core. counters may be nil.
+func New(cfg Config, st *stats.Counters) *Core {
+	if cfg.ROBSize <= 0 || cfg.FetchWidth <= 0 || cfg.IssueWidth <= 0 || cfg.RetireWidth <= 0 {
+		panic(fmt.Sprintf("cpu: bad config %+v", cfg))
+	}
+	if st == nil {
+		st = &stats.Counters{}
+	}
+	return &Core{
+		cfg: cfg,
+		bp:  NewGshare(cfg.GshareBits),
+		st:  st,
+		rob: make([]robEntry, cfg.ROBSize),
+	}
+}
+
+// Run executes up to maxOps µops of tr (0 = all) and returns timing.
+func (c *Core) Run(tr *trace.Trace, mp MemPort, maxOps int) Result {
+	limit := len(tr.Ops)
+	if maxOps > 0 && maxOps < limit {
+		limit = maxOps
+	}
+	ops := tr.Ops[:limit]
+
+	lastProgress := int64(0)
+	for c.fetchIdx < len(ops) || c.count > 0 {
+		c.cycle++
+		mp.Tick(c.cycle)
+		progress := false
+		if c.complete() {
+			progress = true
+		}
+		if c.retire(mp) {
+			progress = true
+		}
+		if c.issue(mp) {
+			progress = true
+		}
+		if c.fetch(ops) {
+			progress = true
+		}
+		if progress {
+			lastProgress = c.cycle
+			continue
+		}
+		// Idle cycle: skip ahead to the next interesting time.
+		next := int64(-1)
+		consider := func(t int64) {
+			if t > c.cycle && (next == -1 || t < next) {
+				next = t
+			}
+		}
+		if len(c.completed) > 0 {
+			consider(c.completed.peekAt())
+		}
+		if !c.haltFetch && c.fetchBlockedUntil > c.cycle {
+			consider(c.fetchBlockedUntil)
+		}
+		if t := mp.NextEvent(); t >= 0 {
+			consider(t)
+		}
+		if next > c.cycle+1 {
+			c.cycle = next - 1
+		}
+		if c.cycle-lastProgress > 5_000_000 {
+			panic(fmt.Sprintf("cpu: no progress since cycle %d (rob %d, readyQ %d, loads %d, stores %d, fetch %d/%d)",
+				lastProgress, c.count, len(c.readyQ), c.outstandingLoads, c.outstandingStores, c.fetchIdx, len(ops)))
+		}
+	}
+	c.res.Cycles = c.cycle
+	c.st.Cycles = c.cycle
+	return c.res
+}
+
+// complete drains the completion heap for the current cycle, waking
+// dependents.
+func (c *Core) complete() bool {
+	any := false
+	for len(c.completed) > 0 && c.completed.peekAt() <= c.cycle {
+		comp := heap.Pop(&c.completed).(completion)
+		e := &c.rob[comp.slot]
+		if e.seq != comp.seq || e.state != esIssued {
+			continue // stale (should not happen, but be safe)
+		}
+		e.state = esDone
+		any = true
+		if e.op.Kind == trace.KLoad {
+			c.outstandingLoads--
+		}
+		if e.op.Kind == trace.KBranch && e.mispredict {
+			c.haltFetch = false
+			c.fetchBlockedUntil = c.cycle + c.cfg.MispredictPenalty
+		}
+		for _, dep := range e.dependents {
+			d := &c.rob[dep]
+			d.pendingSrcs--
+			if d.pendingSrcs == 0 && d.state == esWaiting {
+				d.state = esReady
+				c.readyQ = append(c.readyQ, dep)
+			}
+		}
+		e.dependents = e.dependents[:0]
+	}
+	return any
+}
+
+// markComplete schedules completion of an issued entry at cycle at.
+func (c *Core) markComplete(slot int32, seq uint64, at int64) {
+	if at <= c.cycle {
+		at = c.cycle + 1
+	}
+	heap.Push(&c.completed, completion{at: at, slot: slot, seq: seq})
+}
+
+// retire commits completed µops in order.
+func (c *Core) retire(mp MemPort) bool {
+	any := false
+	for n := 0; n < c.cfg.RetireWidth && c.count > 0; n++ {
+		e := &c.rob[c.head]
+		if e.state != esDone {
+			break
+		}
+		if e.op.Kind == trace.KStore {
+			if c.outstandingStores >= c.cfg.StoreBuf {
+				break // store buffer full: stall retirement
+			}
+			c.outstandingStores++
+			c.st.RetiredStores++
+			mp.Store(c.cycle, e.op.Addr, e.op.PC, func(int64) {
+				c.outstandingStores--
+			})
+		}
+		e.state = esEmpty
+		c.head = (c.head + 1) % int32(c.cfg.ROBSize)
+		c.count--
+		c.res.Retired++
+		c.st.RetiredUops++
+		if c.OnRetire != nil {
+			c.OnRetire(c.res.Retired, c.cycle)
+		}
+		any = true
+	}
+	return any
+}
+
+// issue selects ready µops oldest-first, bounded by issue width, functional
+// units and the load buffer.
+func (c *Core) issue(mp MemPort) bool {
+	intLeft, memLeft, fpLeft := c.cfg.IntUnits, c.cfg.MemUnits, c.cfg.FPUnits
+	any := false
+	for issued := 0; issued < c.cfg.IssueWidth; issued++ {
+		best := -1
+		for qi, slot := range c.readyQ {
+			e := &c.rob[slot]
+			ok := false
+			switch e.op.Kind {
+			case trace.KInt, trace.KBranch:
+				ok = intLeft > 0
+			case trace.KFP:
+				ok = fpLeft > 0
+			case trace.KLoad:
+				ok = memLeft > 0 && c.outstandingLoads < c.cfg.LoadBuf
+			case trace.KStore:
+				ok = memLeft > 0
+			}
+			if !ok {
+				continue
+			}
+			if best == -1 || e.seq < c.rob[c.readyQ[best]].seq {
+				best = qi
+			}
+		}
+		if best == -1 {
+			break
+		}
+		slot := c.readyQ[best]
+		c.readyQ[best] = c.readyQ[len(c.readyQ)-1]
+		c.readyQ = c.readyQ[:len(c.readyQ)-1]
+		e := &c.rob[slot]
+		e.state = esIssued
+		any = true
+		switch e.op.Kind {
+		case trace.KInt:
+			intLeft--
+			c.markComplete(slot, e.seq, c.cycle+c.cfg.IntLatency)
+		case trace.KBranch:
+			intLeft--
+			c.markComplete(slot, e.seq, c.cycle+c.cfg.IntLatency)
+		case trace.KFP:
+			fpLeft--
+			c.markComplete(slot, e.seq, c.cycle+c.cfg.FPLatency)
+		case trace.KLoad:
+			memLeft--
+			c.outstandingLoads++
+			c.res.Loads++
+			seq := e.seq
+			s := slot
+			mp.Load(c.cycle, e.op.Addr, e.op.PC, func(at int64) {
+				c.markComplete(s, seq, at)
+			})
+		case trace.KStore:
+			memLeft--
+			c.res.Stores++
+			// Address generation only; memory traffic happens at retire.
+			c.markComplete(slot, e.seq, c.cycle+c.cfg.IntLatency)
+		}
+	}
+	return any
+}
+
+// fetch brings µops into the ROB, predicting branches and halting at a
+// mispredicted one until it resolves.
+func (c *Core) fetch(ops []trace.Op) bool {
+	any := false
+	for n := 0; n < c.cfg.FetchWidth; n++ {
+		if c.fetchIdx >= len(ops) || c.count >= c.cfg.ROBSize ||
+			c.haltFetch || c.cycle < c.fetchBlockedUntil {
+			break
+		}
+		op := ops[c.fetchIdx]
+		c.fetchIdx++
+		slot := (c.head + int32(c.count)) % int32(c.cfg.ROBSize)
+		c.count++
+		c.nextSeq++
+		e := &c.rob[slot]
+		*e = robEntry{op: op, seq: c.nextSeq, dependents: e.dependents[:0]}
+
+		for _, src := range [2]uint8{op.Src1, op.Src2} {
+			if src == trace.NoReg || src >= trace.NumRegs {
+				continue
+			}
+			lw := c.lastWriter[src]
+			if !lw.valid {
+				continue
+			}
+			p := &c.rob[lw.slot]
+			if p.seq != lw.seq || p.state == esDone || p.state == esEmpty {
+				continue
+			}
+			p.dependents = append(p.dependents, slot)
+			e.pendingSrcs++
+		}
+		if op.Dst != trace.NoReg && op.Dst < trace.NumRegs {
+			c.lastWriter[op.Dst] = writerRef{slot: slot, seq: e.seq, valid: true}
+		}
+		if e.pendingSrcs == 0 {
+			e.state = esReady
+			c.readyQ = append(c.readyQ, slot)
+		} else {
+			e.state = esWaiting
+		}
+		any = true
+
+		if op.Kind == trace.KBranch {
+			c.res.Branches++
+			pred := c.bp.Predict(op.PC)
+			c.bp.Update(op.PC, op.Taken)
+			if pred != op.Taken {
+				c.res.Mispredicts++
+				e.mispredict = true
+				c.haltFetch = true
+				break
+			}
+		}
+	}
+	return any
+}

@@ -1,0 +1,93 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/cache"
+	"repro/internal/core"
+	"repro/internal/report"
+	"repro/internal/sim"
+	"repro/internal/workloads"
+)
+
+func init() {
+	register("table3", "Table 3: Markov prefetcher system configurations", runTable3)
+	register("fig11", "Figure 11: Markov vs content prefetcher speedup comparison", runFig11)
+}
+
+// Markov resource splits of Table 3: the original 1 MiB UL2 budget is
+// divided between the STAB and the cache.
+var markovSplits = []struct {
+	name    string
+	stab    int // bytes (0 = unbounded, markov_big)
+	l2Bytes int
+	l2Ways  int
+}{
+	{"markov_1/8", 128 * 1024, 896 * 1024, 7},
+	{"markov_1/2", 512 * 1024, 512 * 1024, 8},
+	{"markov_big", 0, 1024 * 1024, 8},
+}
+
+func markovConfig(o Options, split int) sim.Config {
+	s := markovSplits[split]
+	return baseConfig(o).WithMarkov(s.stab, cache.Config{
+		SizeBytes: s.l2Bytes, Ways: s.l2Ways, LineSize: sim.LineSize,
+	})
+}
+
+func runTable3(o Options) *Report {
+	t := &report.Table{
+		Title:   "Table 3: Markov prefetcher system configurations",
+		Headers: []string{"Configuration", "STAB size", "STAB entries", "UL2 size", "UL2 assoc"},
+		Note:    "Entry budget assumes 24 bytes/entry (tag + 4 successors + LRU state). markov_big allows unbounded STAB growth.",
+	}
+	for _, s := range markovSplits {
+		stab := "unbounded"
+		entries := "unbounded"
+		if s.stab > 0 {
+			stab = fmt.Sprintf("%d KB", s.stab/1024)
+			entries = fmt.Sprint(s.stab / 24)
+		}
+		t.AddRow(s.name, stab, entries, fmt.Sprintf("%d KB", s.l2Bytes/1024),
+			fmt.Sprintf("%d-way", s.l2Ways))
+	}
+	return &Report{ID: "table3", Title: "Table 3", Text: t.Render()}
+}
+
+func runFig11(o Options) *Report {
+	specs := workloads.All()
+	cfgs := []sim.Config{
+		baseConfig(o), // column 0: stride baseline, 1 MB UL2
+		markovConfig(o, 0),
+		markovConfig(o, 1),
+		markovConfig(o, 2),
+		baseConfig(o).WithContent(core.DefaultConfig),
+	}
+	results := runMatrix(o, specs, cfgs)
+
+	names := []string{"markov_1/8", "markov_1/2", "markov_big", "content"}
+	t := &report.Table{
+		Title:   "Figure 11: average speedup, Markov vs content prefetcher (vs 1 MB stride baseline)",
+		Headers: []string{"Configuration", "speedup"},
+		Note: "Paper: the resource-split Markov configurations lose outright; markov_big caps at 1.045; " +
+			"the content prefetcher reaches ~3x higher speedup with almost no state.",
+	}
+	sps := make([]float64, len(names))
+	for i := range names {
+		sps[i] = meanSpeedup(results, i+1, 0)
+		t.AddRow(names[i], sps[i])
+	}
+	text := t.Render()
+	if sps[2] > 0 {
+		text += fmt.Sprintf("\nContent/markov_big speedup-gain ratio: %.2fx.\n",
+			(sps[3]-1)/max1e9(sps[2]-1))
+	}
+	return &Report{ID: "fig11", Title: "Figure 11", Text: text}
+}
+
+func max1e9(v float64) float64 {
+	if v <= 0 {
+		return 1e-9
+	}
+	return v
+}

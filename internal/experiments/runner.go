@@ -1,0 +1,175 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (the per-experiment index lives in DESIGN.md). Each experiment
+// runs a matrix of (benchmark, machine-configuration) simulations in
+// parallel and renders the paper's rows or series as text.
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/workloads"
+)
+
+// Options scales an experiment run.
+type Options struct {
+	// Ops is the per-benchmark µop budget (0 = workloads.DefaultOps).
+	Ops int
+	// Reps restricts multi-config sweeps to one benchmark per suite
+	// (Figure 1's readability subset); full per-benchmark experiments
+	// (Table 2, Figures 10/11) always use all fifteen.
+	Reps bool
+	// Parallelism bounds concurrent simulations (0 = GOMAXPROCS).
+	Parallelism int
+}
+
+func (o Options) ops() int {
+	if o.Ops > 0 {
+		return o.Ops
+	}
+	return workloads.DefaultOps
+}
+
+func (o Options) workers() int {
+	if o.Parallelism > 0 {
+		return o.Parallelism
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+func (o Options) sweepSpecs() []workloads.Spec {
+	if o.Reps {
+		return workloads.SuiteRepresentatives()
+	}
+	return workloads.All()
+}
+
+// warmFor scales the warm-up boundary to the trace budget (the paper uses
+// ~1/6 of the trace; see Section 2.2).
+func warmFor(ops int) uint64 { return uint64(ops / 8) }
+
+// baseConfig is the Table 1 stride-only baseline scaled to the options.
+func baseConfig(o Options) sim.Config {
+	cfg := sim.Default()
+	cfg.WarmupOps = warmFor(o.ops())
+	cfg.MPTUBucketOps = uint64(o.ops() / 48)
+	return cfg
+}
+
+// with4MB returns cfg with the 4 MiB UL2 of Figure 1 / Table 2.
+func with4MB(cfg sim.Config) sim.Config {
+	cfg.L2.SizeBytes = 4 * 1024 * 1024
+	cfg.Name += "-4MB"
+	return cfg
+}
+
+// Report is one experiment's rendered outcome.
+type Report struct {
+	ID    string
+	Title string
+	Text  string
+}
+
+// cell identifies one simulation in a matrix run.
+type cell struct {
+	spec workloads.Spec
+	cfg  sim.Config
+	si   int
+	ci   int
+}
+
+// runMatrix simulates every (spec, config) pair and returns results indexed
+// [spec][config]. Checkpoints are generated once per spec and shared (the
+// simulator never mutates them).
+func runMatrix(o Options, specs []workloads.Spec, cfgs []sim.Config) [][]*sim.Result {
+	// Pre-generate checkpoints sequentially (generation itself is
+	// allocation-heavy; doing it once also warms the cache).
+	cks := make([]*trace.Checkpoint, len(specs))
+	for i, s := range specs {
+		cks[i] = workloads.Checkpoint(s, o.ops())
+	}
+	out := make([][]*sim.Result, len(specs))
+	for i := range out {
+		out[i] = make([]*sim.Result, len(cfgs))
+	}
+	var cells []cell
+	for si, s := range specs {
+		for ci, c := range cfgs {
+			cells = append(cells, cell{spec: s, cfg: c, si: si, ci: ci})
+		}
+	}
+	work := make(chan cell)
+	var wg sync.WaitGroup
+	for w := 0; w < o.workers(); w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for c := range work {
+				out[c.si][c.ci] = sim.Run(cks[c.si], c.cfg)
+			}
+		}()
+	}
+	for _, c := range cells {
+		work <- c
+	}
+	close(work)
+	wg.Wait()
+	return out
+}
+
+// meanSpeedup averages per-benchmark speedups of column ci relative to
+// column base.
+func meanSpeedup(results [][]*sim.Result, ci, base int) float64 {
+	var sum float64
+	for _, row := range results {
+		sum += row[ci].SpeedupOver(row[base])
+	}
+	return sum / float64(len(results))
+}
+
+// Runner is one registered experiment.
+type Runner struct {
+	ID    string
+	Title string
+	Run   func(Options) *Report
+}
+
+var registry []Runner
+
+func register(id, title string, fn func(Options) *Report) {
+	registry = append(registry, Runner{ID: id, Title: title, Run: fn})
+}
+
+// IDs lists registered experiment ids in registration order.
+func IDs() []string {
+	out := make([]string, len(registry))
+	for i, r := range registry {
+		out[i] = r.ID
+	}
+	return out
+}
+
+// Get finds an experiment by id.
+func Get(id string) (Runner, error) {
+	for _, r := range registry {
+		if r.ID == id {
+			return r, nil
+		}
+	}
+	sorted := append([]string(nil), IDs()...)
+	sort.Strings(sorted)
+	return Runner{}, fmt.Errorf("experiments: unknown id %q (have %v)", id, sorted)
+}
+
+// RunAll executes every experiment and returns the reports in order.
+func RunAll(o Options) []*Report {
+	out := make([]*Report, 0, len(registry))
+	for _, r := range registry {
+		out = append(out, r.Run(o))
+	}
+	return out
+}

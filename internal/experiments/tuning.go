@@ -1,0 +1,117 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/report"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+func init() {
+	register("fig7", "Figure 7: compare/filter-bit tuning (adjusted coverage & accuracy)", runFig7)
+	register("fig8", "Figure 8: align-bit and scan-step tuning", runFig8)
+}
+
+// tuningContent returns the predictor-isolation policy used for the tuning
+// sweeps: chaining at the default depth but no width and no reinforcement,
+// so issued prefetches reflect the matching heuristic alone.
+func tuningContent(m core.MatchConfig) core.Config {
+	return core.Config{
+		Match:          m,
+		DepthThreshold: 3,
+		NextLines:      0,
+		PrevLines:      0,
+		Reinforce:      false,
+		RescanSlack:    1,
+		LineSize:       sim.LineSize,
+	}
+}
+
+// adjusted averages the stride-adjusted coverage and accuracy across a
+// result column.
+func adjusted(results [][]*sim.Result, ci int) (cov, acc float64) {
+	for _, row := range results {
+		cov += row[ci].Counters.AdjustedCoverage()
+		acc += row[ci].Counters.AdjustedAccuracy()
+	}
+	n := float64(len(results))
+	return cov / n, acc / n
+}
+
+func runFig7(o Options) *Report {
+	// The paper's horizontal axis: compare.filter combinations.
+	combos := [][2]int{
+		{8, 0}, {8, 2}, {8, 4}, {8, 6}, {8, 8},
+		{9, 0}, {9, 1}, {9, 3}, {9, 5}, {9, 7},
+		{10, 0}, {10, 2}, {10, 4}, {10, 6},
+		{11, 0}, {11, 1}, {11, 3}, {11, 5},
+		{12, 0}, {12, 2}, {12, 4},
+	}
+	specs := o.sweepSpecs()
+	cfgs := make([]sim.Config, len(combos))
+	xs := make([]string, len(combos))
+	for i, cf := range combos {
+		m := core.MatchConfig{CompareBits: cf[0], FilterBits: cf[1], AlignBits: 1, ScanStep: 2}
+		cfgs[i] = baseConfig(o).WithContent(tuningContent(m))
+		xs[i] = fmt.Sprintf("%02d.%d", cf[0], cf[1])
+	}
+	results := runMatrix(o, specs, cfgs)
+
+	covS := make([]float64, len(combos))
+	accS := make([]float64, len(combos))
+	bestI, bestScore := 0, -1.0
+	for i := range combos {
+		covS[i], accS[i] = adjusted(results, i)
+		if score := covS[i] * accS[i]; score > bestScore {
+			bestScore, bestI = score, i
+		}
+	}
+	text := report.Series(
+		"Figure 7: adjusted prefetch coverage and accuracy vs compare.filter bits",
+		"cmp.flt", xs, []string{"adj-coverage", "adj-accuracy"}, [][]float64{covS, accS})
+	text += fmt.Sprintf("\nBest coverage/accuracy trade-off: %s (paper selects 08.4).\n", xs[bestI])
+	return &Report{ID: "fig7", Title: "Figure 7", Text: text}
+}
+
+func runFig8(o Options) *Report {
+	// Align bits x scan step at fixed 8 compare / 4 filter bits.
+	aligns := []int{0, 1, 2, 4}
+	steps := []int{1, 2, 4}
+	specs := o.sweepSpecs()
+	var cfgs []sim.Config
+	var xs []string
+	for _, st := range steps {
+		for _, al := range aligns {
+			m := core.MatchConfig{CompareBits: 8, FilterBits: 4, AlignBits: al, ScanStep: st}
+			cfgs = append(cfgs, baseConfig(o).WithContent(tuningContent(m)))
+			xs = append(xs, fmt.Sprintf("8.4.%d.%d", al, st))
+		}
+	}
+	results := runMatrix(o, specs, cfgs)
+
+	covS := make([]float64, len(cfgs))
+	accS := make([]float64, len(cfgs))
+	bestI, bestScore := 0, -1.0
+	for i := range cfgs {
+		covS[i], accS[i] = adjusted(results, i)
+		if score := covS[i] * accS[i]; score > bestScore {
+			bestScore, bestI = score, i
+		}
+	}
+	text := report.Series(
+		"Figure 8: adjusted coverage and accuracy vs align bits and scan step (compare 8, filter 4)",
+		"cfg", xs, []string{"adj-coverage", "adj-accuracy"}, [][]float64{covS, accS})
+	text += fmt.Sprintf("\nBest coverage/accuracy trade-off: %s (paper selects 8.4.1.2).\n", xs[bestI])
+	return &Report{ID: "fig8", Title: "Figure 8", Text: text}
+}
+
+// avgCounters is a test hook summing a counter across a column.
+func sumColumn(results [][]*sim.Result, ci int, f func(*stats.Counters) uint64) uint64 {
+	var n uint64
+	for _, row := range results {
+		n += f(row[ci].Counters)
+	}
+	return n
+}

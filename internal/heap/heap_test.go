@@ -1,0 +1,229 @@
+package heap
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/mem"
+)
+
+func newAlloc() *Allocator {
+	return NewAllocator(mem.NewAddressSpace(), 0x1000_0000, 0x4000_0000)
+}
+
+func TestAllocAlignmentAndMapping(t *testing.T) {
+	a := newAlloc()
+	p := a.Alloc(24, 8)
+	if p%8 != 0 {
+		t.Fatalf("addr %#x not 8-aligned", p)
+	}
+	q := a.Alloc(100, 64)
+	if q%64 != 0 {
+		t.Fatalf("addr %#x not 64-aligned", q)
+	}
+	if q < p+24 {
+		t.Fatalf("allocations overlap: %#x then %#x", p, q)
+	}
+	if _, ok := a.Space().Translate(q + 99); !ok {
+		t.Fatal("allocated bytes must be mapped")
+	}
+}
+
+func TestAllocDisjointQuick(t *testing.T) {
+	a := newAlloc()
+	type span struct{ base, size uint32 }
+	var spans []span
+	f := func(sz16 uint16) bool {
+		size := uint32(sz16%512) + 1
+		base := a.Alloc(size, 4)
+		for _, s := range spans {
+			if base < s.base+s.size && s.base < base+size {
+				return false
+			}
+		}
+		spans = append(spans, span{base, size})
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBuildListChain(t *testing.T) {
+	a := newAlloc()
+	rng := rand.New(rand.NewSource(1))
+	l := BuildList(a, rng, ListSpec{Nodes: 500, NodeSize: 48, NextOff: 8, Fill: DefaultFill})
+	img := a.Space().Img
+	cur := l.Head
+	for i := 0; i < 500; i++ {
+		if cur != l.Nodes[i] {
+			t.Fatalf("node %d: chain %#x != recorded %#x", i, cur, l.Nodes[i])
+		}
+		if cur%4 != 0 {
+			t.Fatalf("node %d address %#x not 4-aligned", i, cur)
+		}
+		cur = img.Read32(cur + l.NextOff)
+	}
+	if cur != 0 {
+		t.Fatalf("list not nil-terminated: tail next = %#x", cur)
+	}
+}
+
+func TestBuildListScattered(t *testing.T) {
+	a := newAlloc()
+	rng := rand.New(rand.NewSource(2))
+	l := BuildList(a, rng, ListSpec{Nodes: 1000, NodeSize: 64, NextOff: 0, Fill: DefaultFill})
+	// Count how many logical successors are the physically adjacent node;
+	// scattering should make that rare.
+	adjacent := 0
+	for i := 0; i+1 < len(l.Nodes); i++ {
+		if l.Nodes[i+1] == l.Nodes[i]+64 {
+			adjacent++
+		}
+	}
+	if adjacent > 20 {
+		t.Fatalf("layout too sequential: %d/999 adjacent successors", adjacent)
+	}
+}
+
+func TestBuildListSequential(t *testing.T) {
+	a := newAlloc()
+	rng := rand.New(rand.NewSource(3))
+	l := BuildList(a, rng, ListSpec{Nodes: 100, NodeSize: 32, NextOff: 4, Seq: true})
+	for i := 0; i+1 < len(l.Nodes); i++ {
+		if l.Nodes[i+1] != l.Nodes[i]+32 {
+			t.Fatalf("sequential layout broken at node %d", i)
+		}
+	}
+}
+
+func TestBuildTreeSearchable(t *testing.T) {
+	a := newAlloc()
+	rng := rand.New(rand.NewSource(4))
+	tr := BuildTree(a, rng, TreeSpec{Nodes: 2048, NodeSize: 32, KeyOff: 0, LeftOff: 8, RightOff: 12, Fill: DefaultFill})
+	img := a.Space().Img
+	// Every key must be findable by BST descent.
+	for _, key := range []uint32{0, 1, 777, 1024, 2047} {
+		cur := tr.Root
+		for cur != 0 {
+			k := img.Read32(cur + tr.KeyOff)
+			if k == key {
+				break
+			}
+			if key < k {
+				cur = img.Read32(cur + tr.LeftOff)
+			} else {
+				cur = img.Read32(cur + tr.RightOff)
+			}
+		}
+		if cur == 0 {
+			t.Fatalf("key %d not reachable", key)
+		}
+		if cur != tr.Nodes[key] {
+			t.Fatalf("key %d found at %#x, want %#x", key, cur, tr.Nodes[key])
+		}
+	}
+}
+
+func TestBuildTreeDepthReasonable(t *testing.T) {
+	a := newAlloc()
+	rng := rand.New(rand.NewSource(5))
+	n := 4096
+	tr := BuildTree(a, rng, TreeSpec{Nodes: n, NodeSize: 24, KeyOff: 0, LeftOff: 4, RightOff: 8})
+	img := a.Space().Img
+	var maxDepth int
+	var walk func(node uint32, d int)
+	count := 0
+	walk = func(node uint32, d int) {
+		if node == 0 {
+			return
+		}
+		count++
+		if d > maxDepth {
+			maxDepth = d
+		}
+		walk(img.Read32(node+tr.LeftOff), d+1)
+		walk(img.Read32(node+tr.RightOff), d+1)
+	}
+	walk(tr.Root, 1)
+	if count != n {
+		t.Fatalf("tree has %d reachable nodes, want %d", count, n)
+	}
+	if maxDepth > 60 { // random insertion: expected ~2.99 log2(n) ≈ 36
+		t.Fatalf("tree degenerate: depth %d", maxDepth)
+	}
+}
+
+func TestBuildHashChains(t *testing.T) {
+	a := newAlloc()
+	rng := rand.New(rand.NewSource(6))
+	h := BuildHash(a, rng, HashSpec{Buckets: 64, Entries: 640, NodeSize: 40, NextOff: 4, KeyOff: 0, Fill: DefaultFill})
+	img := a.Space().Img
+	total := 0
+	for b := 0; b < h.Buckets; b++ {
+		cur := img.Read32(h.BucketBase + uint32(b)*mem.WordSize)
+		n := 0
+		for cur != 0 {
+			n++
+			if n > 1000 {
+				t.Fatalf("bucket %d: cycle suspected", b)
+			}
+			cur = img.Read32(cur + h.NextOff)
+		}
+		if n != h.ChainLen[b] {
+			t.Fatalf("bucket %d chain length %d, recorded %d", b, n, h.ChainLen[b])
+		}
+		total += n
+	}
+	if total != 640 {
+		t.Fatalf("total entries %d, want 640", total)
+	}
+}
+
+func TestBuildArray(t *testing.T) {
+	a := newAlloc()
+	rng := rand.New(rand.NewSource(7))
+	ar := BuildArray(a, rng, 256, 16, Fill{SmallInts: 1})
+	if ar.Elem(0) != ar.Base || ar.Elem(10) != ar.Base+160 {
+		t.Fatal("Elem addressing wrong")
+	}
+	img := a.Space().Img
+	for i := 0; i < 256*16/4; i++ {
+		v := img.Read32(ar.Base + uint32(i*4))
+		if v >= 4096 {
+			t.Fatalf("SmallInts-only fill produced %#x", v)
+		}
+	}
+}
+
+func TestFillMix(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	f := Fill{SmallInts: 0.5, Negatives: 0.2, Random: 0.1}
+	var small, neg, zero, other int
+	for i := 0; i < 10000; i++ {
+		w := f.word(rng)
+		switch {
+		case w == 0:
+			zero++
+		case w < 4096:
+			small++
+		case w >= 0xFFFF_F000:
+			neg++
+		default:
+			other++
+		}
+	}
+	if small < 4000 || small > 6000 {
+		t.Fatalf("small ints %d/10000, want ~5000", small)
+	}
+	if neg < 1200 || neg > 2800 {
+		t.Fatalf("negatives %d/10000, want ~2000", neg)
+	}
+	if zero < 1200 {
+		t.Fatalf("zeros %d/10000, want ~2000", zero)
+	}
+	if other == 0 {
+		t.Fatal("no random words produced")
+	}
+}

@@ -1,0 +1,152 @@
+// Package markov implements the 1-history Markov prefetcher of Joseph &
+// Grunwald (ISCA 1997) as configured in Section 5 of the paper: a State
+// Transition Table (STAB) with a fan-out of four successors per miss
+// address, LRU-managed both across entries and within each entry's
+// successor list. It is the stateful, training-bound comparator against
+// which the stateless content prefetcher is evaluated (Table 3, Figure 11).
+//
+// The STAB observes the L2 demand-miss stream at cache-line granularity.
+// On a miss to line M it (a) records M as a successor of the previous miss
+// and (b) predicts the recorded successors of M as prefetches. Per the
+// paper, the stride prefetcher is given precedence: if the stride engine
+// issued for the triggering reference, the Markov prefetcher is blocked
+// from issuing, reducing redundant prefetches.
+package markov
+
+import (
+	"container/list"
+	"fmt"
+)
+
+// Fanout is the number of successor slots per STAB entry (the paper's
+// configuration).
+const Fanout = 4
+
+// EntryBytes is the modelled hardware cost of one STAB entry, used to
+// convert the paper's byte budgets into entry counts: a 4-byte tag, four
+// 4-byte successors, and ~4 bytes of valid/LRU state.
+const EntryBytes = 24
+
+// EntriesForBudget converts a STAB byte budget (e.g. 512 KiB) to entries.
+func EntriesForBudget(bytes int) int { return bytes / EntryBytes }
+
+// Config sizes the STAB.
+type Config struct {
+	// MaxEntries bounds the table; 0 means unbounded (the paper's
+	// markov_big upper-limit configuration).
+	MaxEntries int
+}
+
+type entry struct {
+	line uint32
+	succ []uint32 // MRU-first, at most Fanout
+	elem *list.Element
+}
+
+// Markov is the STAB prefetcher.
+type Markov struct {
+	cfg      Config
+	table    map[uint32]*entry
+	lru      *list.List // front = MRU entries
+	lastMiss uint32
+	haveLast bool
+
+	observed   uint64
+	predicted  uint64
+	transition uint64
+}
+
+// New builds a Markov prefetcher.
+func New(cfg Config) *Markov {
+	if cfg.MaxEntries < 0 {
+		panic(fmt.Sprintf("markov: negative entry bound %d", cfg.MaxEntries))
+	}
+	return &Markov{cfg: cfg, table: make(map[uint32]*entry), lru: list.New()}
+}
+
+// Config returns the table bound.
+func (m *Markov) Config() Config { return m.cfg }
+
+// Entries reports the current table population.
+func (m *Markov) Entries() int { return len(m.table) }
+
+func (m *Markov) touch(e *entry) {
+	m.lru.MoveToFront(e.elem)
+}
+
+func (m *Markov) get(line uint32, create bool) *entry {
+	if e, ok := m.table[line]; ok {
+		m.touch(e)
+		return e
+	}
+	if !create {
+		return nil
+	}
+	if m.cfg.MaxEntries > 0 && len(m.table) >= m.cfg.MaxEntries {
+		victim := m.lru.Back()
+		ve := victim.Value.(*entry)
+		m.lru.Remove(victim)
+		delete(m.table, ve.line)
+	}
+	e := &entry{line: line}
+	e.elem = m.lru.PushFront(e)
+	m.table[line] = e
+	return e
+}
+
+// ObserveMiss trains on one L2 demand miss (line address) and returns the
+// predicted successor lines to prefetch. strideIssued blocks prediction
+// when the stride prefetcher already issued for this reference, mirroring
+// the sequential stride-then-Markov access of Section 5.
+func (m *Markov) ObserveMiss(line uint32, strideIssued bool) []uint32 {
+	m.observed++
+	// Record the transition lastMiss -> line.
+	if m.haveLast && m.lastMiss != line {
+		e := m.get(m.lastMiss, true)
+		inserted := false
+		for i, s := range e.succ {
+			if s == line { // move to MRU position within the entry
+				copy(e.succ[1:i+1], e.succ[:i])
+				e.succ[0] = line
+				inserted = true
+				break
+			}
+		}
+		if !inserted {
+			if len(e.succ) < Fanout {
+				e.succ = append(e.succ, 0)
+			}
+			copy(e.succ[1:], e.succ[:len(e.succ)-1])
+			e.succ[0] = line
+		}
+		m.transition++
+	}
+	m.lastMiss = line
+	m.haveLast = true
+
+	if strideIssued {
+		return nil
+	}
+	e := m.get(line, false)
+	if e == nil || len(e.succ) == 0 {
+		return nil
+	}
+	out := make([]uint32, len(e.succ))
+	copy(out, e.succ)
+	m.predicted += uint64(len(out))
+	return out
+}
+
+// Stats returns misses observed, transitions recorded and prefetch lines
+// predicted.
+func (m *Markov) Stats() (observed, transitions, predicted uint64) {
+	return m.observed, m.transition, m.predicted
+}
+
+func (m *Markov) String() string {
+	bound := "unbounded"
+	if m.cfg.MaxEntries > 0 {
+		bound = fmt.Sprintf("%d entries", m.cfg.MaxEntries)
+	}
+	return fmt.Sprintf("markov{STAB %s, fanout %d}", bound, Fanout)
+}

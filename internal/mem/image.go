@@ -1,0 +1,154 @@
+// Package mem provides the simulated 32-bit memory substrate used by the
+// whole reproduction: a sparse, page-granular memory image holding the
+// little-endian contents of the simulated address space, plus an IA-32-style
+// two-level page table mapping virtual pages to physical frames.
+//
+// The content-directed prefetcher reads *actual memory contents* (cache-line
+// bytes) to recognise pointers, so workloads materialise real linked data
+// structures in an Image before tracing their traversal.
+package mem
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Architectural constants for the simulated IA-32-like machine.
+const (
+	PageShift = 12
+	PageSize  = 1 << PageShift // 4 KiB pages, as in Table 1
+	PageMask  = PageSize - 1
+	WordSize  = 4 // address-sized words are 32 bits
+)
+
+// Image is a sparse byte-addressable memory, keyed by page. The zero value
+// is an empty memory; reads of unbacked pages return zeros without
+// allocating, so a sparsely touched 4 GiB space stays cheap.
+type Image struct {
+	pages map[uint32]*[PageSize]byte
+}
+
+// NewImage returns an empty memory image.
+func NewImage() *Image {
+	return &Image{pages: make(map[uint32]*[PageSize]byte)}
+}
+
+// page returns the backing page for addr, allocating it if create is set.
+func (m *Image) page(addr uint32, create bool) *[PageSize]byte {
+	pn := addr >> PageShift
+	p := m.pages[pn]
+	if p == nil && create {
+		p = new([PageSize]byte)
+		m.pages[pn] = p
+	}
+	return p
+}
+
+// PageCount reports how many distinct pages are backed.
+func (m *Image) PageCount() int { return len(m.pages) }
+
+// PageNumbers returns the backed page numbers in unspecified order.
+func (m *Image) PageNumbers() []uint32 {
+	out := make([]uint32, 0, len(m.pages))
+	for pn := range m.pages {
+		out = append(out, pn)
+	}
+	return out
+}
+
+// Read8 returns the byte at addr.
+func (m *Image) Read8(addr uint32) byte {
+	p := m.page(addr, false)
+	if p == nil {
+		return 0
+	}
+	return p[addr&PageMask]
+}
+
+// Write8 stores one byte at addr.
+func (m *Image) Write8(addr uint32, v byte) {
+	m.page(addr, true)[addr&PageMask] = v
+}
+
+// Read32 returns the little-endian 32-bit word at addr. The word may
+// straddle a page boundary.
+func (m *Image) Read32(addr uint32) uint32 {
+	if addr&PageMask <= PageSize-WordSize {
+		p := m.page(addr, false)
+		if p == nil {
+			return 0
+		}
+		off := addr & PageMask
+		return binary.LittleEndian.Uint32(p[off : off+4])
+	}
+	var b [4]byte
+	for i := range b {
+		b[i] = m.Read8(addr + uint32(i))
+	}
+	return binary.LittleEndian.Uint32(b[:])
+}
+
+// Write32 stores a little-endian 32-bit word at addr. The word may straddle
+// a page boundary.
+func (m *Image) Write32(addr uint32, v uint32) {
+	if addr&PageMask <= PageSize-WordSize {
+		p := m.page(addr, true)
+		off := addr & PageMask
+		binary.LittleEndian.PutUint32(p[off:off+4], v)
+		return
+	}
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], v)
+	for i := range b {
+		m.Write8(addr+uint32(i), b[i])
+	}
+}
+
+// ReadBytes fills dst with the bytes starting at addr.
+func (m *Image) ReadBytes(addr uint32, dst []byte) {
+	for len(dst) > 0 {
+		off := addr & PageMask
+		n := PageSize - int(off)
+		if n > len(dst) {
+			n = len(dst)
+		}
+		p := m.page(addr, false)
+		if p == nil {
+			for i := 0; i < n; i++ {
+				dst[i] = 0
+			}
+		} else {
+			copy(dst[:n], p[off:int(off)+n])
+		}
+		dst = dst[n:]
+		addr += uint32(n)
+	}
+}
+
+// WriteBytes stores src starting at addr.
+func (m *Image) WriteBytes(addr uint32, src []byte) {
+	for len(src) > 0 {
+		off := addr & PageMask
+		n := PageSize - int(off)
+		if n > len(src) {
+			n = len(src)
+		}
+		p := m.page(addr, true)
+		copy(p[off:int(off)+n], src[:n])
+		src = src[n:]
+		addr += uint32(n)
+	}
+}
+
+// ReadLine copies the size-byte cache line containing addr into a fresh
+// slice. addr is truncated down to the line boundary.
+func (m *Image) ReadLine(addr uint32, size int) []byte {
+	base := addr &^ uint32(size-1)
+	out := make([]byte, size)
+	m.ReadBytes(base, out)
+	return out
+}
+
+func (m *Image) String() string {
+	return fmt.Sprintf("mem.Image{%d pages, %d KiB backed}", len(m.pages), len(m.pages)*PageSize/1024)
+}

@@ -1,0 +1,189 @@
+package mem
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestImageZeroOnUnbacked(t *testing.T) {
+	m := NewImage()
+	if got := m.Read32(0x1234_5678); got != 0 {
+		t.Fatalf("unbacked Read32 = %#x, want 0", got)
+	}
+	if got := m.Read8(0xFFFF_FFFF); got != 0 {
+		t.Fatalf("unbacked Read8 = %#x, want 0", got)
+	}
+	if m.PageCount() != 0 {
+		t.Fatalf("reads must not allocate pages, got %d", m.PageCount())
+	}
+}
+
+func TestImageWord(t *testing.T) {
+	m := NewImage()
+	m.Write32(0x1000, 0xDEAD_BEEF)
+	if got := m.Read32(0x1000); got != 0xDEAD_BEEF {
+		t.Fatalf("Read32 = %#x", got)
+	}
+	// Little-endian byte order.
+	if got := m.Read8(0x1000); got != 0xEF {
+		t.Fatalf("low byte = %#x, want 0xEF", got)
+	}
+	if got := m.Read8(0x1003); got != 0xDE {
+		t.Fatalf("high byte = %#x, want 0xDE", got)
+	}
+}
+
+func TestImageWordStraddlesPage(t *testing.T) {
+	m := NewImage()
+	addr := uint32(PageSize - 2)
+	m.Write32(addr, 0x0102_0304)
+	if got := m.Read32(addr); got != 0x0102_0304 {
+		t.Fatalf("straddling Read32 = %#x", got)
+	}
+	if m.PageCount() != 2 {
+		t.Fatalf("straddling write should back 2 pages, got %d", m.PageCount())
+	}
+}
+
+func TestImageBytesRoundTrip(t *testing.T) {
+	m := NewImage()
+	src := make([]byte, 3*PageSize+17)
+	for i := range src {
+		src[i] = byte(i * 7)
+	}
+	base := uint32(5*PageSize - 100) // straddles several pages
+	m.WriteBytes(base, src)
+	dst := make([]byte, len(src))
+	m.ReadBytes(base, dst)
+	if !bytes.Equal(src, dst) {
+		t.Fatal("ReadBytes != WriteBytes round trip")
+	}
+}
+
+func TestImageReadLine(t *testing.T) {
+	m := NewImage()
+	m.Write32(0x2040, 0xAABB_CCDD)
+	line := m.ReadLine(0x2060, 64) // same 64B line as 0x2040
+	if len(line) != 64 {
+		t.Fatalf("line len = %d", len(line))
+	}
+	got := uint32(line[0x00]) | uint32(line[0x01])<<8 | uint32(line[0x02])<<16 | uint32(line[0x03])<<24
+	// 0x2040 is the line base for 0x2060 with 64-byte lines.
+	if got != 0xAABB_CCDD {
+		t.Fatalf("line word = %#x", got)
+	}
+}
+
+func TestImageWordRoundTripQuick(t *testing.T) {
+	m := NewImage()
+	f := func(addr, v uint32) bool {
+		m.Write32(addr, v)
+		return m.Read32(addr) == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestImageOverlappingWritesLastWins(t *testing.T) {
+	m := NewImage()
+	m.Write32(0x100, 0x1111_1111)
+	m.Write8(0x101, 0xFF)
+	if got := m.Read32(0x100); got != 0x1111_FF11 {
+		t.Fatalf("Read32 after byte poke = %#x", got)
+	}
+}
+
+func TestAddressSpaceMapTranslate(t *testing.T) {
+	as := NewAddressSpace()
+	va := uint32(0x1000_2345)
+	if _, ok := as.Translate(va); ok {
+		t.Fatal("unmapped page must not translate")
+	}
+	as.MapPage(va)
+	pa, ok := as.Translate(va)
+	if !ok {
+		t.Fatal("mapped page must translate")
+	}
+	if pa&PageMask != va&PageMask {
+		t.Fatalf("page offset not preserved: pa=%#x va=%#x", pa, va)
+	}
+	if pa>>PageShift == va>>PageShift {
+		t.Fatalf("expected VA != PA frame for first mapping, got identical %#x", pa)
+	}
+}
+
+func TestAddressSpaceWalkMatchesTranslate(t *testing.T) {
+	as := NewAddressSpace()
+	vas := []uint32{0x1000_0000, 0x1000_1000, 0xFF00_0010, 0x0000_3000, 0x7FFF_F000}
+	for _, va := range vas {
+		as.MapPage(va)
+	}
+	for _, va := range vas {
+		want, _ := as.Translate(va)
+		refs, frame, ok := as.Walk(va)
+		if !ok {
+			t.Fatalf("walk failed for %#x", va)
+		}
+		if got := frame<<PageShift | va&PageMask; got != want {
+			t.Fatalf("walk(%#x) = %#x, translate = %#x", va, got, want)
+		}
+		// Both walk references must land inside the identity-mapped
+		// page-table region.
+		for _, r := range refs {
+			if r.Addr < PTRegionBase || r.Addr >= PTRegionLimit {
+				t.Fatalf("walk ref %#x outside PT region", r.Addr)
+			}
+		}
+	}
+}
+
+func TestAddressSpaceWalkUnmapped(t *testing.T) {
+	as := NewAddressSpace()
+	as.MapPage(0x1000_0000) // populate one directory entry
+	if _, _, ok := as.Walk(0x2000_0000); ok {
+		t.Fatal("walk of unmapped directory entry must fail")
+	}
+	if _, _, ok := as.Walk(0x1040_0000); ok {
+		// Same directory entry region (one PDE covers 4 MiB) but PTE absent.
+		t.Fatal("walk of unmapped PTE must fail")
+	}
+}
+
+func TestAddressSpaceMapIdempotent(t *testing.T) {
+	as := NewAddressSpace()
+	f1 := as.MapPage(0x5000_0000)
+	f2 := as.MapPage(0x5000_0abc)
+	if f1 != f2 {
+		t.Fatalf("same page mapped to two frames: %d, %d", f1, f2)
+	}
+	if as.MappedPages() != 1 {
+		t.Fatalf("MappedPages = %d, want 1", as.MappedPages())
+	}
+}
+
+func TestAddressSpaceEnsureMapped(t *testing.T) {
+	as := NewAddressSpace()
+	as.EnsureMapped(0x1000_0FF0, 0x20) // straddles a page boundary
+	if as.MappedPages() != 2 {
+		t.Fatalf("MappedPages = %d, want 2", as.MappedPages())
+	}
+	as.EnsureMapped(0x2000_0000, 3*PageSize)
+	if as.MappedPages() != 5 {
+		t.Fatalf("MappedPages = %d, want 5", as.MappedPages())
+	}
+}
+
+func TestDistinctPagesDistinctFrames(t *testing.T) {
+	as := NewAddressSpace()
+	seen := map[uint32]uint32{}
+	for i := uint32(0); i < 64; i++ {
+		va := 0x1000_0000 + i*PageSize
+		f := as.MapPage(va)
+		if prev, dup := seen[f]; dup {
+			t.Fatalf("frame %d reused by %#x and %#x", f, prev, va)
+		}
+		seen[f] = va
+	}
+}

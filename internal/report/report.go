@@ -1,0 +1,140 @@
+// Package report renders experiment results as fixed-width text tables and
+// simple ASCII series, the formats cmd/experiments prints and EXPERIMENTS.md
+// embeds.
+package report
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is a titled, column-aligned text table.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+	Note    string
+}
+
+// AddRow appends one row; values are stringified with %v, floats with
+// 3-digit precision.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.3f", v)
+		case float32:
+			row[i] = fmt.Sprintf("%.3f", v)
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// Render produces the aligned text form.
+func (t *Table) Render() string {
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "%s\n%s\n", t.Title, strings.Repeat("=", len(t.Title)))
+	}
+	cols := len(t.Headers)
+	for _, r := range t.Rows {
+		if len(r) > cols {
+			cols = len(r)
+		}
+	}
+	width := make([]int, cols)
+	measure := func(row []string) {
+		for i, c := range row {
+			if len(c) > width[i] {
+				width[i] = len(c)
+			}
+		}
+	}
+	measure(t.Headers)
+	for _, r := range t.Rows {
+		measure(r)
+	}
+	writeRow := func(row []string) {
+		for i := 0; i < cols; i++ {
+			cell := ""
+			if i < len(row) {
+				cell = row[i]
+			}
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", width[i], cell)
+		}
+		b.WriteString("\n")
+	}
+	if len(t.Headers) > 0 {
+		writeRow(t.Headers)
+		total := 0
+		for _, w := range width {
+			total += w
+		}
+		b.WriteString(strings.Repeat("-", total+2*(cols-1)))
+		b.WriteString("\n")
+	}
+	for _, r := range t.Rows {
+		writeRow(r)
+	}
+	if t.Note != "" {
+		fmt.Fprintf(&b, "\n%s\n", t.Note)
+	}
+	return b.String()
+}
+
+// Bar renders v in [0, max] as a proportional bar of up to width chars.
+func Bar(v, max float64, width int) string {
+	if max <= 0 || v < 0 {
+		return ""
+	}
+	n := int(v / max * float64(width))
+	if n > width {
+		n = width
+	}
+	return strings.Repeat("#", n)
+}
+
+// Series renders one or more named float series over shared x labels, with
+// an inline bar per value — the textual equivalent of the paper's line
+// charts.
+func Series(title string, xLabel string, xs []string, names []string, series [][]float64) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n%s\n", title, strings.Repeat("=", len(title)))
+	max := 0.0
+	for _, s := range series {
+		for _, v := range s {
+			if v > max {
+				max = v
+			}
+		}
+	}
+	t := &Table{Headers: append([]string{xLabel}, names...)}
+	for i, x := range xs {
+		cells := []any{x}
+		for _, s := range series {
+			if i < len(s) {
+				cells = append(cells, s[i])
+			} else {
+				cells = append(cells, "")
+			}
+		}
+		t.AddRow(cells...)
+	}
+	b.WriteString(t.Render())
+	if len(series) == 1 {
+		b.WriteString("\n")
+		for i, x := range xs {
+			fmt.Fprintf(&b, "%-10s |%s\n", x, Bar(series[0][i], max, 50))
+		}
+	}
+	return b.String()
+}
+
+// Pct formats a fraction as a percentage string.
+func Pct(f float64) string { return fmt.Sprintf("%.1f%%", f*100) }

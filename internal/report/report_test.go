@@ -1,0 +1,85 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableAlignment(t *testing.T) {
+	tb := &Table{
+		Title:   "T",
+		Headers: []string{"name", "value"},
+		Note:    "a note",
+	}
+	tb.AddRow("short", 1.5)
+	tb.AddRow("a-much-longer-name", 42)
+	out := tb.Render()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// Title, underline, header, separator, 2 rows, blank, note.
+	if len(lines) != 8 {
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	if !strings.Contains(out, "1.500") {
+		t.Fatalf("float not formatted:\n%s", out)
+	}
+	if !strings.Contains(out, "a note") {
+		t.Fatal("note missing")
+	}
+	// The value column must start at the same offset in both rows.
+	r1 := lines[4]
+	r2 := lines[5]
+	if strings.Index(r1, "1.500") < len("a-much-longer-name") {
+		t.Fatalf("columns not aligned:\n%s\n%s", r1, r2)
+	}
+}
+
+func TestTableRaggedRows(t *testing.T) {
+	tb := &Table{Headers: []string{"a", "b"}}
+	tb.AddRow("x")
+	tb.AddRow("y", "z", "extra")
+	out := tb.Render()
+	if !strings.Contains(out, "extra") {
+		t.Fatalf("extra cell dropped:\n%s", out)
+	}
+}
+
+func TestBar(t *testing.T) {
+	if got := Bar(5, 10, 10); got != "#####" {
+		t.Fatalf("Bar = %q", got)
+	}
+	if got := Bar(20, 10, 10); got != "##########" {
+		t.Fatalf("Bar overflow = %q", got)
+	}
+	if Bar(1, 0, 10) != "" || Bar(-1, 10, 10) != "" {
+		t.Fatal("degenerate bars must be empty")
+	}
+}
+
+func TestSeriesSingleIncludesBars(t *testing.T) {
+	out := Series("S", "x", []string{"a", "b"}, []string{"v"}, [][]float64{{1, 2}})
+	if !strings.Contains(out, "#") {
+		t.Fatalf("single series missing bars:\n%s", out)
+	}
+	if !strings.Contains(out, "S\n=") {
+		t.Fatalf("title missing:\n%s", out)
+	}
+}
+
+func TestSeriesMulti(t *testing.T) {
+	out := Series("M", "x", []string{"p0", "p1"},
+		[]string{"s1", "s2"}, [][]float64{{1.1, 1.2}, {1.3, 1.4}})
+	for _, want := range []string{"s1", "s2", "1.100", "1.400"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("series missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "#") {
+		t.Fatal("multi series should not draw bars")
+	}
+}
+
+func TestPct(t *testing.T) {
+	if got := Pct(0.1234); got != "12.3%" {
+		t.Fatalf("Pct = %q", got)
+	}
+}

@@ -1,0 +1,59 @@
+package sim
+
+import "container/heap"
+
+// event is one scheduled memory-system action. Events with equal cycles run
+// in scheduling order (seq breaks ties) so the simulation is deterministic.
+type event struct {
+	at  int64
+	seq uint64
+	fn  func(at int64)
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+type scheduler struct {
+	h   eventHeap
+	seq uint64
+}
+
+// schedule runs fn at the given cycle (clamped to be in the future relative
+// to nothing — the caller guarantees monotonicity via Tick).
+func (s *scheduler) schedule(at int64, fn func(int64)) {
+	s.seq++
+	heap.Push(&s.h, event{at: at, seq: s.seq, fn: fn})
+}
+
+// next returns the earliest pending event cycle, or -1.
+func (s *scheduler) next() int64 {
+	if len(s.h) == 0 {
+		return -1
+	}
+	return s.h[0].at
+}
+
+// runUntil executes all events with at <= cycle, including events scheduled
+// by the events themselves when they fall within the bound.
+func (s *scheduler) runUntil(cycle int64) {
+	for len(s.h) > 0 && s.h[0].at <= cycle {
+		e := heap.Pop(&s.h).(event)
+		e.fn(e.at)
+	}
+}

@@ -1,0 +1,599 @@
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/bus"
+	"repro/internal/cache"
+	"repro/internal/core"
+	"repro/internal/markov"
+	"repro/internal/mem"
+	"repro/internal/prefetch"
+	"repro/internal/stats"
+	"repro/internal/tlb"
+)
+
+// strideRecentCap bounds the set of recently stride-requested lines used to
+// compute the stride-adjusted content metrics of Figures 7/8.
+const strideRecentCap = 8192
+
+// MemSystem is the event-driven memory hierarchy below the core. It
+// implements cpu.MemPort.
+type MemSystem struct {
+	cfg   *Config
+	space *mem.AddressSpace
+
+	l1   *cache.Cache
+	l2   *cache.Cache
+	dtlb *tlb.TLB
+
+	fsb  *bus.Bus
+	l2q  *bus.Arbiter
+	busq *bus.Arbiter
+
+	stride *prefetch.Stride
+	cdp    *core.Prefetcher
+	mkv    *markov.Markov
+
+	inflight map[uint32]*bus.Request // by physical line base
+	sched    scheduler
+	reqID    uint64
+	now      int64
+
+	l2PortFree int64
+
+	strideRecent map[uint32]bool
+	strideFIFO   []uint32
+
+	injLCG     uint32
+	lastInject int64
+	nextPumpAt int64 // earliest scheduled pump event (0 = none)
+
+	st   *stats.Counters
+	mptu *stats.MPTUSeries
+}
+
+// NewMemSystem builds the memory hierarchy for cfg over the given address
+// space.
+func NewMemSystem(cfg *Config, space *mem.AddressSpace, st *stats.Counters, mptu *stats.MPTUSeries) *MemSystem {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	ms := &MemSystem{
+		cfg:          cfg,
+		space:        space,
+		l1:           cache.New(cfg.L1),
+		l2:           cache.New(cfg.L2),
+		dtlb:         tlb.New(cfg.TLB),
+		fsb:          bus.NewBus(cfg.BusLatency, cfg.BusOccupancy),
+		l2q:          bus.NewArbiter("l2", cfg.L2QueueSize),
+		busq:         bus.NewArbiter("bus", cfg.BusQueueSize),
+		inflight:     make(map[uint32]*bus.Request),
+		strideRecent: make(map[uint32]bool),
+		injLCG:       0x2545_F491,
+		lastInject:   -1,
+		st:           st,
+		mptu:         mptu,
+	}
+	if cfg.Stride != nil {
+		ms.stride = prefetch.NewStride(*cfg.Stride)
+	}
+	if cfg.Content != nil {
+		ms.cdp = core.New(*cfg.Content)
+	}
+	if cfg.Markov != nil {
+		ms.mkv = markov.New(*cfg.Markov)
+	}
+	return ms
+}
+
+// Content returns the content prefetcher (nil if disabled); experiments use
+// it for scanner-activity stats.
+func (ms *MemSystem) Content() *core.Prefetcher { return ms.cdp }
+
+// TLBStats exposes translation hit/miss counts.
+func (ms *MemSystem) TLBStats() (hits, misses uint64) { return ms.dtlb.Stats() }
+
+func lineBase(addr uint32) uint32 { return addr &^ uint32(LineSize-1) }
+
+// Tick implements cpu.MemPort: process all memory events up to cycle.
+func (ms *MemSystem) Tick(cycle int64) {
+	if cycle > ms.now {
+		ms.now = cycle
+	}
+	ms.sched.runUntil(cycle)
+}
+
+// NextEvent implements cpu.MemPort.
+func (ms *MemSystem) NextEvent() int64 { return ms.sched.next() }
+
+// reserveL2 serialises accesses through the single L2 port (Table 1: L2
+// throughput one access per cycle) and returns the access's effective
+// cycle. Rescan storms therefore delay other L2 work, which is the cost the
+// paper attributes to reinforcement.
+func (ms *MemSystem) reserveL2(at int64) int64 {
+	if ms.l2PortFree < at {
+		ms.l2PortFree = at
+	}
+	slot := ms.l2PortFree
+	ms.l2PortFree++
+	return slot
+}
+
+func srcOf(c bus.Class) cache.Source {
+	switch c {
+	case bus.ClassStride:
+		return cache.SrcStride
+	case bus.ClassContent:
+		return cache.SrcContent
+	case bus.ClassMarkov:
+		return cache.SrcMarkov
+	default:
+		return cache.SrcDemand
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Demand path
+
+// Load implements cpu.MemPort.
+func (ms *MemSystem) Load(cycle int64, va, pc uint32, done func(int64)) {
+	ms.st.DemandLoads++
+	if l := ms.l1.Lookup(va, true); l != nil {
+		ms.st.L1Hits++
+		done(cycle + ms.cfg.L1Lat)
+		return
+	}
+	ms.st.L1Misses++
+	strideIssued := ms.observeStride(cycle, pc, va)
+	ms.translate(cycle, va, false, func(at int64, pa uint32, ok bool) {
+		if !ok {
+			// Demand access to an unmapped page: return junk after an
+			// L2-latency delay. Valid traces never hit this path.
+			done(at + ms.cfg.L2Lat)
+			return
+		}
+		ms.l2Access(at, pa, va, done, strideIssued, false)
+	})
+}
+
+// Store implements cpu.MemPort. Stores are committed (post-retirement), so
+// nothing waits on them except the store-buffer slot.
+func (ms *MemSystem) Store(cycle int64, va, pc uint32, done func(int64)) {
+	if l := ms.l1.Lookup(va, true); l != nil {
+		l.Dirty = true
+		done(cycle + ms.cfg.L1Lat)
+		return
+	}
+	strideIssued := ms.observeStride(cycle, pc, va)
+	ms.translate(cycle, va, false, func(at int64, pa uint32, ok bool) {
+		if !ok {
+			done(at + ms.cfg.L2Lat)
+			return
+		}
+		ms.l2Access(at, pa, va, done, strideIssued, true)
+	})
+}
+
+// observeStride trains the stride prefetcher on an L1 miss and issues its
+// predictions. It reports whether any stride prefetch entered the memory
+// system for this reference (the Markov blocking condition).
+func (ms *MemSystem) observeStride(cycle int64, pc, va uint32) bool {
+	if ms.stride == nil {
+		return false
+	}
+	issued := false
+	for _, pva := range ms.stride.ObserveMiss(pc, va) {
+		// The stride engine translates through the DTLB; a prefetch
+		// whose page is not resident is dropped (no speculative walk
+		// for stride requests).
+		pa, ok := ms.dtlb.Lookup(pva)
+		if !ok {
+			ms.st.PrefDroppedUnmapped++
+			continue
+		}
+		ms.noteStrideLine(lineBase(pa))
+		if ms.enqueuePrefetch(cycle, pa, pva, pva, bus.ClassStride, 0, false) {
+			issued = true
+		}
+	}
+	return issued
+}
+
+// noteStrideLine records a stride-requested physical line for the
+// adjusted-metric overlap test.
+func (ms *MemSystem) noteStrideLine(paBase uint32) {
+	if ms.strideRecent[paBase] {
+		return
+	}
+	ms.strideRecent[paBase] = true
+	ms.strideFIFO = append(ms.strideFIFO, paBase)
+	if len(ms.strideFIFO) > strideRecentCap {
+		old := ms.strideFIFO[0]
+		ms.strideFIFO = ms.strideFIFO[1:]
+		delete(ms.strideRecent, old)
+	}
+}
+
+// translate resolves va through the DTLB, walking the page table on a miss.
+// cont receives the completion cycle, the physical address, and whether the
+// page is mapped. speculative marks content-prefetch walks (accounted
+// separately and charged to the prefetcher, not the demand stream).
+func (ms *MemSystem) translate(cycle int64, va uint32, speculative bool, cont func(at int64, pa uint32, ok bool)) {
+	if pa, ok := ms.dtlb.Lookup(va); ok {
+		cont(cycle, pa, true)
+		return
+	}
+	if speculative {
+		ms.st.CDPWalks++
+	} else {
+		ms.st.Walks++
+	}
+	refs, frame, ok := ms.space.Walk(va)
+	// First level: page-directory entry.
+	ms.ptRead(cycle, refs[0].Addr, func(at1 int64) {
+		if refs[0].Value&mem.PresentBit == 0 {
+			cont(at1, 0, false)
+			return
+		}
+		// Second level: page-table entry.
+		ms.ptRead(at1, refs[1].Addr, func(at2 int64) {
+			if !ok {
+				cont(at2, 0, false)
+				return
+			}
+			if speculative {
+				ms.dtlb.InsertCold(va, frame)
+			} else {
+				ms.dtlb.Insert(va, frame)
+			}
+			cont(at2, frame<<mem.PageShift|va&mem.PageMask, true)
+		})
+	})
+}
+
+// ptRead fetches one page-table line through the L2. Page-walk fills bypass
+// the content scanner (Section 3.5: page tables are full of pointers).
+func (ms *MemSystem) ptRead(cycle int64, pa uint32, cont func(at int64)) {
+	slot := ms.reserveL2(cycle)
+	if ms.l2.Lookup(pa, true) != nil {
+		cont(slot + ms.cfg.L2Lat)
+		return
+	}
+	paBase := lineBase(pa)
+	if req := ms.inflight[paBase]; req != nil {
+		req.Waiters = append(req.Waiters, cont)
+		return
+	}
+	ms.reqID++
+	req := &bus.Request{
+		ID: ms.reqID, PABase: paBase, VABase: paBase, TrigVA: pa,
+		Class: bus.ClassDemand, PageWalk: true, Enqueued: slot,
+		Waiters: []func(int64){cont},
+	}
+	ms.enqueueDemandReq(slot, req)
+}
+
+// l2Access handles a demand load or store at the (physically indexed) L2.
+func (ms *MemSystem) l2Access(at int64, pa, va uint32, done func(int64), strideIssued, isStore bool) {
+	slot := ms.reserveL2(at)
+	if l := ms.l2.Lookup(pa, true); l != nil {
+		if !isStore {
+			ms.st.L2Hits++
+		}
+		if isStore {
+			l.Dirty = true
+		}
+		ms.consumeHit(l, va, slot, isStore)
+		ms.l1.Fill(va, cache.Line{Source: cache.SrcDemand, VA: lineBase(va), Dirty: isStore})
+		done(slot + ms.cfg.L2Lat)
+		return
+	}
+	// UL2 miss.
+	if !isStore {
+		ms.st.L2Misses++
+		ms.mptu.Record(ms.st.RetiredUops)
+	}
+	if ms.mkv != nil {
+		for _, lv := range ms.mkv.ObserveMiss(lineBase(va), strideIssued) {
+			ms.issueMarkovPrefetch(slot, lv)
+		}
+	}
+	paBase := lineBase(pa)
+	if req := ms.inflight[paBase]; req != nil {
+		// A matching transaction is in flight. If it is a prefetch, the
+		// demand promotes it to demand priority and depth (positive
+		// reinforcement; its latency was partially masked).
+		if req.Class.IsPrefetch() {
+			src := srcOf(req.Class)
+			if !req.DemandWaited && !isStore {
+				ms.st.PartialHits[src]++
+				ms.st.PrefUseful[src]++
+				if req.Overlap {
+					ms.st.CDPOverlapUseful++
+				}
+				if src == cache.SrcContent && ms.cdp != nil {
+					ms.cdp.ResolvePrefetch(true)
+					total := req.Arrive - req.Enqueued
+					if req.Arrive == 0 {
+						// Not yet granted: the demand waits the whole
+						// round trip minus queue time already served.
+						total = ms.cfg.BusLatency
+					}
+					elapsed := slot - req.Enqueued
+					if total > 0 {
+						ms.st.RecordMask(float64(elapsed) / float64(total))
+					}
+				}
+			}
+			req.DemandWaited = true
+			req.Class = bus.ClassDemand
+			req.Depth = 0
+		}
+		req.Waiters = append(req.Waiters, done)
+		return
+	}
+	if !isStore {
+		ms.st.MissNoPF++
+	}
+	ms.reqID++
+	req := &bus.Request{
+		ID: ms.reqID, PABase: paBase, VABase: lineBase(va), TrigVA: va,
+		Class: bus.ClassDemand, IsStore: isStore, Enqueued: slot,
+		Waiters: []func(int64){done},
+	}
+	ms.enqueueDemandReq(slot, req)
+}
+
+// consumeHit applies first-touch timeliness classification and the
+// reinforcement rules to an L2 hit.
+func (ms *MemSystem) consumeHit(l *cache.Line, va uint32, slot int64, isStore bool) {
+	if l.Prefetched {
+		src := l.Source
+		ms.st.PrefUseful[src]++
+		if !isStore {
+			ms.st.FullHits[src]++
+		}
+		if l.Overlap {
+			ms.st.CDPOverlapUseful++
+		}
+		if src == cache.SrcContent && ms.cdp != nil {
+			ms.cdp.ResolvePrefetch(true)
+			ms.st.RecordMask(1.0)
+		}
+		l.Prefetched = false
+	}
+	if ms.cdp != nil && l.Depth > 0 {
+		nd, rescan := ms.cdp.OnCacheHit(int(l.Depth), 0)
+		if nd != int(l.Depth) {
+			l.Depth = uint8(nd)
+			ms.st.PromotedDepths++
+		}
+		if rescan {
+			ms.st.Rescans++
+			lineVA := l.VA
+			depth := nd
+			hitVA := va
+			// The rescan consumes its own L2 port slot shortly after
+			// the hit (read port pressure).
+			rs := ms.reserveL2(slot + ms.cfg.L2Lat)
+			ms.sched.schedule(rs, func(at int64) {
+				ms.scanAndIssue(at, hitVA, depth, lineVA)
+			})
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Prefetch issue
+
+// scanAndIssue runs the content scanner over the line at lineVA and issues
+// the resulting candidates.
+func (ms *MemSystem) scanAndIssue(at int64, trigVA uint32, depth int, lineVA uint32) {
+	if ms.cdp == nil {
+		return
+	}
+	line := ms.space.Img.ReadLine(lineVA, LineSize)
+	for _, cand := range ms.cdp.OnFill(trigVA, depth, lineVA, line) {
+		ms.issueContentPrefetch(at, cand)
+	}
+}
+
+// issueContentPrefetch translates and enqueues one content candidate. A
+// translation miss triggers a speculative page walk (the TLB-prefetching
+// side effect of Section 4.2.2); an unmapped candidate — a data value that
+// happened to look like a pointer — is dropped.
+func (ms *MemSystem) issueContentPrefetch(at int64, cand core.Candidate) {
+	if !ms.dtlb.Probe(cand.VA) {
+		ms.st.CDPNeedWalk++
+	}
+	ms.translate(at, cand.VA, true, func(at2 int64, pa uint32, ok bool) {
+		if !ok {
+			ms.st.PrefDroppedUnmapped++
+			return
+		}
+		overlap := ms.strideRecent[lineBase(pa)]
+		if ms.enqueuePrefetch2(at2, pa, cand.VA, cand.Pointer, bus.ClassContent, cand.Depth, overlap, cand.Widened) && overlap {
+			ms.st.CDPOverlapIssued++
+		}
+	})
+}
+
+// issueMarkovPrefetch enqueues one Markov-predicted line (VA-keyed; the
+// STAB is modelled as translation-free, so the software map is consulted
+// directly, and unmapped predictions are dropped).
+func (ms *MemSystem) issueMarkovPrefetch(at int64, lineVA uint32) {
+	pa, ok := ms.space.Translate(lineVA)
+	if !ok {
+		ms.st.PrefDroppedUnmapped++
+		return
+	}
+	ms.enqueuePrefetch(at, pa, lineVA, lineVA, bus.ClassMarkov, 0, false)
+}
+
+// enqueuePrefetch applies the drop rules (already present, already in
+// flight, queue full) and enqueues a prefetch. Reports whether the request
+// entered the memory system.
+func (ms *MemSystem) enqueuePrefetch(at int64, pa, va, trigVA uint32, class bus.Class, depth int, overlap bool) bool {
+	return ms.enqueuePrefetch2(at, pa, va, trigVA, class, depth, overlap, false)
+}
+
+// enqueuePrefetch2 additionally marks widened (next-/prev-line) requests,
+// whose fills are not scanned.
+func (ms *MemSystem) enqueuePrefetch2(at int64, pa, va, trigVA uint32, class bus.Class, depth int, overlap, widened bool) bool {
+	if ms.l2.Lookup(pa, false) != nil {
+		ms.st.PrefDroppedPresent++
+		return false
+	}
+	paBase := lineBase(pa)
+	if ms.inflight[paBase] != nil {
+		ms.st.PrefDroppedInflight++
+		return false
+	}
+	if ms.l2q.Full() {
+		ms.st.PrefDroppedQueue++
+		return false
+	}
+	ms.reqID++
+	req := &bus.Request{
+		ID: ms.reqID, PABase: paBase, VABase: lineBase(va), TrigVA: trigVA,
+		Class: class, Depth: depth, Overlap: overlap, Widened: widened, Enqueued: at,
+	}
+	ms.l2q.Enqueue(req)
+	ms.inflight[paBase] = req
+	ms.st.PrefIssued[srcOf(class)]++
+	ms.pump(at)
+	return true
+}
+
+// enqueueDemandReq inserts a demand-class request, squashing the
+// lowest-priority queued prefetch when the L2 queue is full.
+func (ms *MemSystem) enqueueDemandReq(at int64, req *bus.Request) {
+	squashed, ok := ms.l2q.EnqueueDemand(req)
+	if squashed != nil {
+		delete(ms.inflight, squashed.PABase)
+		ms.st.PrefSquashed++
+	}
+	if !ok {
+		// The L2 queue is full of demand requests — with a 128-entry
+		// queue and a 48-entry load buffer this cannot happen; treat
+		// as a model invariant violation.
+		panic(fmt.Sprintf("sim: L2 queue full of demands at cycle %d", at))
+	}
+	ms.inflight[req.PABase] = req
+	ms.pump(at)
+}
+
+// ---------------------------------------------------------------------------
+// Bus scheduling
+
+// pump moves requests from the L2 queue into the bus queue and starts a
+// transfer if the bus is idle. If work remains while the bus is busy, a
+// follow-up pump is scheduled for the bus-free time, so no request can be
+// stranded (write-backs advance the bus clock without their own pump).
+func (ms *MemSystem) pump(at int64) {
+	if ms.nextPumpAt == at {
+		ms.nextPumpAt = 0
+	}
+	for !ms.busq.Full() && ms.l2q.Len() > 0 {
+		ms.busq.Enqueue(ms.l2q.PopBest())
+	}
+	if ms.fsb.Idle(at) {
+		ms.grant(at)
+	}
+	if (ms.busq.Len() > 0 || ms.l2q.Len() > 0) && !ms.fsb.Idle(at) {
+		ms.schedulePump(ms.fsb.FreeAt())
+	}
+}
+
+// schedulePump arms a pump event at cycle t unless an earlier or equal one
+// is already pending.
+func (ms *MemSystem) schedulePump(t int64) {
+	if ms.nextPumpAt != 0 && ms.nextPumpAt <= t {
+		return
+	}
+	ms.nextPumpAt = t
+	ms.sched.schedule(t, func(at int64) { ms.pump(at) })
+}
+
+// grant starts the highest-priority transfer at cycle at, or injects a bad
+// prefetch when the limit study is active and the queues are empty.
+func (ms *MemSystem) grant(at int64) {
+	req := ms.busq.PopBest()
+	if req == nil && ms.l2q.Len() > 0 {
+		req = ms.l2q.PopBest()
+	}
+	if req == nil {
+		if ms.cfg.InjectBadPrefetches && at != ms.lastInject {
+			ms.lastInject = at
+			req = ms.makeInjectedRequest()
+		} else {
+			return
+		}
+	}
+	start, arrive := ms.fsb.Grant(at)
+	req.Granted = start
+	req.Arrive = arrive
+	ms.sched.schedule(arrive, func(t int64) { ms.fillArrive(t, req) })
+	ms.schedulePump(ms.fsb.FreeAt())
+}
+
+// makeInjectedRequest fabricates a pollution prefetch to a pseudo-random
+// physical line (Section 3.5's limit study).
+func (ms *MemSystem) makeInjectedRequest() *bus.Request {
+	ms.injLCG = ms.injLCG*1664525 + 1013904223
+	pa := lineBase(ms.injLCG)
+	ms.reqID++
+	ms.st.InjectedPrefetches++
+	return &bus.Request{
+		ID: ms.reqID, PABase: pa, VABase: pa, TrigVA: pa,
+		Class: bus.ClassContent, Depth: 3, Injected: true,
+	}
+}
+
+// fillArrive completes one bus transaction: fill the L2 (and the L1 for
+// demands), wake waiters, and hand a copy of the line to the content
+// scanner.
+func (ms *MemSystem) fillArrive(at int64, req *bus.Request) {
+	delete(ms.inflight, req.PABase)
+	fillSlot := ms.reserveL2(at)
+	_ = fillSlot // the fill consumes an L2 port slot; data is usable at `at`
+
+	src := srcOf(req.Class)
+	meta := cache.Line{
+		Source:     src,
+		Prefetched: req.Class.IsPrefetch(),
+		Depth:      uint8(req.Depth),
+		VA:         req.VABase,
+		Dirty:      req.IsStore,
+		Overlap:    req.Overlap,
+	}
+	if req.PageWalk {
+		meta = cache.Line{Source: cache.SrcDemand, VA: req.VABase}
+	}
+	evicted := ms.l2.Fill(req.PABase, meta)
+	if evicted.Valid {
+		if evicted.Prefetched {
+			ms.st.PrefEvictedUnused[evicted.Source]++
+			if evicted.Source == cache.SrcContent && ms.cdp != nil {
+				ms.cdp.ResolvePrefetch(false)
+			}
+		}
+		if evicted.Dirty {
+			// Write-back consumes bus bandwidth but nothing waits on it.
+			ms.fsb.Grant(at)
+			ms.schedulePump(ms.fsb.FreeAt())
+		}
+	}
+	if req.Class == bus.ClassDemand && !req.PageWalk {
+		ms.l1.Fill(req.VABase, cache.Line{Source: cache.SrcDemand, VA: req.VABase, Dirty: req.IsStore})
+	}
+	for _, w := range req.Waiters {
+		w(at)
+	}
+	req.Waiters = nil
+	if ms.cdp != nil && !req.PageWalk && !req.Injected && !req.Widened {
+		ms.scanAndIssue(at, req.TrigVA, req.Depth, req.VABase)
+	}
+	ms.pump(at)
+}

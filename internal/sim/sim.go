@@ -1,0 +1,89 @@
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/cpu"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// Result is one complete simulation outcome.
+type Result struct {
+	Config   Config
+	Core     cpu.Result
+	Counters *stats.Counters
+	MPTU     *stats.MPTUSeries
+
+	// MeasuredCycles and MeasuredUops cover the post-warm-up region only
+	// (the paper's measurement methodology, Section 2.2).
+	MeasuredCycles int64
+	MeasuredUops   uint64
+
+	// TLBHits/TLBMisses are lifetime translation counts.
+	TLBHits   uint64
+	TLBMisses uint64
+}
+
+// IPC is retired µops per cycle over the measured region.
+func (r *Result) IPC() float64 {
+	if r.MeasuredCycles == 0 {
+		return 0
+	}
+	return float64(r.MeasuredUops) / float64(r.MeasuredCycles)
+}
+
+// SpeedupOver returns base's measured cycles divided by r's — the paper's
+// speedup metric (relative to the stride-prefetcher baseline).
+func (r *Result) SpeedupOver(base *Result) float64 {
+	if r.MeasuredCycles == 0 {
+		return 0
+	}
+	return float64(base.MeasuredCycles) / float64(r.MeasuredCycles)
+}
+
+func (r *Result) String() string {
+	return fmt.Sprintf("result{%s: %d µops in %d cycles, IPC %.3f, L2 MPTU %.2f}",
+		r.Config.Name, r.MeasuredUops, r.MeasuredCycles, r.IPC(),
+		r.Counters.MPTUFor(r.MeasuredUops))
+}
+
+// Run simulates one checkpoint on one machine configuration.
+func Run(ck *trace.Checkpoint, cfg Config) *Result {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	st := &stats.Counters{}
+	mptu := stats.NewMPTUSeries(cfg.MPTUBucketOps)
+	ms := NewMemSystem(&cfg, ck.Space, st, mptu)
+	c := cpu.New(cfg.Core, st)
+
+	warmDone := cfg.WarmupOps == 0
+	var warmCycle int64
+	c.OnRetire = func(retired uint64, cycle int64) {
+		if !warmDone && retired >= cfg.WarmupOps {
+			warmDone = true
+			warmCycle = cycle
+			st.Reset(cycle)
+		}
+	}
+	coreRes := c.Run(ck.Trace, ms, cfg.MaxOps)
+	st.Cycles = coreRes.Cycles
+	st.WarmCycles = warmCycle
+
+	hits, misses := ms.TLBStats()
+	res := &Result{
+		Config:         cfg,
+		Core:           coreRes,
+		Counters:       st,
+		MPTU:           mptu,
+		MeasuredCycles: coreRes.Cycles - warmCycle,
+		MeasuredUops:   coreRes.Retired,
+		TLBHits:        hits,
+		TLBMisses:      misses,
+	}
+	if cfg.WarmupOps > 0 && coreRes.Retired > cfg.WarmupOps {
+		res.MeasuredUops = coreRes.Retired - cfg.WarmupOps
+	}
+	return res
+}

@@ -1,0 +1,260 @@
+// Package stats collects the measurements the paper's evaluation reports:
+// per-source prefetch usefulness and timeliness (Figure 10), coverage and
+// accuracy — raw and stride-adjusted — for the tuning sweeps (Figures 7 and
+// 8), the MPTU warm-up trace (Figure 1), and the drop/squash accounting of
+// the arbiters.
+package stats
+
+import (
+	"fmt"
+
+	"repro/internal/cache"
+)
+
+// NumSources sizes the per-source counter arrays (demand, stride, content,
+// markov — indexed by cache.Source).
+const NumSources = 4
+
+// Counters aggregates event counts from one simulation. The simulator
+// resets them at the warm-up boundary so reported numbers cover only the
+// measured region, as in the paper (Section 2.2).
+type Counters struct {
+	RetiredUops   uint64 // never reset: drives MPTU bucketing and warm-up
+	RetiredStores uint64
+
+	Cycles     int64 // total cycles (set at end of run)
+	WarmCycles int64 // cycle at which the warm-up boundary passed
+
+	// Demand-load path.
+	DemandLoads uint64 // loads reaching the memory system
+	L1Hits      uint64
+	L1Misses    uint64 // loads accessing the UL2
+	L2Hits      uint64 // demand loads hitting in UL2 (any line)
+	L2Misses    uint64 // demand loads missing in UL2
+
+	// Figure 10 decomposition of UL2 load requests that would have
+	// missed without prefetching.
+	FullHits    [NumSources]uint64 // first demand touch of a prefetched line
+	PartialHits [NumSources]uint64 // demand caught an in-flight prefetch
+	MissNoPF    uint64             // demand miss with no prefetch in flight
+
+	// Prefetcher activity by source.
+	PrefIssued        [NumSources]uint64 // entered the memory queues
+	PrefUseful        [NumSources]uint64 // full or partial hit later
+	PrefEvictedUnused [NumSources]uint64 // evicted before any demand touch
+
+	// Drop accounting (Section 3.5 rules).
+	PrefDroppedPresent  uint64 // line already in UL2
+	PrefDroppedInflight uint64 // matching transaction in flight
+	PrefDroppedQueue    uint64 // arbiter full
+	PrefSquashed        uint64 // removed in favour of a demand request
+	PrefDroppedUnmapped uint64 // candidate pointer to an unmapped page
+
+	// Translation activity.
+	TLBHits     uint64
+	TLBMisses   uint64
+	Walks       uint64 // demand-side page walks
+	CDPWalks    uint64 // speculative walks issued for content candidates
+	CDPNeedWalk uint64 // content prefetches whose translation missed
+
+	// Content-prefetcher feedback activity.
+	Rescans        uint64
+	PromotedDepths uint64
+
+	// Stride-overlap tracking for the adjusted metrics of Figures 7/8:
+	// content prefetches whose target line the stride engine also
+	// requested recently.
+	CDPOverlapIssued uint64
+	CDPOverlapUseful uint64
+
+	// Injection (limit study).
+	InjectedPrefetches uint64
+
+	// MaskBuckets histograms how much of each useful content prefetch's
+	// memory latency was hidden: bucket i covers [i*10%, (i+1)*10%) of
+	// the round trip, bucket 10 is a fully masked (completed-before-use)
+	// prefetch. Backs the paper's Section 4.2.3 timeliness analysis.
+	MaskBuckets [11]uint64
+}
+
+// RecordMask files one useful prefetch's masked-latency fraction.
+func (c *Counters) RecordMask(fraction float64) {
+	i := int(fraction * 10)
+	if i < 0 {
+		i = 0
+	}
+	if i > 10 {
+		i = 10
+	}
+	c.MaskBuckets[i]++
+}
+
+// FullyMaskedShare returns the fraction of useful prefetches that hid the
+// entire memory latency (the paper reports 72%).
+func (c *Counters) FullyMaskedShare() float64 {
+	var total uint64
+	for _, n := range c.MaskBuckets {
+		total += n
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(c.MaskBuckets[10]) / float64(total)
+}
+
+// Reset zeroes the measurement counters at the warm-up boundary, keeping
+// RetiredUops (trace progress) and recording the boundary cycle.
+func (c *Counters) Reset(atCycle int64) {
+	retired := c.RetiredUops
+	*c = Counters{RetiredUops: retired, WarmCycles: atCycle}
+}
+
+// MeasuredCycles returns cycles spent after the warm-up boundary.
+func (c *Counters) MeasuredCycles() int64 { return c.Cycles - c.WarmCycles }
+
+// UsefulPrefetches sums full and partial hits for a source.
+func (c *Counters) UsefulPrefetches(src cache.Source) uint64 {
+	return c.FullHits[src] + c.PartialHits[src]
+}
+
+// WouldMiss returns the Figure 10 denominator: demand UL2 load requests
+// that would have missed without any prefetching.
+func (c *Counters) WouldMiss() uint64 {
+	n := c.MissNoPF
+	for s := 0; s < NumSources; s++ {
+		n += c.FullHits[s] + c.PartialHits[s]
+	}
+	return n
+}
+
+// Coverage returns the fraction of would-be misses covered (fully or
+// partially) by the given source's prefetches (Equation 1).
+func (c *Counters) Coverage(src cache.Source) float64 {
+	d := c.WouldMiss()
+	if d == 0 {
+		return 0
+	}
+	return float64(c.UsefulPrefetches(src)) / float64(d)
+}
+
+// Accuracy returns useful / issued for the given source (Equation 2).
+func (c *Counters) Accuracy(src cache.Source) float64 {
+	if c.PrefIssued[src] == 0 {
+		return 0
+	}
+	return float64(c.UsefulPrefetches(src)) / float64(c.PrefIssued[src])
+}
+
+// AdjustedCoverage is content coverage with stride-overlapping prefetches
+// subtracted, isolating the content prefetcher's own contribution as in
+// Figure 7.
+func (c *Counters) AdjustedCoverage() float64 {
+	d := c.WouldMiss()
+	if d == 0 {
+		return 0
+	}
+	useful := c.UsefulPrefetches(cache.SrcContent)
+	if c.CDPOverlapUseful > useful {
+		return 0
+	}
+	return float64(useful-c.CDPOverlapUseful) / float64(d)
+}
+
+// AdjustedAccuracy is content accuracy with stride-overlapping prefetches
+// removed from both numerator and denominator.
+func (c *Counters) AdjustedAccuracy() float64 {
+	issued := c.PrefIssued[cache.SrcContent]
+	if c.CDPOverlapIssued > issued {
+		return 0
+	}
+	issued -= c.CDPOverlapIssued
+	if issued == 0 {
+		return 0
+	}
+	useful := c.UsefulPrefetches(cache.SrcContent)
+	if c.CDPOverlapUseful > useful {
+		useful = c.CDPOverlapUseful
+	}
+	return float64(useful-c.CDPOverlapUseful) / float64(issued)
+}
+
+// MPTUFor returns demand misses per 1000 retired µops over the measured
+// region, the paper's cache-demand metric.
+func (c *Counters) MPTUFor(retiredMeasured uint64) float64 {
+	if retiredMeasured == 0 {
+		return 0
+	}
+	return float64(c.L2Misses) * 1000 / float64(retiredMeasured)
+}
+
+func (c *Counters) String() string {
+	return fmt.Sprintf("stats{retired %d, cycles %d, L2 %d hits / %d misses}",
+		c.RetiredUops, c.Cycles, c.L2Hits, c.L2Misses)
+}
+
+// MPTUSeries is Figure 1's non-cumulative miss-rate trace: demand UL2
+// misses are bucketed by retired-µop intervals.
+type MPTUSeries struct {
+	BucketOps uint64 // bucket width in retired µops (200,000 in Figure 1)
+	buckets   []uint64
+}
+
+// NewMPTUSeries returns a series with the given bucket width.
+func NewMPTUSeries(bucketOps uint64) *MPTUSeries {
+	if bucketOps == 0 {
+		panic("stats: zero MPTU bucket width")
+	}
+	return &MPTUSeries{BucketOps: bucketOps}
+}
+
+// Record counts one demand miss occurring when the given number of µops
+// had retired.
+func (s *MPTUSeries) Record(retired uint64) {
+	i := int(retired / s.BucketOps)
+	for len(s.buckets) <= i {
+		s.buckets = append(s.buckets, 0)
+	}
+	s.buckets[i]++
+}
+
+// Len returns the number of buckets.
+func (s *MPTUSeries) Len() int { return len(s.buckets) }
+
+// MPTU returns misses per 1000 µops in bucket i.
+func (s *MPTUSeries) MPTU(i int) float64 {
+	if i < 0 || i >= len(s.buckets) {
+		return 0
+	}
+	return float64(s.buckets[i]) * 1000 / float64(s.BucketOps)
+}
+
+// Values renders the whole series.
+func (s *MPTUSeries) Values() []float64 {
+	out := make([]float64, len(s.buckets))
+	for i := range out {
+		out[i] = s.MPTU(i)
+	}
+	return out
+}
+
+// SteadyStateAfter returns the first bucket index after which every
+// bucket's MPTU stays within tol (absolute) of the final tail mean — the
+// warm-up detection of Section 2.2.
+func (s *MPTUSeries) SteadyStateAfter(tol float64) int {
+	if len(s.buckets) == 0 {
+		return 0
+	}
+	tail := len(s.buckets) / 2
+	var sum float64
+	for _, v := range s.Values()[tail:] {
+		sum += v
+	}
+	mean := sum / float64(len(s.buckets)-tail)
+	last := 0
+	for i, v := range s.Values() {
+		if v > mean+tol || v < mean-tol {
+			last = i
+		}
+	}
+	return last + 1
+}

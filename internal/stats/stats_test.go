@@ -1,0 +1,188 @@
+package stats
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cache"
+)
+
+func TestResetKeepsRetired(t *testing.T) {
+	c := &Counters{}
+	c.RetiredUops = 500
+	c.L2Misses = 42
+	c.PrefIssued[cache.SrcContent] = 7
+	c.Reset(1234)
+	if c.RetiredUops != 500 {
+		t.Fatalf("retired lost: %d", c.RetiredUops)
+	}
+	if c.L2Misses != 0 || c.PrefIssued[cache.SrcContent] != 0 {
+		t.Fatal("measurement counters survived reset")
+	}
+	if c.WarmCycles != 1234 {
+		t.Fatalf("warm boundary = %d", c.WarmCycles)
+	}
+}
+
+func TestCoverageAccuracy(t *testing.T) {
+	c := &Counters{}
+	c.FullHits[cache.SrcContent] = 30
+	c.PartialHits[cache.SrcContent] = 10
+	c.FullHits[cache.SrcStride] = 20
+	c.MissNoPF = 40
+	c.PrefIssued[cache.SrcContent] = 100
+
+	if got := c.WouldMiss(); got != 100 {
+		t.Fatalf("WouldMiss = %d, want 100", got)
+	}
+	if got := c.Coverage(cache.SrcContent); got != 0.40 {
+		t.Fatalf("coverage = %v", got)
+	}
+	if got := c.Accuracy(cache.SrcContent); got != 0.40 {
+		t.Fatalf("accuracy = %v", got)
+	}
+	if got := c.Coverage(cache.SrcStride); got != 0.20 {
+		t.Fatalf("stride coverage = %v", got)
+	}
+}
+
+func TestAdjustedMetricsSubtractOverlap(t *testing.T) {
+	c := &Counters{}
+	c.FullHits[cache.SrcContent] = 40
+	c.MissNoPF = 60
+	c.PrefIssued[cache.SrcContent] = 200
+	c.CDPOverlapIssued = 50
+	c.CDPOverlapUseful = 10
+
+	if got := c.AdjustedCoverage(); got != 0.30 { // (40-10)/100
+		t.Fatalf("adjusted coverage = %v", got)
+	}
+	if got := c.AdjustedAccuracy(); got != 0.20 { // (40-10)/(200-50)
+		t.Fatalf("adjusted accuracy = %v", got)
+	}
+}
+
+func TestAdjustedMetricsClamp(t *testing.T) {
+	c := &Counters{}
+	c.FullHits[cache.SrcContent] = 5
+	c.MissNoPF = 10
+	c.PrefIssued[cache.SrcContent] = 10
+	c.CDPOverlapUseful = 9  // > useful
+	c.CDPOverlapIssued = 20 // > issued
+	if got := c.AdjustedCoverage(); got != 0 {
+		t.Fatalf("over-subtracted coverage = %v", got)
+	}
+	if got := c.AdjustedAccuracy(); got != 0 {
+		t.Fatalf("over-subtracted accuracy = %v", got)
+	}
+}
+
+func TestZeroDenominators(t *testing.T) {
+	c := &Counters{}
+	if c.Coverage(cache.SrcContent) != 0 || c.Accuracy(cache.SrcContent) != 0 ||
+		c.AdjustedCoverage() != 0 || c.AdjustedAccuracy() != 0 || c.MPTUFor(0) != 0 {
+		t.Fatal("zero denominators must yield zero, not NaN")
+	}
+}
+
+func TestMPTUFor(t *testing.T) {
+	c := &Counters{L2Misses: 250}
+	if got := c.MPTUFor(100_000); got != 2.5 {
+		t.Fatalf("MPTU = %v", got)
+	}
+}
+
+func TestMPTUSeriesBuckets(t *testing.T) {
+	s := NewMPTUSeries(1000)
+	s.Record(0)
+	s.Record(999)
+	s.Record(1000)
+	s.Record(5500)
+	if s.Len() != 6 {
+		t.Fatalf("len = %d", s.Len())
+	}
+	if got := s.MPTU(0); got != 2.0 {
+		t.Fatalf("bucket 0 MPTU = %v", got)
+	}
+	if got := s.MPTU(1); got != 1.0 {
+		t.Fatalf("bucket 1 MPTU = %v", got)
+	}
+	if got := s.MPTU(5); got != 1.0 {
+		t.Fatalf("bucket 5 MPTU = %v", got)
+	}
+	if got := s.MPTU(3); got != 0 {
+		t.Fatalf("bucket 3 MPTU = %v", got)
+	}
+	if s.MPTU(-1) != 0 || s.MPTU(99) != 0 {
+		t.Fatal("out-of-range buckets must be zero")
+	}
+}
+
+func TestSteadyStateAfter(t *testing.T) {
+	s := NewMPTUSeries(100)
+	// Transient: 50 misses in bucket 0, 20 in bucket 1, then steady 2.
+	for i := 0; i < 50; i++ {
+		s.Record(10)
+	}
+	for i := 0; i < 20; i++ {
+		s.Record(150)
+	}
+	for b := 2; b < 12; b++ {
+		s.Record(uint64(b*100 + 5))
+		s.Record(uint64(b*100 + 6))
+	}
+	if got := s.SteadyStateAfter(50); got != 2 {
+		t.Fatalf("steady after = %d, want 2", got)
+	}
+}
+
+func TestUsefulAndWouldMissConsistencyQuick(t *testing.T) {
+	f := func(full, part [4]uint8, miss uint8) bool {
+		c := &Counters{MissNoPF: uint64(miss)}
+		var sum uint64
+		for i := 0; i < NumSources; i++ {
+			c.FullHits[i] = uint64(full[i])
+			c.PartialHits[i] = uint64(part[i])
+			sum += uint64(full[i]) + uint64(part[i])
+		}
+		if c.WouldMiss() != sum+uint64(miss) {
+			return false
+		}
+		// Coverage across all sources can never exceed 1.
+		var cov float64
+		for s := cache.Source(0); s < cache.Source(NumSources); s++ {
+			cov += c.Coverage(s)
+		}
+		return cov <= 1.0000001
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRecordMaskBuckets(t *testing.T) {
+	c := &Counters{}
+	c.RecordMask(0.0)
+	c.RecordMask(0.05)
+	c.RecordMask(0.55)
+	c.RecordMask(0.999)
+	c.RecordMask(1.0)
+	c.RecordMask(1.5)  // clamped
+	c.RecordMask(-0.1) // clamped
+	if c.MaskBuckets[0] != 3 {
+		t.Fatalf("bucket 0 = %d", c.MaskBuckets[0])
+	}
+	if c.MaskBuckets[5] != 1 || c.MaskBuckets[9] != 1 {
+		t.Fatalf("mid buckets = %v", c.MaskBuckets)
+	}
+	if c.MaskBuckets[10] != 2 {
+		t.Fatalf("full bucket = %d", c.MaskBuckets[10])
+	}
+	if got := c.FullyMaskedShare(); got < 0.28 || got > 0.29 {
+		t.Fatalf("fully masked share = %v", got)
+	}
+	var empty Counters
+	if empty.FullyMaskedShare() != 0 {
+		t.Fatal("empty share must be 0")
+	}
+}

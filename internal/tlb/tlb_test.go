@@ -1,0 +1,125 @@
+package tlb
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/mem"
+)
+
+func TestMissThenHit(t *testing.T) {
+	tb := New(Config{Entries: 64, Ways: 4})
+	va := uint32(0x1000_2345)
+	if _, ok := tb.Lookup(va); ok {
+		t.Fatal("empty TLB hit")
+	}
+	tb.Insert(va, 500)
+	pa, ok := tb.Lookup(va)
+	if !ok {
+		t.Fatal("inserted translation missed")
+	}
+	want := uint32(500)<<mem.PageShift | va&mem.PageMask
+	if pa != want {
+		t.Fatalf("pa = %#x, want %#x", pa, want)
+	}
+	// Same page, different offset.
+	pa2, ok := tb.Lookup(va &^ mem.PageMask)
+	if !ok || pa2 != uint32(500)<<mem.PageShift {
+		t.Fatalf("same-page lookup = %#x, %v", pa2, ok)
+	}
+	hits, misses := tb.Stats()
+	if hits != 2 || misses != 1 {
+		t.Fatalf("stats = %d hits, %d misses", hits, misses)
+	}
+}
+
+func TestProbeDoesNotCount(t *testing.T) {
+	tb := New(Config{Entries: 64, Ways: 4})
+	tb.Insert(0x5000, 7)
+	if !tb.Probe(0x5abc) {
+		t.Fatal("probe missed resident page")
+	}
+	if tb.Probe(0x9000) {
+		t.Fatal("probe hit absent page")
+	}
+	if h, m := tb.Stats(); h != 0 || m != 0 {
+		t.Fatalf("probe touched stats: %d/%d", h, m)
+	}
+}
+
+func TestLRUWithinSet(t *testing.T) {
+	tb := New(Config{Entries: 8, Ways: 2}) // 4 sets
+	// Pages 0, 4, 8 map to set 0.
+	p := func(i uint32) uint32 { return i << mem.PageShift }
+	tb.Insert(p(0), 100)
+	tb.Insert(p(4), 104)
+	tb.Lookup(p(0)) // page 0 MRU
+	tb.Insert(p(8), 108)
+	if _, ok := tb.Lookup(p(4)); ok {
+		t.Fatal("LRU victim survived")
+	}
+	if _, ok := tb.Lookup(p(0)); !ok {
+		t.Fatal("MRU entry evicted")
+	}
+	if _, ok := tb.Lookup(p(8)); !ok {
+		t.Fatal("new entry missing")
+	}
+}
+
+func TestInsertRefresh(t *testing.T) {
+	tb := New(Config{Entries: 4, Ways: 4})
+	tb.Insert(0x1000, 1)
+	tb.Insert(0x1000, 2) // remap
+	pa, ok := tb.Lookup(0x1000)
+	if !ok || pa>>mem.PageShift != 2 {
+		t.Fatalf("refresh lost: %#x %v", pa, ok)
+	}
+}
+
+func TestBadGeometryPanics(t *testing.T) {
+	for _, cfg := range []Config{{0, 4}, {64, 0}, {96, 4}, {6, 2}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("geometry %+v accepted", cfg)
+				}
+			}()
+			New(cfg)
+		}()
+	}
+}
+
+// Property: inserting then looking up the same page always succeeds and
+// preserves the page offset.
+func TestInsertLookupQuick(t *testing.T) {
+	f := func(va uint32, frame uint32) bool {
+		tb := New(Config{Entries: 64, Ways: 4})
+		frame &= 0x000F_FFFF
+		tb.Insert(va, frame)
+		pa, ok := tb.Lookup(va)
+		return ok && pa == frame<<mem.PageShift|va&mem.PageMask
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: a TLB with E entries holds at most E distinct pages.
+func TestCapacityQuick(t *testing.T) {
+	f := func(seed uint32) bool {
+		tb := New(Config{Entries: 16, Ways: 4})
+		for i := uint32(0); i < 100; i++ {
+			tb.Insert((seed+i*37)<<mem.PageShift, i)
+		}
+		resident := 0
+		for i := uint32(0); i < 200; i++ {
+			if tb.Probe((seed + i) << mem.PageShift) {
+				resident++
+			}
+		}
+		return resident <= 16
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
