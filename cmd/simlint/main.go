@@ -1,0 +1,28 @@
+// Command simlint runs the simulator-specific static-analysis suite of
+// internal/lint over the repository:
+//
+//	go run ./cmd/simlint ./...
+//
+// It exits 0 when clean, 1 when any analyzer reports a finding, and 2 when
+// loading or analysis fails. See internal/lint for the analyzer catalogue
+// and the `simlint:allow` / `simlint:novalidate` markers.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: simlint [packages]\n\nAnalyzers:\n")
+		for _, a := range lint.Analyzers {
+			fmt.Fprintf(flag.CommandLine.Output(), "  %-10s %s\n", a.Name, a.Doc)
+		}
+	}
+	flag.Parse()
+	os.Exit(lint.Main(os.Stdout, ".", flag.Args()))
+}

@@ -1,3 +1,10 @@
 module repro
 
-go 1.22
+go 1.23
+
+require golang.org/x/tools v0.30.0
+
+// The container has no network access, so the go/analysis framework is
+// vendored from the Go toolchain distribution (cmd/vendor) under
+// third_party/ and wired in with a local replace directive.
+replace golang.org/x/tools => ./third_party/golang.org/x/tools

@@ -133,6 +133,9 @@ func (a *Arbiter) Enqueue(r *Request) bool {
 		return false
 	}
 	a.q = append(a.q, r)
+	if debugInvariants {
+		a.checkBounds()
+	}
 	return true
 }
 
@@ -144,6 +147,9 @@ func (a *Arbiter) Enqueue(r *Request) bool {
 func (a *Arbiter) EnqueueDemand(r *Request) (squashed *Request, ok bool) {
 	if !a.Full() {
 		a.q = append(a.q, r)
+		if debugInvariants {
+			a.checkBounds()
+		}
 		return nil, true
 	}
 	worst := -1
@@ -160,6 +166,9 @@ func (a *Arbiter) EnqueueDemand(r *Request) (squashed *Request, ok bool) {
 	}
 	squashed = a.q[worst]
 	a.q[worst] = r
+	if debugInvariants {
+		a.checkBounds()
+	}
 	return squashed, true
 }
 
@@ -178,8 +187,16 @@ func (a *Arbiter) PopBest() *Request {
 	r := a.q[best]
 	a.q[best] = a.q[len(a.q)-1]
 	a.q = a.q[:len(a.q)-1]
+	if debugInvariants {
+		a.checkBounds()
+	}
 	return r
 }
+
+// Requests returns the queued requests in insertion order. The slice is the
+// arbiter's own backing store — callers (the simdebug invariant layer) must
+// treat it as read-only.
+func (a *Arbiter) Requests() []*Request { return a.q }
 
 // Find returns the queued request for the given physical line base, or nil.
 func (a *Arbiter) Find(paBase uint32) *Request {

@@ -1,0 +1,20 @@
+//go:build simdebug
+
+package bus
+
+import "testing"
+
+// Under -tags simdebug, an arbiter whose queue has been corrupted past its
+// capacity must panic on the next bounds check.
+func TestArbiterCheckBoundsPanics(t *testing.T) {
+	a := NewArbiter("test", 1)
+	// Corrupt the queue directly: two requests in a capacity-1 arbiter is a
+	// state no legal Enqueue/EnqueueDemand sequence can reach.
+	a.q = append(a.q, &Request{ID: 1}, &Request{ID: 2})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("checkBounds did not panic with 2 requests in a capacity-1 arbiter")
+		}
+	}()
+	a.checkBounds()
+}

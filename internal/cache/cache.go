@@ -61,6 +61,9 @@ type Config struct {
 // Sets returns the number of sets implied by the configuration.
 func (c Config) Sets() int { return c.SizeBytes / (c.Ways * c.LineSize) }
 
+// Validate checks the cache geometry; New panics on what this rejects.
+func (c Config) Validate() error { return c.validate() }
+
 func (c Config) validate() error {
 	if c.SizeBytes <= 0 || c.Ways <= 0 || c.LineSize <= 0 {
 		return fmt.Errorf("cache: non-positive geometry %+v", c)

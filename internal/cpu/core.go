@@ -29,6 +29,29 @@ type Config struct {
 	FPLatency  int64
 }
 
+// Validate checks the core geometry; cpu.New panics on what this rejects.
+func (c Config) Validate() error {
+	if c.FetchWidth <= 0 || c.IssueWidth <= 0 || c.RetireWidth <= 0 {
+		return fmt.Errorf("cpu: non-positive pipeline width %+v", c)
+	}
+	if c.ROBSize <= 0 || c.LoadBuf <= 0 || c.StoreBuf <= 0 {
+		return fmt.Errorf("cpu: non-positive buffer size %+v", c)
+	}
+	if c.IntUnits <= 0 || c.MemUnits <= 0 || c.FPUnits <= 0 {
+		return fmt.Errorf("cpu: every functional-unit class needs at least one unit %+v", c)
+	}
+	if c.MispredictPenalty < 0 {
+		return fmt.Errorf("cpu: negative mispredict penalty %d", c.MispredictPenalty)
+	}
+	if c.GshareBits < 1 || c.GshareBits > 30 {
+		return fmt.Errorf("cpu: gshare bits %d outside [1,30]", c.GshareBits)
+	}
+	if c.IntLatency <= 0 || c.FPLatency <= 0 {
+		return fmt.Errorf("cpu: non-positive execution latency %+v", c)
+	}
+	return nil
+}
+
 // DefaultConfig is the 4 GHz machine of Table 1.
 func DefaultConfig() Config {
 	return Config{

@@ -1,0 +1,110 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// Cfgcheck requires every exported field of sim.Config to be covered by
+// Config.Validate. A configuration knob that Validate never looks at is a
+// knob whose nonsense values reach the simulator: queue sizes of zero,
+// negative latencies, or a warm-up longer than the run silently corrupt
+// the measured region. Fields for which every value is genuinely valid
+// (cosmetic labels, boolean toggles) opt out with a `simlint:novalidate`
+// comment on the field, which keeps the exemption list in the struct
+// declaration where reviewers see it.
+var Cfgcheck = &analysis.Analyzer{
+	Name: "cfgcheck",
+	Doc:  "require every exported sim.Config field to be covered by Config.Validate",
+	Run:  runCfgcheck,
+}
+
+const novalidateMarker = "simlint:novalidate"
+
+func runCfgcheck(pass *analysis.Pass) (interface{}, error) {
+	if pass.Pkg.Name() != "sim" {
+		return nil, nil
+	}
+	spec := findTypeSpec(pass, "Config")
+	if spec == nil {
+		return nil, nil
+	}
+	structType, ok := spec.Type.(*ast.StructType)
+	if !ok {
+		return nil, nil
+	}
+	validate := findMethodDecl(pass, "Config", "Validate")
+	if validate == nil {
+		report(pass, spec.Name.Pos(), spec.Name.End(),
+			"sim.Config has no Validate method; configuration errors reach the simulator unchecked")
+		return nil, nil
+	}
+
+	covered := coveredFields(validate)
+	for _, field := range structType.Fields.List {
+		if fieldExempt(field) {
+			continue
+		}
+		for _, name := range field.Names {
+			if !name.IsExported() || covered[name.Name] {
+				continue
+			}
+			report(pass, name.Pos(), name.End(),
+				"sim.Config.%s is not covered by Config.Validate; check it or mark the field `%s`",
+				name.Name, novalidateMarker)
+		}
+	}
+	return nil, nil
+}
+
+// coveredFields collects the receiver fields Validate reads: any selector
+// through the receiver covers its first-level field (c.L1.LineSize covers
+// L1, c.Core.Validate() covers Core).
+func coveredFields(validate *ast.FuncDecl) map[string]bool {
+	recvName := receiverName(validate)
+	covered := map[string]bool{}
+	ast.Inspect(validate.Body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if ok && isIdent(sel.X, recvName) {
+			covered[sel.Sel.Name] = true
+		}
+		return true
+	})
+	return covered
+}
+
+// fieldExempt reports whether the field declaration carries the
+// novalidate marker in its doc or trailing comment.
+func fieldExempt(field *ast.Field) bool {
+	for _, cg := range []*ast.CommentGroup{field.Doc, field.Comment} {
+		if cg == nil {
+			continue
+		}
+		for _, c := range cg.List {
+			if strings.Contains(c.Text, novalidateMarker) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// findTypeSpec locates the named type declaration in the pass's files.
+func findTypeSpec(pass *analysis.Pass, name string) *ast.TypeSpec {
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			gd, ok := d.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, s := range gd.Specs {
+				if ts, ok := s.(*ast.TypeSpec); ok && ts.Name.Name == name {
+					return ts
+				}
+			}
+		}
+	}
+	return nil
+}

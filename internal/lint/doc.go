@@ -1,0 +1,39 @@
+// Package lint implements simlint, the simulator-specific static-analysis
+// suite backing the repository's determinism and stats-hygiene contracts.
+//
+// The paper's results are only reproducible if two runs of the same trace
+// produce bit-identical statistics, so the determinism-critical packages
+// (internal/sim, internal/cpu, internal/bus, internal/core) are held to a
+// mechanical standard that ordinary review cannot sustain as the codebase
+// grows. Four analyzers, written against golang.org/x/tools/go/analysis,
+// enforce it:
+//
+//   - detrand forbids wall-clock reads (time.Now and friends), the global
+//     math/rand source, and ordering-sensitive map iteration inside the
+//     determinism-critical packages.
+//   - eventmono flags scheduler.schedule call sites whose cycle argument is
+//     not recognisably derived from the tracked simulation time, closing
+//     the event-heap monotonicity contract statically.
+//   - statsreg cross-checks stats.Counters: every field must be reset at
+//     the warm-up boundary (package stats) and emitted by the report
+//     package, so counters cannot silently drift out of the report.
+//   - cfgcheck requires every exported sim.Config field to be covered by
+//     Config.Validate (fields for which any value is valid carry an
+//     explicit `simlint:novalidate` marker).
+//
+// A diagnostic can be suppressed at a single site with a trailing or
+// immediately preceding comment of the form
+//
+//	//simlint:allow <analyzer>
+//
+// which keeps exceptions visible and greppable.
+//
+// The container this repository grows in has no module proxy access, so
+// the go/analysis framework is vendored from the Go toolchain distribution
+// under third_party/ and the standard drivers (multichecker, unitchecker's
+// `go vet -vettool` mode) that depend on golang.org/x/tools/go/packages are
+// replaced by a small driver in this package that loads packages with
+// `go list -export -deps -json` and gc export data. The analyzers
+// themselves are ordinary analysis.Analyzer values and would run unchanged
+// under the upstream drivers.
+package lint

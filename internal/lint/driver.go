@@ -1,0 +1,150 @@
+package lint
+
+import (
+	"fmt"
+	"go/token"
+	"go/types"
+	"io"
+	"sort"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// Analyzers is the simlint suite, in reporting order.
+var Analyzers = []*analysis.Analyzer{Detrand, Eventmono, Statsreg, Cfgcheck}
+
+// Diagnostic is one analyzer finding with resolved position.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s: %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// Run loads the packages matched by patterns under dir and applies every
+// analyzer in the suite, returning the findings sorted by position.
+func Run(dir string, patterns []string, analyzers []*analysis.Analyzer) ([]Diagnostic, error) {
+	if err := analysis.Validate(analyzers); err != nil {
+		return nil, err
+	}
+	pkgs, err := Load(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		ds, err := RunPackage(pkg, analyzers)
+		if err != nil {
+			return nil, err
+		}
+		diags = append(diags, ds...)
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags, nil
+}
+
+// RunPackage applies the analyzers (and their requirements, in dependency
+// order) to one loaded package.
+func RunPackage(pkg *Package, analyzers []*analysis.Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	results := map[*analysis.Analyzer]interface{}{}
+	ran := map[*analysis.Analyzer]bool{}
+
+	var exec func(a *analysis.Analyzer) error
+	exec = func(a *analysis.Analyzer) error {
+		if ran[a] {
+			return nil
+		}
+		ran[a] = true
+		for _, req := range a.Requires {
+			if err := exec(req); err != nil {
+				return err
+			}
+		}
+		pass := newPass(a, pkg, results, &diags)
+		res, err := a.Run(pass)
+		if err != nil {
+			return fmt.Errorf("%s on %s: %v", a.Name, pkg.ImportPath, err)
+		}
+		results[a] = res
+		return nil
+	}
+	for _, a := range analyzers {
+		if err := exec(a); err != nil {
+			return nil, err
+		}
+	}
+	return diags, nil
+}
+
+// newPass assembles the analysis.Pass for one (analyzer, package) pair.
+// simlint's analyzers use no facts, so the fact hooks are inert stubs.
+func newPass(a *analysis.Analyzer, pkg *Package, results map[*analysis.Analyzer]interface{}, out *[]Diagnostic) *analysis.Pass {
+	resultOf := map[*analysis.Analyzer]interface{}{}
+	for _, req := range a.Requires {
+		resultOf[req] = results[req]
+	}
+	pass := &analysis.Pass{
+		Analyzer:   a,
+		Fset:       pkg.Fset,
+		Files:      pkg.Files,
+		Pkg:        pkg.Types,
+		TypesInfo:  pkg.TypesInfo,
+		TypesSizes: sizes(),
+		ResultOf:   resultOf,
+		Report: func(d analysis.Diagnostic) {
+			*out = append(*out, Diagnostic{
+				Analyzer: a.Name,
+				Pos:      pkg.Fset.Position(d.Pos),
+				Message:  d.Message,
+			})
+		},
+		ImportObjectFact:  func(types.Object, analysis.Fact) bool { return false },
+		ImportPackageFact: func(*types.Package, analysis.Fact) bool { return false },
+		ExportObjectFact:  func(types.Object, analysis.Fact) {},
+		ExportPackageFact: func(analysis.Fact) {},
+		AllObjectFacts:    func() []analysis.ObjectFact { return nil },
+		AllPackageFacts:   func() []analysis.PackageFact { return nil },
+	}
+	if pkg.Module != nil {
+		pass.Module = &analysis.Module{Path: pkg.Module.Path, GoVersion: pkg.Module.GoVersion}
+	}
+	return pass
+}
+
+// Main is the cmd/simlint entry point: run the suite over the patterns
+// (default "./...") and print findings. Exit status 0 means clean, 1 means
+// findings, 2 means the load or an analyzer failed.
+func Main(w io.Writer, dir string, args []string) int {
+	patterns := args
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	diags, err := Run(dir, patterns, Analyzers)
+	if err != nil {
+		fmt.Fprintf(w, "simlint: %v\n", err)
+		return 2
+	}
+	for _, d := range diags {
+		fmt.Fprintln(w, d)
+	}
+	if len(diags) > 0 {
+		return 1
+	}
+	return 0
+}

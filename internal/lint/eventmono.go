@@ -1,0 +1,144 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+)
+
+// Eventmono flags scheduler.schedule call sites whose cycle argument is not
+// recognisably derived from the tracked simulation time. The event heap's
+// monotonicity contract — no event may be scheduled before the cycle
+// currently executing — used to live in a comment; this analyzer enforces
+// the call-site half of it statically (the scheduler itself clamps, and
+// panics under -tags simdebug).
+//
+// The check is a conservative syntactic heuristic: the argument must be
+// built from known time carriers (`at`, `now`, `cycle`, `slot`, ... or any
+// identifier ending in "at"/"cycle"), calls to clamping helpers such as
+// reserveL2/FreeAt, and additions. Subtractions, bare literals, and unknown
+// identifiers are flagged; a justified exception carries
+// `//simlint:allow eventmono`.
+var Eventmono = &analysis.Analyzer{
+	Name: "eventmono",
+	Doc: "flag scheduler.schedule call sites that can pass a cycle in the past " +
+		"relative to the tracked simulation time",
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      runEventmono,
+}
+
+// timeCarriers are identifier names conventionally bound to the current or
+// a future simulated cycle.
+var timeCarriers = map[string]bool{
+	"at": true, "now": true, "t": true, "cycle": true, "slot": true,
+	"start": true, "arrive": true, "when": true, "ready": true, "rs": true,
+}
+
+// clampFuncs return cycles already clamped to be >= the tracked time.
+var clampFuncs = map[string]bool{
+	"reserveL2": true, "FreeAt": true, "next": true,
+}
+
+func runEventmono(pass *analysis.Pass) (interface{}, error) {
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+	ins.Preorder([]ast.Node{(*ast.CallExpr)(nil)}, func(n ast.Node) {
+		call := n.(*ast.CallExpr)
+		if !isSchedulerSchedule(pass, call) || len(call.Args) < 1 {
+			return
+		}
+		arg := call.Args[0]
+		if monotoneTimeExpr(arg) {
+			return
+		}
+		report(pass, arg.Pos(), arg.End(),
+			"cycle argument %q is not recognisably derived from the tracked simulation time; "+
+				"schedule relative to now/at (or a clamping helper) so the event heap stays monotone",
+			types.ExprString(arg))
+	})
+	return nil, nil
+}
+
+// isSchedulerSchedule reports whether call invokes the schedule method of a
+// type named scheduler.
+func isSchedulerSchedule(pass *analysis.Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Name() != "schedule" {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	rt := sig.Recv().Type()
+	if ptr, ok := rt.(*types.Pointer); ok {
+		rt = ptr.Elem()
+	}
+	named, ok := rt.(*types.Named)
+	return ok && named.Obj().Name() == "scheduler"
+}
+
+// monotoneTimeExpr conservatively decides whether e is derived from the
+// tracked simulation time.
+func monotoneTimeExpr(e ast.Expr) bool {
+	switch e := e.(type) {
+	case *ast.ParenExpr:
+		return monotoneTimeExpr(e.X)
+	case *ast.Ident:
+		return carriesTime(e.Name)
+	case *ast.SelectorExpr:
+		return carriesTime(e.Sel.Name)
+	case *ast.CallExpr:
+		switch fun := e.Fun.(type) {
+		case *ast.Ident:
+			if fun.Name == "max" || fun.Name == "min" {
+				// max(now, x) is monotone if any operand is; min only if
+				// every operand is.
+				return foldArgs(e.Args, fun.Name == "min")
+			}
+			return carriesTime(fun.Name) || clampFuncs[fun.Name]
+		case *ast.SelectorExpr:
+			return carriesTime(fun.Sel.Name) || clampFuncs[fun.Sel.Name]
+		}
+		return false
+	case *ast.BinaryExpr:
+		if e.Op.String() != "+" {
+			return false
+		}
+		return monotoneTimeExpr(e.X) || monotoneTimeExpr(e.Y)
+	default:
+		return false
+	}
+}
+
+// foldArgs combines monotoneTimeExpr over call arguments: conjunction for
+// min (every candidate must be safe), disjunction for max.
+func foldArgs(args []ast.Expr, all bool) bool {
+	for _, a := range args {
+		ok := monotoneTimeExpr(a)
+		if all && !ok {
+			return false
+		}
+		if !all && ok {
+			return true
+		}
+	}
+	return all && len(args) > 0
+}
+
+// carriesTime reports whether an identifier name conventionally denotes a
+// simulated cycle.
+func carriesTime(name string) bool {
+	if timeCarriers[name] {
+		return true
+	}
+	l := strings.ToLower(name)
+	return strings.HasSuffix(l, "at") || strings.HasSuffix(l, "cycle")
+}

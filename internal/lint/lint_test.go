@@ -1,0 +1,28 @@
+package lint_test
+
+import (
+	"testing"
+
+	"repro/internal/lint"
+	"repro/internal/lint/linttest"
+)
+
+// Each analyzer runs over fixture packages with deliberately-broken code
+// (true positives) and clean control packages (no diagnostics).
+
+func TestDetrand(t *testing.T) {
+	linttest.Run(t, linttest.TestData(), lint.Detrand, "detrand", "detrand_other")
+}
+
+func TestEventmono(t *testing.T) {
+	linttest.Run(t, linttest.TestData(), lint.Eventmono, "eventmono")
+}
+
+func TestStatsreg(t *testing.T) {
+	linttest.Run(t, linttest.TestData(), lint.Statsreg,
+		"statsreg_stats", "statsreg_ok", "statsreg_report", "statsreg_noimport")
+}
+
+func TestCfgcheck(t *testing.T) {
+	linttest.Run(t, linttest.TestData(), lint.Cfgcheck, "cfgcheck", "cfgcheck_noval")
+}

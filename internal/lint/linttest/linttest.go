@@ -1,0 +1,280 @@
+// Package linttest is a self-contained analogue of
+// golang.org/x/tools/go/analysis/analysistest for the simlint suite.
+//
+// Fixture packages live under testdata/src/<importpath>/ and embed their
+// expected diagnostics as comments of the form
+//
+//	expr // want "regexp" "another regexp"
+//
+// (double- or back-quoted). Run type-checks the fixture — resolving
+// fixture-local imports from testdata/src and everything else from gc
+// export data produced on demand by `go list -export` — applies one
+// analyzer through the same driver cmd/simlint uses, and diffs the
+// reported diagnostics against the expectations line by line.
+//
+// The upstream analysistest cannot be used because it depends on
+// go/packages, which is not vendorable from the toolchain distribution
+// (see internal/lint's package documentation).
+package linttest
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+
+	"golang.org/x/tools/go/analysis"
+
+	"repro/internal/lint"
+)
+
+// TestData returns the absolute path of the calling package's testdata
+// directory.
+func TestData() string {
+	p, err := filepath.Abs("testdata")
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Run applies the analyzer to each fixture package (an import path under
+// testdata/src) and checks its diagnostics against the `// want` comments
+// embedded in the fixture sources.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgs ...string) {
+	t.Helper()
+	ld := newLoader(t, filepath.Join(testdata, "src"))
+	for _, path := range pkgs {
+		t.Run(path, func(t *testing.T) {
+			t.Helper()
+			pkg := ld.load(t, path)
+			diags, err := lint.RunPackage(pkg, []*analysis.Analyzer{a})
+			if err != nil {
+				t.Fatalf("running %s on %s: %v", a.Name, path, err)
+			}
+			checkDiagnostics(t, pkg, diags)
+		})
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Fixture loading
+
+// loader resolves fixture imports from the src root and all other imports
+// from gc export data fetched lazily via `go list -export`.
+type loader struct {
+	t       *testing.T
+	srcRoot string
+	fset    *token.FileSet
+	cache   map[string]*lint.Package
+	exports map[string]string
+	gc      types.Importer
+}
+
+func newLoader(t *testing.T, srcRoot string) *loader {
+	ld := &loader{
+		t:       t,
+		srcRoot: srcRoot,
+		fset:    token.NewFileSet(),
+		cache:   map[string]*lint.Package{},
+		exports: map[string]string{},
+	}
+	ld.gc = importer.ForCompiler(ld.fset, "gc", ld.lookupExport)
+	return ld
+}
+
+// Import implements types.Importer over fixture-local and toolchain
+// packages.
+func (ld *loader) Import(path string) (*types.Package, error) {
+	if ld.isFixture(path) {
+		pkg, err := ld.loadFixture(path)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	return ld.gc.Import(path)
+}
+
+func (ld *loader) isFixture(path string) bool {
+	info, err := os.Stat(filepath.Join(ld.srcRoot, path))
+	return err == nil && info.IsDir()
+}
+
+// load resolves a fixture package for analysis, failing the test on error.
+func (ld *loader) load(t *testing.T, path string) *lint.Package {
+	t.Helper()
+	pkg, err := ld.loadFixture(path)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", path, err)
+	}
+	return pkg
+}
+
+func (ld *loader) loadFixture(path string) (*lint.Package, error) {
+	if pkg, ok := ld.cache[path]; ok {
+		return pkg, nil
+	}
+	dir := filepath.Join(ld.srcRoot, path)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return nil, fmt.Errorf("no Go files in %s", dir)
+	}
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(ld.fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Implicits:  map[ast.Node]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+		Instances:  map[*ast.Ident]types.Instance{},
+	}
+	conf := types.Config{Importer: ld}
+	tpkg, err := conf.Check(path, ld.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking fixture %s: %v", path, err)
+	}
+	pkg := &lint.Package{
+		ImportPath: path,
+		Dir:        dir,
+		Fset:       ld.fset,
+		Files:      files,
+		Types:      tpkg,
+		TypesInfo:  info,
+	}
+	ld.cache[path] = pkg
+	return pkg, nil
+}
+
+// lookupExport feeds the gc importer, shelling out to
+// `go list -export -deps` the first time an import path (and thereby its
+// dependency closure) is needed.
+func (ld *loader) lookupExport(path string) (io.ReadCloser, error) {
+	if file, ok := ld.exports[path]; ok {
+		return os.Open(file)
+	}
+	cmd := exec.Command("go", "list", "-e", "-export", "-deps", "-json=ImportPath,Export", path)
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go list -export %s: %v\n%s", path, err, stderr.String())
+	}
+	dec := json.NewDecoder(&stdout)
+	for {
+		var lp struct{ ImportPath, Export string }
+		if err := dec.Decode(&lp); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, err
+		}
+		if lp.Export != "" {
+			ld.exports[lp.ImportPath] = lp.Export
+		}
+	}
+	file, ok := ld.exports[path]
+	if !ok {
+		return nil, fmt.Errorf("no export data for %q", path)
+	}
+	return os.Open(file)
+}
+
+// ---------------------------------------------------------------------------
+// Expectation checking
+
+// want is one expected-diagnostic regexp anchored to a file line.
+type want struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	matched bool
+}
+
+// wantRE extracts the quoted patterns of a `// want "re" ...` comment.
+var wantRE = regexp.MustCompile("`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\"")
+
+func checkDiagnostics(t *testing.T, pkg *lint.Package, diags []lint.Diagnostic) {
+	t.Helper()
+	wants := collectWants(t, pkg)
+
+	for _, d := range diags {
+		if !claim(wants, d) {
+			t.Errorf("%s: unexpected diagnostic: %s", d.Pos, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.re)
+		}
+	}
+}
+
+// claim marks the first unmatched want covering the diagnostic.
+func claim(wants []*want, d lint.Diagnostic) bool {
+	for _, w := range wants {
+		if !w.matched && w.file == d.Pos.Filename && w.line == d.Pos.Line && w.re.MatchString(d.Message) {
+			w.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+// collectWants scans the fixture's comments for expectations.
+func collectWants(t *testing.T, pkg *lint.Package) []*want {
+	t.Helper()
+	var wants []*want
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "// want ")
+				if !ok {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				for _, q := range wantRE.FindAllString(text, -1) {
+					pat := q[1 : len(q)-1]
+					if q[0] == '"' {
+						pat = strings.NewReplacer(`\"`, `"`, `\\`, `\`).Replace(pat)
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s: bad want pattern %s: %v", pos, q, err)
+					}
+					wants = append(wants, &want{file: pos.Filename, line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+	return wants
+}

@@ -1,0 +1,179 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+)
+
+// Package is one loaded, parsed and type-checked package, ready to be run
+// through the analyzers. It carries exactly the state analysis.Pass needs.
+type Package struct {
+	ImportPath string
+	Dir        string
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Types      *types.Package
+	TypesInfo  *types.Info
+	Module     *Module
+}
+
+// Module mirrors the `go list` module block for the loaded package.
+type Module struct {
+	Path      string
+	GoVersion string
+}
+
+// listedPackage is the subset of `go list -json` output the loader uses.
+type listedPackage struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	GoFiles    []string
+	CgoFiles   []string
+	Export     string
+	Standard   bool
+	DepOnly    bool
+	Module     *struct {
+		Path      string
+		GoVersion string
+	}
+	Error *struct {
+		Err string
+	}
+}
+
+// Load resolves patterns (e.g. "./...") with the go command and returns the
+// matched packages parsed and type-checked. Dependencies — including the
+// standard library — are consumed as gc export data produced by
+// `go list -export`, so loading needs no network and no GOPATH layout;
+// this replaces golang.org/x/tools/go/packages, which cannot be vendored
+// from the toolchain distribution.
+func Load(dir string, patterns []string) ([]*Package, error) {
+	listed, err := goList(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+
+	exportFiles := map[string]string{}
+	var targets []*listedPackage
+	for i := range listed {
+		lp := &listed[i]
+		if lp.Error != nil {
+			return nil, fmt.Errorf("%s: %s", lp.ImportPath, lp.Error.Err)
+		}
+		if lp.Export != "" {
+			exportFiles[lp.ImportPath] = lp.Export
+		}
+		if !lp.DepOnly {
+			targets = append(targets, lp)
+		}
+	}
+
+	fset := token.NewFileSet()
+	// One importer instance across all targets: dependency packages load
+	// once and type identities agree between passes.
+	imp := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		file, ok := exportFiles[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+
+	var pkgs []*Package
+	for _, lp := range targets {
+		pkg, err := typecheck(fset, imp, lp)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// goList runs `go list -e -export -deps -json` over the patterns and
+// decodes the package stream.
+func goList(dir string, patterns []string) ([]listedPackage, error) {
+	args := append([]string{"list", "-e", "-export", "-deps", "-json"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go list %v: %v\n%s", patterns, err, stderr.String())
+	}
+	var out []listedPackage
+	dec := json.NewDecoder(&stdout)
+	for {
+		var lp listedPackage
+		if err := dec.Decode(&lp); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("decoding go list output: %v", err)
+		}
+		out = append(out, lp)
+	}
+	return out, nil
+}
+
+// typecheck parses and type-checks one listed package.
+func typecheck(fset *token.FileSet, imp types.Importer, lp *listedPackage) (*Package, error) {
+	if len(lp.CgoFiles) > 0 {
+		return nil, fmt.Errorf("%s: cgo packages are not supported by simlint", lp.ImportPath)
+	}
+	var files []*ast.File
+	for _, name := range lp.GoFiles {
+		f, err := parser.ParseFile(fset, filepath.Join(lp.Dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Implicits:  map[ast.Node]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+		Instances:  map[*ast.Ident]types.Instance{},
+	}
+	conf := types.Config{Importer: imp}
+	tpkg, err := conf.Check(lp.ImportPath, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking %s: %v", lp.ImportPath, err)
+	}
+	pkg := &Package{
+		ImportPath: lp.ImportPath,
+		Dir:        lp.Dir,
+		Fset:       fset,
+		Files:      files,
+		Types:      tpkg,
+		TypesInfo:  info,
+	}
+	if lp.Module != nil {
+		pkg.Module = &Module{Path: lp.Module.Path, GoVersion: lp.Module.GoVersion}
+	}
+	return pkg, nil
+}
+
+// sizes returns the standard gc sizes for the host platform.
+func sizes() types.Sizes {
+	s := types.SizesFor("gc", runtime.GOARCH)
+	if s == nil {
+		s = types.SizesFor("gc", "amd64")
+	}
+	return s
+}

@@ -1,0 +1,210 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+)
+
+// Statsreg keeps stats.Counters, the warm-up reset, and the report emitter
+// in lockstep. A counter that is incremented during simulation but never
+// reset at the warm-up boundary silently includes warm-up noise; one that
+// is never emitted silently drifts out of the report. Both failure modes
+// have produced irreproducible prefetching numbers in published work, so
+// they are checked mechanically:
+//
+//   - in the package named "stats": every field of the Counters struct must
+//     be covered by the Reset method, either through a whole-struct
+//     assignment (`*c = Counters{...}`) or field by field;
+//   - in the package named "report": every exported Counters field must be
+//     referenced somewhere in the package, i.e. the report layer must emit
+//     it (and the package must import stats at all).
+var Statsreg = &analysis.Analyzer{
+	Name: "statsreg",
+	Doc: "cross-check that every stats.Counters field is reset at the warm-up " +
+		"boundary and emitted by the report package",
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      runStatsreg,
+}
+
+func runStatsreg(pass *analysis.Pass) (interface{}, error) {
+	switch pass.Pkg.Name() {
+	case "stats":
+		checkResetCoverage(pass)
+	case "report":
+		checkEmissionCoverage(pass)
+	}
+	return nil, nil
+}
+
+// countersStruct returns the Counters struct type declared in pkg, or nil.
+func countersStruct(pkg *types.Package) *types.Struct {
+	obj := pkg.Scope().Lookup("Counters")
+	if obj == nil {
+		return nil
+	}
+	st, _ := obj.Type().Underlying().(*types.Struct)
+	return st
+}
+
+// checkResetCoverage verifies the Reset method of stats.Counters touches
+// every field.
+func checkResetCoverage(pass *analysis.Pass) {
+	st := countersStruct(pass.Pkg)
+	if st == nil {
+		return // not the simulator's stats package
+	}
+	reset := findMethodDecl(pass, "Counters", "Reset")
+	if reset == nil {
+		report(pass, pass.Files[0].Name.Pos(), pass.Files[0].Name.End(),
+			"stats.Counters has no Reset method; warm-up boundary counters cannot be cleared")
+		return
+	}
+	recvName := receiverName(reset)
+	covered := map[string]bool{}
+	wholesale := false
+	ast.Inspect(reset.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				// `*c = Counters{...}` (or any whole-struct assignment to
+				// the receiver) covers every field at once.
+				if star, ok := lhs.(*ast.StarExpr); ok && isIdent(star.X, recvName) {
+					wholesale = true
+				}
+				markFieldWrite(lhs, recvName, covered)
+			}
+		case *ast.IncDecStmt:
+			markFieldWrite(n.X, recvName, covered)
+		}
+		return true
+	})
+	if wholesale {
+		return
+	}
+	for _, name := range fieldNames(st, false) {
+		if !covered[name] {
+			report(pass, reset.Name.Pos(), reset.Name.End(),
+				"Counters.%s is not reset at the warm-up boundary; measured numbers would include warm-up noise", name)
+		}
+	}
+}
+
+// checkEmissionCoverage verifies the report package references every
+// exported Counters field of the stats package it imports.
+func checkEmissionCoverage(pass *analysis.Pass) {
+	var statsPkg *types.Package
+	var st *types.Struct
+	for _, imp := range pass.Pkg.Imports() {
+		if imp.Name() != "stats" {
+			continue
+		}
+		if s := countersStruct(imp); s != nil {
+			statsPkg, st = imp, s
+			break
+		}
+	}
+	if statsPkg == nil {
+		report(pass, pass.Files[0].Name.Pos(), pass.Files[0].Name.End(),
+			"package report does not import the stats package: Counters has no emitter and its fields cannot reach the report")
+		return
+	}
+
+	// Index the Counters field objects, then mark every one referenced by
+	// a field selection anywhere in the package.
+	fieldObjs := map[*types.Var]bool{}
+	for i := 0; i < st.NumFields(); i++ {
+		if f := st.Field(i); f.Exported() {
+			fieldObjs[f] = false
+		}
+	}
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+	ins.Preorder([]ast.Node{(*ast.SelectorExpr)(nil)}, func(n ast.Node) {
+		sel := n.(*ast.SelectorExpr)
+		s, ok := pass.TypesInfo.Selections[sel]
+		if !ok || s.Kind() != types.FieldVal {
+			return
+		}
+		if v, ok := s.Obj().(*types.Var); ok {
+			if _, tracked := fieldObjs[v]; tracked {
+				fieldObjs[v] = true
+			}
+		}
+	})
+
+	var missing []string
+	for f, seen := range fieldObjs {
+		if !seen {
+			missing = append(missing, f.Name())
+		}
+	}
+	sort.Strings(missing)
+	for _, name := range missing {
+		report(pass, pass.Files[0].Name.Pos(), pass.Files[0].Name.End(),
+			"stats.Counters.%s is never emitted by package report; the counter silently drifts out of the report", name)
+	}
+}
+
+// findMethodDecl locates the declaration of method name on (pointer to)
+// type recvType in the pass's files.
+func findMethodDecl(pass *analysis.Pass, recvType, name string) *ast.FuncDecl {
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Name.Name != name || fd.Recv == nil || len(fd.Recv.List) != 1 {
+				continue
+			}
+			t := fd.Recv.List[0].Type
+			if star, ok := t.(*ast.StarExpr); ok {
+				t = star.X
+			}
+			if isIdent(t, recvType) {
+				return fd
+			}
+		}
+	}
+	return nil
+}
+
+// receiverName returns the bound receiver identifier of a method decl
+// ("" for an anonymous receiver).
+func receiverName(fd *ast.FuncDecl) string {
+	if len(fd.Recv.List[0].Names) == 1 {
+		return fd.Recv.List[0].Names[0].Name
+	}
+	return ""
+}
+
+// markFieldWrite records recv.Field as covered when expr writes through the
+// receiver.
+func markFieldWrite(expr ast.Expr, recvName string, covered map[string]bool) {
+	sel, ok := expr.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	if isIdent(sel.X, recvName) {
+		covered[sel.Sel.Name] = true
+	}
+}
+
+// fieldNames lists Counters field names, optionally exported fields only.
+func fieldNames(st *types.Struct, exportedOnly bool) []string {
+	var out []string
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		if exportedOnly && !f.Exported() {
+			continue
+		}
+		out = append(out, f.Name())
+	}
+	return out
+}
+
+func isIdent(e ast.Expr, name string) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == name
+}

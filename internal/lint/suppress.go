@@ -1,0 +1,52 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// suppressed reports whether the diagnostic an analyzer wants to raise at
+// pos is waived by a `//simlint:allow <name>` comment on the same line or
+// the line immediately above. Exceptions stay visible and greppable.
+func suppressed(pass *analysis.Pass, pos token.Pos, name string) bool {
+	f := fileFor(pass, pos)
+	if f == nil {
+		return false
+	}
+	line := pass.Fset.Position(pos).Line
+	marker := "simlint:allow " + name
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			if !strings.Contains(c.Text, marker) {
+				continue
+			}
+			cl := pass.Fset.Position(c.Pos()).Line
+			if cl == line || cl == line-1 {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// fileFor returns the syntax file of the pass containing pos.
+func fileFor(pass *analysis.Pass, pos token.Pos) *ast.File {
+	for _, f := range pass.Files {
+		if f.FileStart <= pos && pos < f.FileEnd {
+			return f
+		}
+	}
+	return nil
+}
+
+// report raises a diagnostic unless a simlint:allow marker waives it.
+func report(pass *analysis.Pass, pos token.Pos, end token.Pos, format string, args ...interface{}) {
+	if suppressed(pass, pos, pass.Analyzer.Name) {
+		return
+	}
+	pass.Report(analysis.Diagnostic{Pos: pos, End: end, Message: fmt.Sprintf(format, args...)})
+}

@@ -1,0 +1,23 @@
+// Fixture: a sim.Config with one field Validate forgot.
+package sim
+
+import "errors"
+
+type Config struct {
+	// Label is cosmetic. simlint:novalidate
+	Label string
+
+	Depth int
+	Width int // want `sim\.Config\.Width is not covered by Config\.Validate`
+
+	cache int
+}
+
+func (c Config) Validate() error {
+	if c.Depth <= 0 {
+		return errors.New("bad depth")
+	}
+	return nil
+}
+
+func (c Config) use() int { return c.Width + c.cache }

@@ -1,0 +1,6 @@
+// Fixture: a sim.Config with no Validate method at all.
+package sim
+
+type Config struct { // want `sim\.Config has no Validate method`
+	Depth int
+}

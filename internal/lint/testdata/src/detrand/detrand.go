@@ -1,0 +1,58 @@
+// Fixture: a determinism-critical package (name "sim") exercising every
+// detrand rule.
+package sim
+
+import (
+	"math/rand"
+	"time"
+)
+
+func stamp() int64 {
+	return time.Now().UnixNano() // want `time\.Now reads the wall clock`
+}
+
+func elapsed(start time.Time) time.Duration {
+	return time.Since(start) // want `time\.Since reads the wall clock`
+}
+
+func jitter() int {
+	return rand.Intn(8) // want `rand\.Intn uses the global math/rand source`
+}
+
+func reseed(seed int64) {
+	rand.Seed(seed) // want `rand\.Seed uses the global math/rand source`
+}
+
+// local generators with explicit seeds are deterministic and allowed.
+func local(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(8)
+}
+
+// waived exercises the simlint:allow escape hatch.
+func waived() int {
+	return rand.Int() //simlint:allow detrand
+}
+
+func sum(m map[uint32]int) (s int) {
+	for _, v := range m { // want `map iteration order is nondeterministic`
+		s += v
+	}
+	return s
+}
+
+// counting iterations without binding key or value is order-insensitive.
+func count(m map[uint32]int) (n int) {
+	for range m {
+		n++
+	}
+	return n
+}
+
+// slices iterate in index order; no diagnostic.
+func total(xs []int) (s int) {
+	for _, v := range xs {
+		s += v
+	}
+	return s
+}

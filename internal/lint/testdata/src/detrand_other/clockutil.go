@@ -1,0 +1,19 @@
+// Fixture: the same constructs outside a determinism-critical package are
+// not diagnosed.
+package clockutil
+
+import (
+	"math/rand"
+	"time"
+)
+
+func Stamp() int64 { return time.Now().UnixNano() }
+
+func Jitter() int { return rand.Intn(8) }
+
+func Keys(m map[string]int) (out []string) {
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

@@ -1,0 +1,50 @@
+// Fixture: scheduler.schedule call sites with monotone and non-monotone
+// cycle arguments.
+package sim
+
+type event struct {
+	at int64
+	fn func(int64)
+}
+
+type scheduler struct {
+	h   []event
+	now int64
+}
+
+func (s *scheduler) schedule(at int64, fn func(int64)) {
+	s.h = append(s.h, event{at, fn})
+}
+
+func (s *scheduler) reserveL2(at int64) int64 { return at }
+
+// monotone arguments: derived from tracked time.
+func (s *scheduler) good(at int64, lat int64) {
+	s.schedule(at, nil)
+	s.schedule(at+3, nil)
+	s.schedule(s.now+lat, nil)
+	s.schedule((at + 1), nil)
+	s.schedule(max(s.now, at), nil)
+	s.schedule(s.reserveL2(at)+2, nil)
+}
+
+// non-monotone arguments: flagged.
+func (s *scheduler) bad(at int64, x int64) {
+	s.schedule(at-1, nil)          // want `not recognisably derived from the tracked simulation time`
+	s.schedule(0, nil)             // want `not recognisably derived from the tracked simulation time`
+	s.schedule(x, nil)             // want `not recognisably derived from the tracked simulation time`
+	s.schedule(min(s.now, x), nil) // want `not recognisably derived from the tracked simulation time`
+	s.schedule(at*2, nil)          // want `not recognisably derived from the tracked simulation time`
+}
+
+// waived exercises the simlint:allow escape hatch.
+func (s *scheduler) waived(x int64) {
+	s.schedule(x, nil) //simlint:allow eventmono
+}
+
+// other schedule methods are out of scope.
+type planner struct{}
+
+func (planner) schedule(at int64, fn func(int64)) {}
+
+func use(p planner, x int64) { p.schedule(x, nil) }

@@ -1,0 +1,6 @@
+// Fixture: a report package with no stats import at all — the emitter
+// plumbing is missing entirely.
+package report // want `does not import the stats package`
+
+// Render has nothing to render counters with.
+func Render() string { return "" }

@@ -1,0 +1,14 @@
+// Fixture: a whole-struct assignment covers every field at once.
+package stats
+
+type Counters struct {
+	RetiredUops uint64
+	L2Misses    uint64
+	Dropped     uint64
+}
+
+// Reset preserves trace progress and zeroes everything else.
+func (c *Counters) Reset() {
+	retired := c.RetiredUops
+	*c = Counters{RetiredUops: retired}
+}

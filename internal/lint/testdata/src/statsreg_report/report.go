@@ -1,0 +1,13 @@
+// Fixture: a report package that emits only part of the counter block.
+package report // want `stats\.Counters\.Dropped is never emitted` `stats\.Counters\.L2Misses is never emitted`
+
+import (
+	"fmt"
+
+	stats "statsreg_stats"
+)
+
+// Emit renders the counters — but only RetiredUops reaches the output.
+func Emit(c *stats.Counters) string {
+	return fmt.Sprintf("retired %d", c.RetiredUops)
+}

@@ -1,0 +1,14 @@
+// Fixture: a stats package whose field-by-field Reset forgets a counter.
+package stats
+
+type Counters struct {
+	RetiredUops uint64
+	L2Misses    uint64
+	Dropped     uint64
+}
+
+// Reset zeroes the measurement counters — but forgets Dropped.
+func (c *Counters) Reset() { // want `Counters\.Dropped is not reset at the warm-up boundary`
+	c.RetiredUops = 0
+	c.L2Misses = 0
+}

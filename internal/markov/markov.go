@@ -37,6 +37,14 @@ type Config struct {
 	MaxEntries int
 }
 
+// Validate checks the table bound; New panics on what this rejects.
+func (c Config) Validate() error {
+	if c.MaxEntries < 0 {
+		return fmt.Errorf("markov: negative entry bound %d", c.MaxEntries)
+	}
+	return nil
+}
+
 type entry struct {
 	line uint32
 	succ []uint32 // MRU-first, at most Fanout

@@ -26,6 +26,15 @@ type StrideConfig struct {
 	Distance int
 }
 
+// Validate checks the table geometry; NewStride panics on what this
+// rejects.
+func (c StrideConfig) Validate() error {
+	if c.TableEntries <= 0 || c.Degree <= 0 || c.Distance < 0 {
+		return fmt.Errorf("prefetch: bad stride config %+v", c)
+	}
+	return nil
+}
+
 // DefaultStrideConfig is a plausible contemporary stride engine: 256
 // entries, two prefetches per steady miss, running 40 strides ahead —
 // enough lead to fully hide the 460-cycle memory latency on streams that

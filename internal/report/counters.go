@@ -1,0 +1,118 @@
+package report
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/cache"
+	"repro/internal/stats"
+)
+
+// sourceNames labels the per-source counter columns, indexed by
+// cache.Source.
+var sourceNames = [stats.NumSources]string{"demand", "stride", "content", "markov"}
+
+// CountersTable renders every scalar field of stats.Counters as a
+// two-column table. It is the registration point the statsreg analyzer
+// checks: a field added to Counters without a row here (or in
+// PerSourceTable/MaskHistogram) fails `go run ./cmd/simlint ./...`, so
+// counters cannot silently drift out of the report.
+func CountersTable(c *stats.Counters) *Table {
+	t := &Table{Title: "Counters", Headers: []string{"counter", "value"}}
+	add := func(name string, v any) { t.AddRow(name, v) }
+
+	add("retired µops", c.RetiredUops)
+	add("retired stores", c.RetiredStores)
+	add("cycles", c.Cycles)
+	add("warm-up boundary cycle", c.WarmCycles)
+	add("measured cycles", c.MeasuredCycles())
+
+	add("demand loads", c.DemandLoads)
+	add("L1 hits", c.L1Hits)
+	add("L1 misses", c.L1Misses)
+	add("L2 hits", c.L2Hits)
+	add("L2 misses", c.L2Misses)
+	add("L2 miss, no prefetch in flight", c.MissNoPF)
+
+	add("prefetch dropped: line present", c.PrefDroppedPresent)
+	add("prefetch dropped: in flight", c.PrefDroppedInflight)
+	add("prefetch dropped: queue full", c.PrefDroppedQueue)
+	add("prefetch squashed by demand", c.PrefSquashed)
+	add("prefetch dropped: unmapped page", c.PrefDroppedUnmapped)
+
+	add("TLB hits", c.TLBHits)
+	add("TLB misses", c.TLBMisses)
+	add("page walks (demand)", c.Walks)
+	add("page walks (speculative)", c.CDPWalks)
+	add("content prefetches needing a walk", c.CDPNeedWalk)
+
+	add("rescans", c.Rescans)
+	add("depth promotions", c.PromotedDepths)
+	add("content prefetches overlapping stride", c.CDPOverlapIssued)
+	add("useful overlapping prefetches", c.CDPOverlapUseful)
+	add("injected bad prefetches", c.InjectedPrefetches)
+	return t
+}
+
+// PerSourceTable renders the per-source counter arrays of Counters, one
+// column per prefetch source.
+func PerSourceTable(c *stats.Counters) *Table {
+	t := &Table{
+		Title:   "Per-source prefetch counters",
+		Headers: append([]string{"counter"}, sourceNames[:]...),
+	}
+	row := func(name string, a [stats.NumSources]uint64) {
+		cells := []any{name}
+		for _, v := range a {
+			cells = append(cells, v)
+		}
+		t.AddRow(cells...)
+	}
+	row("issued", c.PrefIssued)
+	row("useful", c.PrefUseful)
+	row("full hits", c.FullHits)
+	row("partial hits", c.PartialHits)
+	row("evicted unused", c.PrefEvictedUnused)
+
+	acc := []any{"accuracy"}
+	cov := []any{"coverage"}
+	for s := 0; s < stats.NumSources; s++ {
+		acc = append(acc, Pct(c.Accuracy(cache.Source(s))))
+		cov = append(cov, Pct(c.Coverage(cache.Source(s))))
+	}
+	t.AddRow(acc...)
+	t.AddRow(cov...)
+	return t
+}
+
+// MaskHistogram renders the timeliness histogram (Section 4.2.3): how much
+// of each useful content prefetch's memory latency was hidden.
+func MaskHistogram(c *stats.Counters) string {
+	var total uint64
+	for _, n := range c.MaskBuckets {
+		total += n
+	}
+	var b strings.Builder
+	b.WriteString("Masked-latency histogram\n========================\n")
+	if total == 0 {
+		b.WriteString("(no useful content prefetches)\n")
+		return b.String()
+	}
+	for i, n := range c.MaskBuckets {
+		label := fmt.Sprintf("%3d-%3d%%", i*10, (i+1)*10)
+		if i == 10 {
+			label = "   full "
+		}
+		fmt.Fprintf(&b, "%s %8d |%s\n", label, n, Bar(float64(n), float64(total), 40))
+	}
+	fmt.Fprintf(&b, "fully masked: %s\n", Pct(c.FullyMaskedShare()))
+	return b.String()
+}
+
+// CountersReport renders the complete counter state — every field of
+// stats.Counters — as one text block.
+func CountersReport(c *stats.Counters) string {
+	return CountersTable(c).Render() + "\n" +
+		PerSourceTable(c).Render() + "\n" +
+		MaskHistogram(c)
+}

@@ -19,6 +19,8 @@ import (
 
 // Config describes one simulated machine.
 type Config struct {
+	// Name labels the configuration in reports; any value (including
+	// empty, for throwaway configs in tests) is valid. simlint:novalidate
 	Name string
 
 	Core cpu.Config
@@ -51,6 +53,7 @@ type Config struct {
 
 	// InjectBadPrefetches floods every idle bus cycle with a useless
 	// prefetch, reproducing the pollution limit study of Section 3.5.
+	// Both toggle states are valid machines. simlint:novalidate
 	InjectBadPrefetches bool
 
 	// WarmupOps is the retired-µop count after which measurement
@@ -118,8 +121,23 @@ func (c Config) WithMarkov(stabBudgetBytes int, l2 cache.Config) Config {
 	return c
 }
 
-// Validate checks cross-field consistency.
+// Validate checks every configuration field and their cross-field
+// consistency. cfgcheck (cmd/simlint) enforces that no exported field is
+// ever added without either a check here or an explicit
+// `simlint:novalidate` marker.
 func (c Config) Validate() error {
+	if err := c.Core.Validate(); err != nil {
+		return err
+	}
+	if err := c.L1.Validate(); err != nil {
+		return err
+	}
+	if err := c.L2.Validate(); err != nil {
+		return err
+	}
+	if err := c.TLB.Validate(); err != nil {
+		return err
+	}
 	if c.L1.LineSize != LineSize || c.L2.LineSize != LineSize {
 		return fmt.Errorf("sim: line size must be %d", LineSize)
 	}
@@ -129,10 +147,26 @@ func (c Config) Validate() error {
 	if c.L2QueueSize <= 0 || c.BusQueueSize <= 0 {
 		return fmt.Errorf("sim: non-positive queue size")
 	}
+	if c.Stride != nil {
+		if err := c.Stride.Validate(); err != nil {
+			return err
+		}
+	}
 	if c.Content != nil {
 		if err := c.Content.Validate(); err != nil {
 			return err
 		}
+	}
+	if c.Markov != nil {
+		if err := c.Markov.Validate(); err != nil {
+			return err
+		}
+	}
+	if c.MaxOps < 0 {
+		return fmt.Errorf("sim: negative µop bound %d", c.MaxOps)
+	}
+	if c.MaxOps > 0 && c.WarmupOps >= uint64(c.MaxOps) {
+		return fmt.Errorf("sim: warm-up of %d µops swallows the whole %d-µop run", c.WarmupOps, c.MaxOps)
 	}
 	if c.MPTUBucketOps == 0 {
 		return fmt.Errorf("sim: zero MPTU bucket width")

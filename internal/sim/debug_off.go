@@ -1,0 +1,20 @@
+//go:build !simdebug
+
+package sim
+
+// debugInvariants gates the runtime invariant layer. In normal builds it is
+// a false constant, so every `if debugInvariants { ... }` block and the
+// stub bodies below compile away to nothing; builds with -tags simdebug
+// swap in debug_on.go and pay for full cross-structure checks on every
+// pump. See DESIGN.md, "Correctness tooling".
+const debugInvariants = false
+
+// debugPastSchedule is a no-op in normal builds; scheduler.schedule clamps
+// the past cycle to now and continues.
+func debugPastSchedule(at, now int64) {}
+
+// assertMonotone is a no-op in normal builds.
+func assertMonotone(at, now int64) {}
+
+// checkInvariants is a no-op in normal builds.
+func (ms *MemSystem) checkInvariants(at int64) {}

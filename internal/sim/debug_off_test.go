@@ -1,0 +1,16 @@
+//go:build !simdebug
+
+package sim
+
+import "testing"
+
+// In normal builds, scheduling into the past of the tracked now clamps to
+// now instead of reordering already-executed history.
+func TestSchedulePastClampsToNow(t *testing.T) {
+	var s scheduler
+	s.now = 100
+	s.schedule(50, func(int64) {})
+	if got := s.h[0].at; got != 100 {
+		t.Fatalf("schedule(50) with now=100 queued event at cycle %d, want clamp to 100", got)
+	}
+}

@@ -1,0 +1,18 @@
+//go:build simdebug
+
+package sim
+
+import "testing"
+
+// Under -tags simdebug, scheduling into the past of the tracked now is a
+// model bug and must panic rather than clamp.
+func TestSchedulePastPanicsUnderSimdebug(t *testing.T) {
+	var s scheduler
+	s.now = 100
+	defer func() {
+		if recover() == nil {
+			t.Fatal("schedule(50) with now=100 did not panic under simdebug")
+		}
+	}()
+	s.schedule(50, func(int64) {})
+}

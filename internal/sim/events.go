@@ -32,11 +32,22 @@ func (h *eventHeap) Pop() any {
 type scheduler struct {
 	h   eventHeap
 	seq uint64
+	// now is the cycle of the event currently (or most recently) executed.
+	// schedule clamps against it, so the heap can never travel backwards
+	// in time even if a caller slips.
+	now int64
 }
 
-// schedule runs fn at the given cycle (clamped to be in the future relative
-// to nothing — the caller guarantees monotonicity via Tick).
+// schedule runs fn at the given cycle. A cycle in the past of the tracked
+// now would reorder already-executed history, so it is clamped to now —
+// and treated as a model bug (panic) under -tags simdebug. The eventmono
+// analyzer (cmd/simlint) additionally rejects call sites whose cycle
+// argument is not derived from the tracked simulation time.
 func (s *scheduler) schedule(at int64, fn func(int64)) {
+	if at < s.now {
+		debugPastSchedule(at, s.now)
+		at = s.now
+	}
 	s.seq++
 	heap.Push(&s.h, event{at: at, seq: s.seq, fn: fn})
 }
@@ -54,6 +65,12 @@ func (s *scheduler) next() int64 {
 func (s *scheduler) runUntil(cycle int64) {
 	for len(s.h) > 0 && s.h[0].at <= cycle {
 		e := heap.Pop(&s.h).(event)
+		if debugInvariants {
+			assertMonotone(e.at, s.now)
+		}
+		if e.at > s.now {
+			s.now = e.at
+		}
 		e.fn(e.at)
 	}
 }

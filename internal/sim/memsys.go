@@ -40,6 +40,11 @@ type MemSystem struct {
 	reqID    uint64
 	now      int64
 
+	// flying counts granted but not-yet-arrived non-injected transfers.
+	// Maintained only under -tags simdebug (debugInvariants), where
+	// checkInvariants reconciles it against the inflight map.
+	flying int
+
 	l2PortFree int64
 
 	strideRecent map[uint32]bool
@@ -492,6 +497,9 @@ func (ms *MemSystem) enqueueDemandReq(at int64, req *bus.Request) {
 // follow-up pump is scheduled for the bus-free time, so no request can be
 // stranded (write-backs advance the bus clock without their own pump).
 func (ms *MemSystem) pump(at int64) {
+	if debugInvariants {
+		ms.checkInvariants(at)
+	}
 	if ms.nextPumpAt == at {
 		ms.nextPumpAt = 0
 	}
@@ -534,6 +542,9 @@ func (ms *MemSystem) grant(at int64) {
 	start, arrive := ms.fsb.Grant(at)
 	req.Granted = start
 	req.Arrive = arrive
+	if debugInvariants && !req.Injected {
+		ms.flying++
+	}
 	ms.sched.schedule(arrive, func(t int64) { ms.fillArrive(t, req) })
 	ms.schedulePump(ms.fsb.FreeAt())
 }
@@ -556,6 +567,9 @@ func (ms *MemSystem) makeInjectedRequest() *bus.Request {
 // scanner.
 func (ms *MemSystem) fillArrive(at int64, req *bus.Request) {
 	delete(ms.inflight, req.PABase)
+	if debugInvariants && !req.Injected {
+		ms.flying--
+	}
 	fillSlot := ms.reserveL2(at)
 	_ = fillSlot // the fill consumes an L2 port slot; data is usable at `at`
 

@@ -72,6 +72,10 @@ func Run(ck *trace.Checkpoint, cfg Config) *Result {
 	st.WarmCycles = warmCycle
 
 	hits, misses := ms.TLBStats()
+	// Mirror the lifetime translation counts into the counter block so the
+	// report emitter sees them (statsreg keeps the two in lockstep).
+	st.TLBHits = hits
+	st.TLBMisses = misses
 	res := &Result{
 		Config:         cfg,
 		Core:           coreRes,

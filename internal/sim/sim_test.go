@@ -2,6 +2,7 @@ package sim
 
 import (
 	"math/rand"
+	"reflect"
 	"testing"
 
 	"repro/internal/cache"
@@ -122,6 +123,36 @@ func TestDeterminism(t *testing.T) {
 	if a.Counters.PrefIssued != b.Counters.PrefIssued {
 		t.Fatalf("nondeterministic prefetch counts: %v vs %v",
 			a.Counters.PrefIssued, b.Counters.PrefIssued)
+	}
+}
+
+// TestDeterminismCountersIdentical is the determinism contract the detrand
+// analyzer (cmd/simlint) exists to protect: two runs of the same
+// workload/seed produce a byte-identical stats.Counters block — every
+// counter, not just headline cycles. Counters is a flat struct of scalars
+// and fixed-size arrays, so == compares every field.
+func TestDeterminismCountersIdentical(t *testing.T) {
+	cfg := testConfig().WithContent(core.DefaultConfig)
+	cfg.WarmupOps = 10_000
+	a := Run(buildChase(t, 16_000, 2, 4, true), cfg)
+	b := Run(buildChase(t, 16_000, 2, 4, true), cfg)
+	if *a.Counters != *b.Counters {
+		av := reflect.ValueOf(*a.Counters)
+		bv := reflect.ValueOf(*b.Counters)
+		for i := 0; i < av.NumField(); i++ {
+			if x, y := av.Field(i), bv.Field(i); !x.Equal(y) {
+				t.Errorf("Counters.%s differs between identical runs: %v vs %v",
+					av.Type().Field(i).Name, x, y)
+			}
+		}
+		t.Fatal("stats.Counters not byte-identical across identical runs")
+	}
+	if a.MeasuredCycles != b.MeasuredCycles || a.MeasuredUops != b.MeasuredUops {
+		t.Fatalf("measured region differs: %d/%d cycles, %d/%d µops",
+			a.MeasuredCycles, b.MeasuredCycles, a.MeasuredUops, b.MeasuredUops)
+	}
+	if !reflect.DeepEqual(a.MPTU.Values(), b.MPTU.Values()) {
+		t.Fatal("MPTU series differs across identical runs")
 	}
 }
 

@@ -26,6 +26,18 @@ type Config struct {
 // Sets returns the implied set count.
 func (c Config) Sets() int { return c.Entries / c.Ways }
 
+// Validate checks the TLB geometry; New panics on what this rejects.
+func (c Config) Validate() error {
+	if c.Entries <= 0 || c.Ways <= 0 {
+		return fmt.Errorf("tlb: non-positive geometry %+v", c)
+	}
+	sets := c.Sets()
+	if sets <= 0 || sets&(sets-1) != 0 || sets*c.Ways != c.Entries {
+		return fmt.Errorf("tlb: set count %d not a positive power of two dividing %d entries", sets, c.Entries)
+	}
+	return nil
+}
+
 type entry struct {
 	vpage uint32
 	frame uint32
