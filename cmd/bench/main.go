@@ -1,0 +1,147 @@
+// Command bench runs the fixed reduced-budget benchmark matrix and appends
+// one schema-versioned telemetry file (BENCH_<n>.json) to the output
+// directory, so the repository accumulates a performance trajectory over
+// time. CI runs it as a non-blocking job and uploads the report.
+//
+//	go run ./cmd/bench                 # all experiments, report at repo root
+//	go run ./cmd/bench -run table2     # a subset
+//	go run ./cmd/bench -hotpath=false  # skip the end-to-end micro-benchmark
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/benchio"
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/sim"
+	"repro/internal/workloads"
+)
+
+// hotPathBefore is BenchmarkSimulatorUopsPerSecond measured at the commit
+// named by hotPathBeforeRef — the last tree before the allocation-and-
+// dispatch pass over the simulation hot path. Keeping the baseline in the
+// report makes every BENCH file self-describing.
+var hotPathBefore = benchio.Metrics{
+	NsPerOp:     39_227_232,
+	BytesPerOp:  12_917_652,
+	AllocsPerOp: 421_396,
+}
+
+const hotPathBeforeRef = "3ec0134"
+
+func main() {
+	out := flag.String("out", ".", "directory for the BENCH_<n>.json report")
+	ops := flag.Int("ops", 60_000, "per-benchmark µop budget for the experiment matrix")
+	run := flag.String("run", "", "comma-separated experiment ids (default: all registered)")
+	hotpath := flag.Bool("hotpath", true, "run the end-to-end simulator micro-benchmark")
+	flag.Parse()
+
+	ids := experiments.IDs()
+	if *run != "" {
+		ids = strings.Split(*run, ",")
+	}
+
+	report := &benchio.Report{
+		Schema:      benchio.SchemaVersion,
+		CreatedUnix: time.Now().Unix(),
+		GoVersion:   runtime.Version(),
+		GOOS:        runtime.GOOS,
+		GOARCH:      runtime.GOARCH,
+		NumCPU:      runtime.NumCPU(),
+		Ops:         *ops,
+	}
+
+	if *hotpath {
+		fmt.Println("hot path: BenchmarkSimulatorUopsPerSecond ...")
+		report.HotPath = measureHotPath()
+		fmt.Printf("  before (%s): %.1f ms/op, %d B/op, %d allocs/op\n",
+			hotPathBeforeRef, report.HotPath.Before.NsPerOp/1e6,
+			report.HotPath.Before.BytesPerOp, report.HotPath.Before.AllocsPerOp)
+		fmt.Printf("  after:         %.1f ms/op, %d B/op, %d allocs/op\n",
+			report.HotPath.After.NsPerOp/1e6,
+			report.HotPath.After.BytesPerOp, report.HotPath.After.AllocsPerOp)
+	}
+
+	opt := experiments.Options{Ops: *ops, Reps: true}
+	for _, id := range ids {
+		r, err := experiments.Get(strings.TrimSpace(id))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		var before, after runtime.MemStats
+		simsBefore := experiments.SimsRun()
+		runtime.ReadMemStats(&before)
+		start := time.Now()
+		rep := r.Run(opt)
+		wall := time.Since(start)
+		runtime.ReadMemStats(&after)
+		if rep.Text == "" {
+			fmt.Fprintf(os.Stderr, "experiment %s produced no output\n", r.ID)
+			os.Exit(1)
+		}
+		sims := experiments.SimsRun() - simsBefore
+		e := benchio.Experiment{
+			ID:         r.ID,
+			Title:      r.Title,
+			WallMS:     float64(wall.Nanoseconds()) / 1e6,
+			Sims:       sims,
+			SimsPerSec: float64(sims) / wall.Seconds(),
+			AllocMB:    float64(after.TotalAlloc-before.TotalAlloc) / (1 << 20),
+			Allocs:     after.Mallocs - before.Mallocs,
+		}
+		report.Experiments = append(report.Experiments, e)
+		fmt.Printf("%-8s %8.0f ms  %3d sims  %6.1f sims/s  %8.1f MB alloc\n",
+			r.ID, e.WallMS, e.Sims, e.SimsPerSec, e.AllocMB)
+	}
+
+	report.PeakRSSKB = benchio.PeakRSSKB()
+
+	path, n, err := benchio.NextPath(*out)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if err := benchio.Write(path, report); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s (report #%d, peak RSS %d KiB)\n", path, n, report.PeakRSSKB)
+}
+
+// measureHotPath reruns bench_test.go's BenchmarkSimulatorUopsPerSecond
+// workload under testing.Benchmark and returns its allocation profile.
+func measureHotPath() *benchio.HotPath {
+	spec, err := workloads.ByName("tpcc-1")
+	if err != nil {
+		panic(err)
+	}
+	ck := workloads.Checkpoint(spec, 150_000)
+	cfg := sim.Default().WithContent(core.DefaultConfig)
+	cfg.WarmupOps = 20_000
+	res := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if r := sim.Run(ck, cfg); r.Core.Retired == 0 {
+				b.Fatal("nothing retired")
+			}
+		}
+	})
+	return &benchio.HotPath{
+		Benchmark: "BenchmarkSimulatorUopsPerSecond",
+		BeforeRef: hotPathBeforeRef,
+		Before:    hotPathBefore,
+		After: benchio.Metrics{
+			NsPerOp:     float64(res.NsPerOp()),
+			BytesPerOp:  uint64(res.AllocedBytesPerOp()),
+			AllocsPerOp: uint64(res.AllocsPerOp()),
+		},
+	}
+}

@@ -1,0 +1,143 @@
+// Package benchio defines the schema-versioned benchmark telemetry record
+// cmd/bench emits (BENCH_<n>.json at the repository root) and the helpers
+// for numbering, writing, and reading those files. Keeping the schema in a
+// library package lets tests pin it and future tooling (trend plots, CI
+// regression gates) parse old files by their embedded schema version.
+package benchio
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// SchemaVersion identifies the report layout. Bump it when a field changes
+// meaning; additive fields may keep the version.
+const SchemaVersion = 1
+
+// Metrics is one benchmark measurement in Go testing units.
+type Metrics struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  uint64  `json:"bytes_per_op"`
+	AllocsPerOp uint64  `json:"allocs_per_op"`
+}
+
+// HotPath records the simulator hot-path benchmark before and after the
+// allocation-and-dispatch pass, so the very first report carries its own
+// baseline. BeforeRef names the commit the Before column was measured at.
+type HotPath struct {
+	Benchmark string  `json:"benchmark"`
+	BeforeRef string  `json:"before_ref"`
+	Before    Metrics `json:"before"`
+	After     Metrics `json:"after"`
+}
+
+// Experiment is the telemetry for one registered experiment run at the
+// reduced budget.
+type Experiment struct {
+	ID         string  `json:"id"`
+	Title      string  `json:"title"`
+	WallMS     float64 `json:"wall_ms"`
+	Sims       uint64  `json:"sims"`
+	SimsPerSec float64 `json:"sims_per_sec"`
+	AllocMB    float64 `json:"alloc_mb"` // heap bytes allocated during the run
+	Allocs     uint64  `json:"allocs"`   // heap objects allocated during the run
+}
+
+// Report is one full cmd/bench run.
+type Report struct {
+	Schema      int    `json:"schema"`
+	CreatedUnix int64  `json:"created_unix"`
+	GoVersion   string `json:"go_version"`
+	GOOS        string `json:"goos"`
+	GOARCH      string `json:"goarch"`
+	NumCPU      int    `json:"num_cpu"`
+	// Ops is the per-benchmark µop budget the experiments ran at.
+	Ops int `json:"ops"`
+	// PeakRSSKB is the process high-water resident set after all
+	// experiments (VmHWM; 0 where the platform does not expose it).
+	PeakRSSKB   uint64       `json:"peak_rss_kb"`
+	HotPath     *HotPath     `json:"hot_path,omitempty"`
+	Experiments []Experiment `json:"experiments"`
+}
+
+// NextPath returns the first unused BENCH_<n>.json path in dir (n >= 1) and
+// the chosen n. Numbering never reuses a gap below the maximum, so reports
+// stay in chronological order.
+func NextPath(dir string) (string, int, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return "", 0, err
+	}
+	maxN := 0
+	for _, e := range entries {
+		var n int
+		if _, err := fmt.Sscanf(e.Name(), "BENCH_%d.json", &n); err == nil && n > maxN {
+			maxN = n
+		}
+	}
+	n := maxN + 1
+	return filepath.Join(dir, fmt.Sprintf("BENCH_%d.json", n)), n, nil
+}
+
+// List returns the BENCH_<n>.json paths in dir in numeric order.
+func List(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	type numbered struct {
+		n    int
+		path string
+	}
+	var found []numbered
+	for _, e := range entries {
+		var n int
+		if _, err := fmt.Sscanf(e.Name(), "BENCH_%d.json", &n); err == nil {
+			found = append(found, numbered{n, filepath.Join(dir, e.Name())})
+		}
+	}
+	sort.Slice(found, func(i, j int) bool { return found[i].n < found[j].n })
+	out := make([]string, len(found))
+	for i, f := range found {
+		out[i] = f.path
+	}
+	return out, nil
+}
+
+// Write marshals the report and writes it atomically (temp file + rename),
+// so a crashed run never leaves a truncated report behind.
+func Write(path string, r *Report) error {
+	if r.Schema == 0 {
+		r.Schema = SchemaVersion
+	}
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// Read parses one report, rejecting schema versions this code does not
+// understand.
+func Read(path string) (*Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r Report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("benchio: %s: %w", path, err)
+	}
+	if r.Schema != SchemaVersion {
+		return nil, fmt.Errorf("benchio: %s: unsupported schema %d (want %d)", path, r.Schema, SchemaVersion)
+	}
+	return &r, nil
+}

@@ -1,0 +1,101 @@
+package benchio
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func sampleReport() *Report {
+	return &Report{
+		CreatedUnix: 1_700_000_000,
+		GoVersion:   "go-test",
+		GOOS:        "linux",
+		GOARCH:      "amd64",
+		NumCPU:      8,
+		Ops:         60_000,
+		PeakRSSKB:   123_456,
+		HotPath: &HotPath{
+			Benchmark: "BenchmarkSimulatorUopsPerSecond",
+			BeforeRef: "abc1234",
+			Before:    Metrics{NsPerOp: 4e7, BytesPerOp: 12_917_656, AllocsPerOp: 421_396},
+			After:     Metrics{NsPerOp: 2.4e7, BytesPerOp: 1_468_546, AllocsPerOp: 16_497},
+		},
+		Experiments: []Experiment{
+			{ID: "table2", Title: "Table 2", WallMS: 1234.5, Sims: 30, SimsPerSec: 24.3, AllocMB: 800, Allocs: 1_000_000},
+		},
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "BENCH_1.json")
+	want := sampleReport()
+	if err := Write(path, want); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	got, err := Read(path)
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if got.Schema != SchemaVersion {
+		t.Fatalf("schema %d, want %d", got.Schema, SchemaVersion)
+	}
+	if got.HotPath == nil || *got.HotPath != *want.HotPath {
+		t.Fatalf("hot path round trip: %+v vs %+v", got.HotPath, want.HotPath)
+	}
+	if len(got.Experiments) != 1 || got.Experiments[0] != want.Experiments[0] {
+		t.Fatalf("experiments round trip: %+v", got.Experiments)
+	}
+}
+
+func TestReadRejectsUnknownSchema(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "BENCH_1.json")
+	if err := os.WriteFile(path, []byte(`{"schema": 999}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Read(path); err == nil {
+		t.Fatal("Read accepted schema 999")
+	}
+}
+
+func TestNextPathNumbering(t *testing.T) {
+	dir := t.TempDir()
+	path, n, err := NextPath(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 || filepath.Base(path) != "BENCH_1.json" {
+		t.Fatalf("empty dir: got n=%d path=%s", n, path)
+	}
+	for _, name := range []string{"BENCH_1.json", "BENCH_3.json", "BENCH_x.json", "notes.txt"} {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte("{}"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	path, n, err = NextPath(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Numbering continues past the maximum; the gap at 2 is not reused.
+	if n != 4 || filepath.Base(path) != "BENCH_4.json" {
+		t.Fatalf("got n=%d path=%s, want BENCH_4.json", n, path)
+	}
+	paths, err := List(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != 2 || filepath.Base(paths[0]) != "BENCH_1.json" || filepath.Base(paths[1]) != "BENCH_3.json" {
+		t.Fatalf("List = %v", paths)
+	}
+}
+
+func TestPeakRSSReportsOnLinux(t *testing.T) {
+	if _, err := os.Stat("/proc/self/status"); err != nil {
+		t.Skip("no /proc/self/status on this platform")
+	}
+	if PeakRSSKB() == 0 {
+		t.Fatal("PeakRSSKB returned 0 with /proc available")
+	}
+}

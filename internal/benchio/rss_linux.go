@@ -1,0 +1,33 @@
+//go:build linux
+
+package benchio
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"strings"
+)
+
+// PeakRSSKB reads the process's resident-set high-water mark (VmHWM) from
+// /proc/self/status, in KiB. Returns 0 if the field cannot be read.
+func PeakRSSKB() uint64 {
+	f, err := os.Open("/proc/self/status")
+	if err != nil {
+		return 0
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "VmHWM:") {
+			continue
+		}
+		var kb uint64
+		if _, err := fmt.Sscanf(strings.TrimPrefix(line, "VmHWM:"), "%d kB", &kb); err == nil {
+			return kb
+		}
+		return 0
+	}
+	return 0
+}

@@ -1,0 +1,7 @@
+//go:build !linux
+
+package benchio
+
+// PeakRSSKB returns 0 on platforms without /proc/self/status; the report's
+// peak_rss_kb field is documented as 0 when unavailable.
+func PeakRSSKB() uint64 { return 0 }

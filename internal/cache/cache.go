@@ -6,7 +6,10 @@
 // in hardware — less than ½% space overhead, as the paper reports).
 package cache
 
-import "fmt"
+import (
+	"fmt"
+	"math/bits"
+)
 
 // Source identifies which agent brought a line into a cache.
 type Source uint8
@@ -81,11 +84,16 @@ func (c Config) validate() error {
 	return nil
 }
 
-// Cache is a single-level, true-LRU, set-associative cache.
+// Cache is a single-level, true-LRU, set-associative cache. The geometry
+// constants every access needs — line shift and mask, set-index mask, way
+// count — are flattened out of the Config at construction so the lookup
+// path loads them directly instead of rederiving them per access.
 type Cache struct {
 	cfg       Config
 	lineShift uint
-	setMask   uint32
+	lineMask  uint32 // LineSize-1: low bits within a line
+	setMask   uint32 // Sets()-1: line-address bits selecting the set
+	ways      int
 	sets      []Line // sets*ways lines, flattened
 	clock     uint64
 }
@@ -96,14 +104,12 @@ func New(cfg Config) *Cache {
 	if err := cfg.validate(); err != nil {
 		panic(err)
 	}
-	shift := uint(0)
-	for 1<<shift != cfg.LineSize {
-		shift++
-	}
 	return &Cache{
 		cfg:       cfg,
-		lineShift: shift,
+		lineShift: uint(bits.TrailingZeros32(uint32(cfg.LineSize))),
+		lineMask:  uint32(cfg.LineSize - 1),
 		setMask:   uint32(cfg.Sets() - 1),
+		ways:      cfg.Ways,
 		sets:      make([]Line, cfg.Sets()*cfg.Ways),
 	}
 }
@@ -115,11 +121,11 @@ func (c *Cache) Config() Config { return c.cfg }
 func (c *Cache) LineAddr(addr uint32) uint32 { return addr >> c.lineShift }
 
 // LineBase maps an address to the first byte of its line.
-func (c *Cache) LineBase(addr uint32) uint32 { return addr &^ uint32(c.cfg.LineSize-1) }
+func (c *Cache) LineBase(addr uint32) uint32 { return addr &^ c.lineMask }
 
 func (c *Cache) set(lineAddr uint32) []Line {
-	idx := int(lineAddr&c.setMask) * c.cfg.Ways
-	return c.sets[idx : idx+c.cfg.Ways]
+	idx := int(lineAddr&c.setMask) * c.ways
+	return c.sets[idx : idx+c.ways]
 }
 
 // Lookup finds the line containing addr. When touch is set, a hit updates

@@ -1,0 +1,163 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// refCache is an obviously-correct cache model: one slice per set holding
+// line addresses most-recently-used first. The real Cache must agree with
+// it on every hit/miss outcome and every eviction victim.
+type refCache struct {
+	sets [][]uint32
+	ways int
+	mask uint32
+}
+
+func newRefCache(cfg Config) *refCache {
+	return &refCache{
+		sets: make([][]uint32, cfg.Sets()),
+		ways: cfg.Ways,
+		mask: uint32(cfg.Sets() - 1),
+	}
+}
+
+func (r *refCache) set(la uint32) int { return int(la & r.mask) }
+
+// lookup reports presence; touch moves the line to the MRU position.
+func (r *refCache) lookup(la uint32, touch bool) bool {
+	s := r.sets[r.set(la)]
+	for i, v := range s {
+		if v == la {
+			if touch {
+				copy(s[1:i+1], s[:i])
+				s[0] = la
+			}
+			return true
+		}
+	}
+	return false
+}
+
+// fill installs la at the MRU position, returning the evicted line address
+// and whether an eviction happened. A refill of a present line refreshes
+// recency without evicting.
+func (r *refCache) fill(la uint32) (evicted uint32, did bool) {
+	si := r.set(la)
+	if r.lookup(la, true) {
+		return 0, false
+	}
+	s := r.sets[si]
+	if len(s) == r.ways {
+		evicted, did = s[len(s)-1], true
+		s = s[:len(s)-1]
+	}
+	r.sets[si] = append([]uint32{la}, s...)
+	return evicted, did
+}
+
+// geometries mixes power-of-two and odd way counts (the markov_1/8 config
+// runs a 7-way UL2) at two line sizes.
+var geometries = []Config{
+	{SizeBytes: 4 * 1024, Ways: 1, LineSize: 32},
+	{SizeBytes: 8 * 1024, Ways: 2, LineSize: 64},
+	{SizeBytes: 16 * 1024, Ways: 4, LineSize: 64},
+	{SizeBytes: 896, Ways: 7, LineSize: 64}, // 7-way, 2 sets
+	{SizeBytes: 32 * 1024, Ways: 8, LineSize: 64},
+}
+
+// TestCacheMatchesReferenceModelQuick drives random lookup/probe/fill
+// sequences through the Cache and the reference model and requires exact
+// agreement on hits, misses, evictions, and residency. This pins the
+// true-LRU stack property the reinforcement accounting depends on.
+func TestCacheMatchesReferenceModelQuick(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for _, cfg := range geometries {
+		if err := cfg.Validate(); err != nil {
+			t.Fatalf("test geometry %+v invalid: %v", cfg, err)
+		}
+		c := New(cfg)
+		ref := newRefCache(cfg)
+		// A small address pool forces set conflicts; spread across a few
+		// "pages" so tags repeat within sets.
+		pool := make([]uint32, 64)
+		for i := range pool {
+			pool[i] = uint32(rng.Intn(1<<14)) * uint32(cfg.LineSize)
+		}
+		var hits, misses, accesses int
+		for op := 0; op < 20000; op++ {
+			addr := pool[rng.Intn(len(pool))] + uint32(rng.Intn(cfg.LineSize))
+			la := c.LineAddr(addr)
+			switch rng.Intn(3) {
+			case 0: // touching lookup
+				accesses++
+				got := c.Lookup(addr, true) != nil
+				want := ref.lookup(la, true)
+				if got != want {
+					t.Fatalf("%v op %d: Lookup(%#x) hit=%v, reference %v", cfg, op, addr, got, want)
+				}
+				if got {
+					hits++
+				} else {
+					misses++
+				}
+			case 1: // probe must not disturb LRU state
+				got := c.Lookup(addr, false) != nil
+				want := ref.lookup(la, false)
+				if got != want {
+					t.Fatalf("%v op %d: Probe(%#x) hit=%v, reference %v", cfg, op, addr, got, want)
+				}
+			case 2:
+				ev := c.Fill(addr, Line{Source: SrcDemand, VA: c.LineBase(addr)})
+				refEv, refDid := ref.fill(la)
+				if ev.Valid != refDid {
+					t.Fatalf("%v op %d: Fill(%#x) evicted=%v, reference %v", cfg, op, addr, ev.Valid, refDid)
+				}
+				if ev.Valid && ev.LineAddr != refEv {
+					t.Fatalf("%v op %d: Fill(%#x) evicted line %#x, reference chose LRU %#x",
+						cfg, op, addr, ev.LineAddr, refEv)
+				}
+				// Inclusion: the just-filled tag must be resident in its
+				// indexed set.
+				if l := c.Lookup(addr, false); l == nil || l.LineAddr != la {
+					t.Fatalf("%v op %d: line %#x absent immediately after Fill", cfg, op, la)
+				}
+			}
+		}
+		if hits+misses != accesses {
+			t.Fatalf("%v: accounting leak: %d hits + %d misses != %d accesses", cfg, hits, misses, accesses)
+		}
+		refResident := 0
+		for _, s := range ref.sets {
+			refResident += len(s)
+		}
+		if got := c.ValidLines(); got != refResident {
+			t.Fatalf("%v: ValidLines = %d, reference holds %d", cfg, got, refResident)
+		}
+	}
+}
+
+// TestPrecomputedGeometryConstants checks the construction-time flattened
+// constants against the Config-derived definitions for every geometry.
+func TestPrecomputedGeometryConstants(t *testing.T) {
+	for _, cfg := range geometries {
+		c := New(cfg)
+		if 1<<c.lineShift != cfg.LineSize {
+			t.Errorf("%v: lineShift %d does not recover line size %d", cfg, c.lineShift, cfg.LineSize)
+		}
+		if c.lineMask != uint32(cfg.LineSize-1) {
+			t.Errorf("%v: lineMask %#x, want %#x", cfg, c.lineMask, cfg.LineSize-1)
+		}
+		if c.setMask != uint32(cfg.Sets()-1) {
+			t.Errorf("%v: setMask %#x, want %#x", cfg, c.setMask, cfg.Sets()-1)
+		}
+		if c.ways != cfg.Ways {
+			t.Errorf("%v: ways %d, want %d", cfg, c.ways, cfg.Ways)
+		}
+		for _, addr := range []uint32{0, 1, uint32(cfg.LineSize) - 1, 0xdead_beef, 0xffff_ffff} {
+			if c.LineBase(addr) != addr&^uint32(cfg.LineSize-1) {
+				t.Errorf("%v: LineBase(%#x) = %#x", cfg, addr, c.LineBase(addr))
+			}
+		}
+	}
+}

@@ -1,0 +1,95 @@
+package core
+
+import "testing"
+
+// fuzzMatchConfig derives an always-valid MatchConfig from four arbitrary
+// fuzz bytes, exercising the whole legal knob space.
+func fuzzMatchConfig(cmp, flt, aln, step uint32) MatchConfig {
+	c := MatchConfig{
+		CompareBits: 1 + int(cmp%30),
+		AlignBits:   int(aln % 5),
+		ScanStep:    []int{1, 2, 4}[step%3],
+	}
+	c.FilterBits = int(flt) % (addrBits - c.CompareBits + 1)
+	return c
+}
+
+// FuzzIsCandidate checks the matcher's output is constrained by its own
+// definition for arbitrary words and knobs: accepted words are aligned and
+// share the compare field with the effective address, and an effective
+// address always matches itself (the paper's sanity property) whenever it
+// is aligned and outside the filtered extreme regions' rejection cases.
+func FuzzIsCandidate(f *testing.F) {
+	f.Add(uint32(0x1000_0000), uint32(0x1000_0040), uint32(8), uint32(4), uint32(1), uint32(2))
+	f.Add(uint32(0), uint32(0), uint32(1), uint32(0), uint32(0), uint32(0))
+	f.Add(uint32(0xffff_ffff), uint32(0xffff_fffc), uint32(30), uint32(2), uint32(2), uint32(2))
+	f.Fuzz(func(t *testing.T, eff, word, cmp, flt, aln, step uint32) {
+		c := fuzzMatchConfig(cmp, flt, aln, step)
+		if err := c.Validate(); err != nil {
+			t.Fatalf("fuzz-derived config %v invalid: %v", c, err)
+		}
+		if !c.IsCandidate(eff, word) {
+			return
+		}
+		if c.AlignBits > 0 && word&(1<<uint(c.AlignBits)-1) != 0 {
+			t.Fatalf("%v accepted misaligned word %#x", c, word)
+		}
+		n := uint(c.CompareBits)
+		if word>>(addrBits-n) != eff>>(addrBits-n) {
+			t.Fatalf("%v accepted word %#x whose compare field differs from eff %#x", c, word, eff)
+		}
+		if c.FilterBits == 0 {
+			top := word >> (addrBits - n)
+			if top == 0 || top == 1<<n-1 {
+				t.Fatalf("%v accepted extreme-region word %#x with zero filter bits", c, word)
+			}
+		}
+	})
+}
+
+// FuzzScanLine feeds arbitrary line bytes through the scanner and checks
+// the structural invariants issueContentPrefetch relies on: every reported
+// word passes IsCandidate, words are unique, the count never exceeds the
+// number of scanned positions, and AppendScan agrees with ScanLine.
+func FuzzScanLine(f *testing.F) {
+	f.Add(uint32(0x1000_0000), uint32(8), uint32(4), uint32(1), uint32(2), []byte("\x40\x00\x00\x10\x00\x01\x00\x10"))
+	f.Add(uint32(0), uint32(1), uint32(0), uint32(0), uint32(0), []byte{})
+	f.Add(uint32(0xdead_beef), uint32(16), uint32(8), uint32(2), uint32(1), make([]byte, 64))
+	f.Fuzz(func(t *testing.T, eff, cmp, flt, aln, step uint32, line []byte) {
+		c := fuzzMatchConfig(cmp, flt, aln, step)
+		words := c.ScanLine(eff, line)
+		if len(line) >= 4 && len(words) > (len(line)-4)/c.ScanStep+1 {
+			t.Fatalf("%v returned %d words from a %d-byte line", c, len(words), len(line))
+		}
+		if len(line) < 4 && len(words) != 0 {
+			t.Fatalf("%v found words in a %d-byte line", c, len(line))
+		}
+		for i, w := range words {
+			if !c.IsCandidate(eff, w) {
+				t.Fatalf("%v reported %#x, which IsCandidate rejects", c, w)
+			}
+			for _, prev := range words[:i] {
+				if prev == w {
+					t.Fatalf("%v reported duplicate word %#x", c, w)
+				}
+			}
+		}
+		// AppendScan must append exactly ScanLine's words after existing
+		// entries without disturbing them.
+		prefix := []uint32{0xaaaa_aaaa, 0x5555_5554}
+		got := c.AppendScan(append([]uint32(nil), prefix...), eff, line)
+		if len(got) != len(prefix)+len(words) {
+			t.Fatalf("AppendScan appended %d words, ScanLine found %d", len(got)-len(prefix), len(words))
+		}
+		for i, w := range prefix {
+			if got[i] != w {
+				t.Fatalf("AppendScan disturbed existing entry %d", i)
+			}
+		}
+		for i, w := range words {
+			if got[len(prefix)+i] != w {
+				t.Fatalf("AppendScan word %d = %#x, ScanLine found %#x", i, got[len(prefix)+i], w)
+			}
+		}
+	})
+}

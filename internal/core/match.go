@@ -119,24 +119,31 @@ func (c MatchConfig) IsCandidate(eff, word uint32) bool {
 // step 1 in a 64-byte line, 16 at step 4). Duplicate candidate values
 // within one line are reported once.
 func (c MatchConfig) ScanLine(eff uint32, line []byte) []uint32 {
-	var out []uint32
+	return c.AppendScan(nil, eff, line)
+}
+
+// AppendScan is the allocation-free form of ScanLine: it appends the line's
+// candidate words to dst and returns the extended slice, deduplicating only
+// against words appended by this call.
+func (c MatchConfig) AppendScan(dst []uint32, eff uint32, line []byte) []uint32 {
+	start := len(dst)
 	for off := 0; off+4 <= len(line); off += c.ScanStep {
 		w := binary.LittleEndian.Uint32(line[off : off+4])
 		if !c.IsCandidate(eff, w) {
 			continue
 		}
 		dup := false
-		for _, prev := range out {
+		for _, prev := range dst[start:] {
 			if prev == w {
 				dup = true
 				break
 			}
 		}
 		if !dup {
-			out = append(out, w)
+			dst = append(dst, w)
 		}
 	}
-	return out
+	return dst
 }
 
 // WordsScanned returns how many words one line scan examines, a proxy for

@@ -98,6 +98,11 @@ type Prefetcher struct {
 	rescans       uint64
 	chainsStopped uint64 // scans suppressed by the depth threshold
 	adaptations   uint64
+
+	// words and out are scratch buffers reused across fills; the slice
+	// OnFill returns aliases out and is valid only until the next call.
+	words []uint32
+	out   []Candidate
 }
 
 // New builds a content prefetcher; it panics on invalid configuration
@@ -138,40 +143,51 @@ func (p *Prefetcher) ShouldScan(depth int) bool {
 // fill; depth is that request's depth (0 for a demand fetch). The returned
 // candidates carry depth+1 and include the configured next/previous lines
 // for each matched pointer. Candidate lines equal to the scanned line
-// itself are suppressed (a self-pointer prefetches nothing new).
+// itself are suppressed (a self-pointer prefetches nothing new). The
+// returned slice aliases an internal scratch buffer and is valid only until
+// the next OnFill call.
 func (p *Prefetcher) OnFill(trigVA uint32, depth int, lineVA uint32, line []byte) []Candidate {
 	if !p.ShouldScan(depth) {
 		return nil
 	}
 	p.linesScanned++
-	words := p.cfg.Match.ScanLine(trigVA, line)
+	p.words = p.cfg.Match.AppendScan(p.words[:0], trigVA, line)
+	words := p.words
 	p.wordsMatched += uint64(len(words))
 	if len(words) == 0 {
 		return nil
 	}
 	scanned := p.lineBase(lineVA)
 	nd := depth + 1
-	var out []Candidate
-	seen := make(map[uint32]bool, len(words)*(1+p.cfg.NextLines+p.cfg.PrevLines))
-	add := func(base, ptr uint32, widened bool) {
-		if base == scanned || seen[base] {
-			return
-		}
-		seen[base] = true
-		out = append(out, Candidate{VA: base, Pointer: ptr, Depth: nd, Widened: widened})
-	}
+	out := p.out[:0]
 	ls := uint32(p.cfg.LineSize)
 	for _, w := range words {
 		base := p.lineBase(w)
-		add(base, w, false)
+		out = addCandidate(out, scanned, base, w, nd, false)
 		for k := 1; k <= p.cfg.NextLines; k++ {
-			add(base+uint32(k)*ls, w, true)
+			out = addCandidate(out, scanned, base+uint32(k)*ls, w, nd, true)
 		}
 		for k := 1; k <= p.cfg.PrevLines; k++ {
-			add(base-uint32(k)*ls, w, true)
+			out = addCandidate(out, scanned, base-uint32(k)*ls, w, nd, true)
 		}
 	}
+	p.out = out
 	return out
+}
+
+// addCandidate appends one candidate line unless it targets the scanned
+// line itself or duplicates an earlier candidate. Per-line candidate counts
+// are tiny, so a linear dedup scan beats building a set for every fill.
+func addCandidate(out []Candidate, scanned, base, ptr uint32, depth int, widened bool) []Candidate {
+	if base == scanned {
+		return out
+	}
+	for i := range out {
+		if out[i].VA == base {
+			return out
+		}
+	}
+	return append(out, Candidate{VA: base, Pointer: ptr, Depth: depth, Widened: widened})
 }
 
 // OnCacheHit applies the reinforcement rules when a request of depth

@@ -1,7 +1,6 @@
 package cpu
 
 import (
-	"container/heap"
 	"fmt"
 
 	"repro/internal/stats"
@@ -128,14 +127,62 @@ type completion struct {
 	seq  uint64
 }
 
+// completionHeap is a hand-rolled binary min-heap ordered by (at, seq).
+// container/heap would box every completion into an `any` on Push — one
+// heap allocation per issued µop, the single largest allocation source in
+// the simulator. The (at, seq) order is total, so pop order is fully
+// deterministic; equal-cycle completions are all drained within one
+// complete() call, which makes their relative order unobservable anyway.
 type completionHeap []completion
 
-func (h completionHeap) Len() int           { return len(h) }
-func (h completionHeap) Less(i, j int) bool { return h[i].at < h[j].at }
-func (h completionHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
-func (h *completionHeap) Push(x any)        { *h = append(*h, x.(completion)) }
-func (h *completionHeap) Pop() any          { old := *h; n := len(old); x := old[n-1]; *h = old[:n-1]; return x }
-func (h completionHeap) peekAt() int64      { return h[0].at }
+func (h completion) less(o completion) bool {
+	if h.at != o.at {
+		return h.at < o.at
+	}
+	return h.seq < o.seq
+}
+
+func (h *completionHeap) push(c completion) {
+	*h = append(*h, c)
+	s := *h
+	i := len(s) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !s[i].less(s[parent]) {
+			break
+		}
+		s[i], s[parent] = s[parent], s[i]
+		i = parent
+	}
+}
+
+func (h *completionHeap) pop() completion {
+	s := *h
+	top := s[0]
+	n := len(s) - 1
+	s[0] = s[n]
+	s = s[:n]
+	*h = s
+	i := 0
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		m := l
+		if r := l + 1; r < n && s[r].less(s[l]) {
+			m = r
+		}
+		if !s[m].less(s[i]) {
+			break
+		}
+		s[i], s[m] = s[m], s[i]
+		i = m
+	}
+	return top
+}
+
+func (h completionHeap) peekAt() int64 { return h[0].at }
 
 // Core runs traces against a memory port.
 type Core struct {
@@ -151,6 +198,14 @@ type Core struct {
 	readyQ     []int32
 	completed  completionHeap
 
+	// loadDone and storeDone are memory-port completion callbacks built
+	// once at construction. A per-load closure literal would escape (the
+	// memory system stores it on miss) and cost one allocation per load;
+	// the per-slot callback is safe because a ROB slot holds at most one
+	// outstanding load, whose seq cannot change until it completes.
+	loadDone  []func(at int64)
+	storeDone func(at int64)
+
 	outstandingLoads  int
 	outstandingStores int
 
@@ -163,7 +218,10 @@ type Core struct {
 	res   Result
 
 	// OnRetire, if set, is called after each retired µop with the
-	// running retired count and current cycle (warm-up detection).
+	// running retired count and current cycle (warm-up detection). The
+	// callback may set OnRetire to nil to unsubscribe once it has seen
+	// what it needs; retirement accounting is batched while no observer
+	// is attached.
 	OnRetire func(retired uint64, cycle int64)
 }
 
@@ -175,12 +233,21 @@ func New(cfg Config, st *stats.Counters) *Core {
 	if st == nil {
 		st = &stats.Counters{}
 	}
-	return &Core{
+	c := &Core{
 		cfg: cfg,
 		bp:  NewGshare(cfg.GshareBits),
 		st:  st,
 		rob: make([]robEntry, cfg.ROBSize),
 	}
+	c.loadDone = make([]func(at int64), cfg.ROBSize)
+	for i := range c.loadDone {
+		slot := int32(i)
+		c.loadDone[i] = func(at int64) {
+			c.markComplete(slot, c.rob[slot].seq, at)
+		}
+	}
+	c.storeDone = func(int64) { c.outstandingStores-- }
+	return c
 }
 
 // Run executes up to maxOps µops of tr (0 = all) and returns timing.
@@ -246,7 +313,7 @@ func (c *Core) Run(tr *trace.Trace, mp MemPort, maxOps int) Result {
 func (c *Core) complete() bool {
 	any := false
 	for len(c.completed) > 0 && c.completed.peekAt() <= c.cycle {
-		comp := heap.Pop(&c.completed).(completion)
+		comp := c.completed.pop()
 		e := &c.rob[comp.slot]
 		if e.seq != comp.seq || e.state != esIssued {
 			continue // stale (should not happen, but be safe)
@@ -278,12 +345,17 @@ func (c *Core) markComplete(slot int32, seq uint64, at int64) {
 	if at <= c.cycle {
 		at = c.cycle + 1
 	}
-	heap.Push(&c.completed, completion{at: at, slot: slot, seq: seq})
+	c.completed.push(completion{at: at, slot: slot, seq: seq})
 }
 
-// retire commits completed µops in order.
+// retire commits completed µops in order. Retirement accounting is batched:
+// the counters are flushed once per retire burst rather than incremented
+// per µop, except while an OnRetire observer is attached (warm-up only),
+// where the flush precedes each callback so the warm-up reset sees exact
+// counts.
 func (c *Core) retire(mp MemPort) bool {
 	any := false
+	var retired, stores uint64
 	for n := 0; n < c.cfg.RetireWidth && c.count > 0; n++ {
 		e := &c.rob[c.head]
 		if e.state != esDone {
@@ -294,21 +366,22 @@ func (c *Core) retire(mp MemPort) bool {
 				break // store buffer full: stall retirement
 			}
 			c.outstandingStores++
-			c.st.RetiredStores++
-			mp.Store(c.cycle, e.op.Addr, e.op.PC, func(int64) {
-				c.outstandingStores--
-			})
+			stores++
+			mp.Store(c.cycle, e.op.Addr, e.op.PC, c.storeDone)
 		}
 		e.state = esEmpty
 		c.head = (c.head + 1) % int32(c.cfg.ROBSize)
 		c.count--
 		c.res.Retired++
-		c.st.RetiredUops++
+		retired++
 		if c.OnRetire != nil {
+			c.st.AddRetired(retired, stores)
+			retired, stores = 0, 0
 			c.OnRetire(c.res.Retired, c.cycle)
 		}
 		any = true
 	}
+	c.st.AddRetired(retired, stores)
 	return any
 }
 
@@ -362,11 +435,7 @@ func (c *Core) issue(mp MemPort) bool {
 			memLeft--
 			c.outstandingLoads++
 			c.res.Loads++
-			seq := e.seq
-			s := slot
-			mp.Load(c.cycle, e.op.Addr, e.op.PC, func(at int64) {
-				c.markComplete(s, seq, at)
-			})
+			mp.Load(c.cycle, e.op.Addr, e.op.PC, c.loadDone[slot])
 		case trace.KStore:
 			memLeft--
 			c.res.Stores++

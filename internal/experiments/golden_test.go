@@ -1,0 +1,106 @@
+package experiments
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// update regenerates the golden files instead of comparing against them:
+//
+//	go test ./internal/experiments -run TestGoldenOutputs -update
+//
+// Regenerate only when an experiment's output is *supposed* to change (a
+// model or rendering change); a perf-only PR must leave every golden file
+// byte-identical.
+var update = flag.Bool("update", false, "rewrite testdata/golden/<id>.txt files")
+
+// goldenOpt pins the exact reduced-budget options the golden files were
+// generated with. Changing anything here invalidates every golden file.
+func goldenOpt() Options {
+	return Options{Ops: 60_000, Reps: true}
+}
+
+func goldenPath(id string) string {
+	return filepath.Join("testdata", "golden", id+".txt")
+}
+
+// TestGoldenOutputs compares every registered experiment's rendered text
+// against its checked-in golden file, exactly. This is the regression net
+// that lets hot-path optimisation proceed without silently changing the
+// paper's Table 2 / Figure 10 numbers: any byte of drift in any experiment
+// fails here.
+func TestGoldenOutputs(t *testing.T) {
+	for _, id := range IDs() {
+		t.Run(id, func(t *testing.T) {
+			r, err := Get(id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rep := r.Run(goldenOpt())
+			if rep == nil || rep.Text == "" {
+				t.Fatalf("experiment %s produced no text", id)
+			}
+			path := goldenPath(id)
+			if *update {
+				if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, []byte(rep.Text), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden file for %s (regenerate with -update): %v", id, err)
+			}
+			if rep.Text != string(want) {
+				t.Errorf("experiment %s output drifted from %s:\n%s", id, path, firstDiff(string(want), rep.Text))
+			}
+		})
+	}
+}
+
+// TestGoldenFilesHaveNoStrays fails when testdata/golden contains a file for
+// an experiment that is no longer registered (renames leave stale goldens
+// behind otherwise).
+func TestGoldenFilesHaveNoStrays(t *testing.T) {
+	entries, err := os.ReadDir(filepath.Join("testdata", "golden"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	known := map[string]bool{}
+	for _, id := range IDs() {
+		known[id] = true
+	}
+	for _, e := range entries {
+		id := strings.TrimSuffix(e.Name(), ".txt")
+		if !known[id] {
+			t.Errorf("stray golden file %s: no experiment %q is registered", e.Name(), id)
+		}
+	}
+}
+
+// firstDiff renders the first line where got departs from want, with one
+// line of context, so a golden failure is readable without an external diff.
+func firstDiff(want, got string) string {
+	wl := strings.Split(want, "\n")
+	gl := strings.Split(got, "\n")
+	n := len(wl)
+	if len(gl) < n {
+		n = len(gl)
+	}
+	for i := 0; i < n; i++ {
+		if wl[i] != gl[i] {
+			return fmt.Sprintf("line %d:\n- %s\n+ %s", i+1, wl[i], gl[i])
+		}
+	}
+	if len(wl) != len(gl) {
+		return fmt.Sprintf("line counts differ: want %d lines, got %d", len(wl), len(gl))
+	}
+	return "outputs differ (unlocatable diff)"
+}

@@ -15,6 +15,12 @@ import (
 	"repro/internal/workloads"
 )
 
+// SimsRun reports how many simulations this process has completed,
+// including runs an experiment makes outside runMatrix. cmd/bench divides
+// the delta across an experiment by its wall time for the sims/sec
+// telemetry.
+func SimsRun() uint64 { return sim.Runs() }
+
 // Options scales an experiment run.
 type Options struct {
 	// Ops is the per-benchmark µop budget (0 = workloads.DefaultOps).

@@ -1,0 +1,136 @@
+package heap
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/mem"
+)
+
+// TestBuildListTraversalPropertyQuick checks, over random list specs, that
+// chasing next pointers through the simulated memory visits exactly the
+// builder's reported nodes in order, that every node lies inside the
+// allocator's region with the requested alignment, and that the chain
+// terminates with a nil pointer.
+func TestBuildListTraversalPropertyQuick(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	const base, limit = 0x1000_0000, 0x1100_0000
+	for trial := 0; trial < 50; trial++ {
+		as := mem.NewAddressSpace()
+		a := NewAllocator(as, base, limit)
+		nodeWords := 2 + rng.Intn(30)
+		spec := ListSpec{
+			Nodes:    1 + rng.Intn(64),
+			NodeSize: uint32(nodeWords) * mem.WordSize,
+			NextOff:  uint32(rng.Intn(nodeWords)) * mem.WordSize,
+			Align:    uint32(4 << rng.Intn(3)),
+			Fill:     DefaultFill,
+			Seq:      rng.Intn(2) == 0,
+		}
+		l := BuildList(a, rng, spec)
+		if len(l.Nodes) != spec.Nodes {
+			t.Fatalf("trial %d: builder reports %d nodes, spec wanted %d", trial, len(l.Nodes), spec.Nodes)
+		}
+		addr := l.Head
+		for i := 0; i < spec.Nodes; i++ {
+			if addr == 0 {
+				t.Fatalf("trial %d (%+v): chain ended after %d of %d nodes", trial, spec, i, spec.Nodes)
+			}
+			if addr != l.Nodes[i] {
+				t.Fatalf("trial %d: traversal visits %#x at position %d, builder recorded %#x", trial, addr, i, l.Nodes[i])
+			}
+			if addr < base || addr+spec.NodeSize > limit {
+				t.Fatalf("trial %d: node %#x outside region", trial, addr)
+			}
+			if addr%spec.Align != 0 {
+				t.Fatalf("trial %d: node %#x not %d-aligned", trial, addr, spec.Align)
+			}
+			addr = as.Img.Read32(addr + spec.NextOff)
+		}
+		if addr != 0 {
+			t.Fatalf("trial %d: final node's next pointer is %#x, want nil", trial, addr)
+		}
+	}
+}
+
+// TestBuildTreeBSTPropertyQuick checks, over random tree sizes, that an
+// in-order traversal through the simulated memory yields the keys 0..n-1 in
+// sorted order — i.e. the materialised pointers form a valid BST over every
+// node the builder placed.
+func TestBuildTreeBSTPropertyQuick(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 30; trial++ {
+		as := mem.NewAddressSpace()
+		a := NewAllocator(as, 0x2000_0000, 0x2100_0000)
+		spec := TreeSpec{
+			Nodes:    1 + rng.Intn(200),
+			NodeSize: 32,
+			KeyOff:   0,
+			LeftOff:  8,
+			RightOff: 16,
+			Fill:     DefaultFill,
+		}
+		tr := BuildTree(a, rng, spec)
+		img := as.Img
+		var keys []uint32
+		var walk func(addr uint32)
+		walk = func(addr uint32) {
+			if addr == 0 {
+				return
+			}
+			walk(img.Read32(addr + spec.LeftOff))
+			keys = append(keys, img.Read32(addr+spec.KeyOff))
+			walk(img.Read32(addr + spec.RightOff))
+		}
+		walk(tr.Root)
+		if len(keys) != spec.Nodes {
+			t.Fatalf("trial %d: in-order walk reached %d nodes, want %d", trial, len(keys), spec.Nodes)
+		}
+		for i, k := range keys {
+			if k != uint32(i) {
+				t.Fatalf("trial %d: in-order position %d holds key %d", trial, i, k)
+			}
+		}
+	}
+}
+
+// TestBuildHashReachabilityPropertyQuick checks, over random table shapes,
+// that chasing every bucket chain reaches each of the Entries exactly once
+// and that the per-bucket chain lengths the builder reports match the
+// materialised chains.
+func TestBuildHashReachabilityPropertyQuick(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 30; trial++ {
+		as := mem.NewAddressSpace()
+		a := NewAllocator(as, 0x3000_0000, 0x3100_0000)
+		spec := HashSpec{
+			Buckets:  1 + rng.Intn(32),
+			Entries:  1 + rng.Intn(300),
+			NodeSize: 24,
+			NextOff:  0,
+			KeyOff:   4,
+			Fill:     DefaultFill,
+		}
+		h := BuildHash(a, rng, spec)
+		img := as.Img
+		seen := make(map[uint32]bool)
+		for b := 0; b < h.Buckets; b++ {
+			n := 0
+			addr := img.Read32(h.BucketBase + uint32(b)*mem.WordSize)
+			for addr != 0 {
+				if seen[addr] {
+					t.Fatalf("trial %d: entry %#x reachable twice", trial, addr)
+				}
+				seen[addr] = true
+				n++
+				addr = img.Read32(addr + spec.NextOff)
+			}
+			if n != h.ChainLen[b] {
+				t.Fatalf("trial %d: bucket %d chain length %d, builder reported %d", trial, b, n, h.ChainLen[b])
+			}
+		}
+		if len(seen) != spec.Entries {
+			t.Fatalf("trial %d: reached %d entries, want %d", trial, len(seen), spec.Entries)
+		}
+	}
+}

@@ -143,10 +143,17 @@ func (m *Image) WriteBytes(addr uint32, src []byte) {
 // ReadLine copies the size-byte cache line containing addr into a fresh
 // slice. addr is truncated down to the line boundary.
 func (m *Image) ReadLine(addr uint32, size int) []byte {
-	base := addr &^ uint32(size-1)
 	out := make([]byte, size)
-	m.ReadBytes(base, out)
+	m.ReadLineInto(addr, out)
 	return out
+}
+
+// ReadLineInto fills dst with the len(dst)-byte cache line containing addr,
+// truncating addr down to the line boundary. It is the allocation-free form
+// of ReadLine for callers that reuse a scratch buffer.
+func (m *Image) ReadLineInto(addr uint32, dst []byte) {
+	base := addr &^ uint32(len(dst)-1)
+	m.ReadBytes(base, dst)
 }
 
 func (m *Image) String() string {

@@ -9,7 +9,7 @@ import "testing"
 func TestSchedulePastClampsToNow(t *testing.T) {
 	var s scheduler
 	s.now = 100
-	s.schedule(50, func(int64) {})
+	s.schedule(50, event{kind: evPump})
 	if got := s.h[0].at; got != 100 {
 		t.Fatalf("schedule(50) with now=100 queued event at cycle %d, want clamp to 100", got)
 	}

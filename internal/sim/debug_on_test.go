@@ -14,5 +14,5 @@ func TestSchedulePastPanicsUnderSimdebug(t *testing.T) {
 			t.Fatal("schedule(50) with now=100 did not panic under simdebug")
 		}
 	}()
-	s.schedule(50, func(int64) {})
+	s.schedule(50, event{kind: evPump})
 }

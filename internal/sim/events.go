@@ -1,36 +1,56 @@
 package sim
 
-import "container/heap"
+import "repro/internal/bus"
+
+// eventKind selects the action an event performs when it fires. Events used
+// to carry closures; on the simulation hot path the closure plus the
+// container/heap any-boxing cost two heap allocations per scheduled event,
+// so events now carry their arguments inline and dispatch on kind.
+type eventKind uint8
+
+const (
+	// evPump re-runs the bus/queue pump (MemSystem.pump).
+	evPump eventKind = iota
+	// evFill completes a bus transaction (MemSystem.fillArrive).
+	evFill
+	// evRescan re-runs the content scanner over a resident line
+	// (MemSystem.scanAndIssue) after a reinforcement hit.
+	evRescan
+)
 
 // event is one scheduled memory-system action. Events with equal cycles run
 // in scheduling order (seq breaks ties) so the simulation is deterministic.
 type event struct {
 	at  int64
 	seq uint64
-	fn  func(at int64)
+
+	kind eventKind
+	req  *bus.Request // evFill: the arriving transaction
+
+	// evRescan arguments: the triggering access VA, the virtual base of
+	// the line to scan, and the stored request depth.
+	hitVA  uint32
+	lineVA uint32
+	depth  int32
 }
 
-type eventHeap []event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+// less orders events by cycle, then scheduling order. (at, seq) is a total
+// order — seq is unique — so the pop sequence does not depend on the heap
+// implementation.
+func (e event) less(o event) bool {
+	if e.at != o.at {
+		return e.at < o.at
 	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	x := old[n-1]
-	*h = old[:n-1]
-	return x
+	return e.seq < o.seq
 }
 
+// scheduler is a hand-rolled binary min-heap of events. container/heap
+// would route every Push/Pop through heap.Interface and box each event into
+// an `any`; the concrete implementation keeps events by value in the slice
+// and allocates only on backing-array growth.
 type scheduler struct {
-	h   eventHeap
+	h   []event
+	ms  *MemSystem // dispatch target for fired events
 	seq uint64
 	// now is the cycle of the event currently (or most recently) executed.
 	// schedule clamps against it, so the heap can never travel backwards
@@ -38,18 +58,20 @@ type scheduler struct {
 	now int64
 }
 
-// schedule runs fn at the given cycle. A cycle in the past of the tracked
+// schedule fires e at the given cycle. A cycle in the past of the tracked
 // now would reorder already-executed history, so it is clamped to now —
 // and treated as a model bug (panic) under -tags simdebug. The eventmono
 // analyzer (cmd/simlint) additionally rejects call sites whose cycle
 // argument is not derived from the tracked simulation time.
-func (s *scheduler) schedule(at int64, fn func(int64)) {
+func (s *scheduler) schedule(at int64, e event) {
 	if at < s.now {
 		debugPastSchedule(at, s.now)
 		at = s.now
 	}
 	s.seq++
-	heap.Push(&s.h, event{at: at, seq: s.seq, fn: fn})
+	e.at = at
+	e.seq = s.seq
+	s.push(e)
 }
 
 // next returns the earliest pending event cycle, or -1.
@@ -64,13 +86,65 @@ func (s *scheduler) next() int64 {
 // by the events themselves when they fall within the bound.
 func (s *scheduler) runUntil(cycle int64) {
 	for len(s.h) > 0 && s.h[0].at <= cycle {
-		e := heap.Pop(&s.h).(event)
+		e := s.pop()
 		if debugInvariants {
 			assertMonotone(e.at, s.now)
 		}
 		if e.at > s.now {
 			s.now = e.at
 		}
-		e.fn(e.at)
+		s.ms.fire(e)
+	}
+}
+
+func (s *scheduler) push(e event) {
+	s.h = append(s.h, e)
+	i := len(s.h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !s.h[i].less(s.h[parent]) {
+			break
+		}
+		s.h[i], s.h[parent] = s.h[parent], s.h[i]
+		i = parent
+	}
+}
+
+func (s *scheduler) pop() event {
+	h := s.h
+	top := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	h[n] = event{} // drop the stale *bus.Request so pooling can't alias it
+	h = h[:n]
+	s.h = h
+	i := 0
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		m := l
+		if r := l + 1; r < n && h[r].less(h[l]) {
+			m = r
+		}
+		if !h[m].less(h[i]) {
+			break
+		}
+		h[i], h[m] = h[m], h[i]
+		i = m
+	}
+	return top
+}
+
+// fire dispatches one due event.
+func (ms *MemSystem) fire(e event) {
+	switch e.kind {
+	case evPump:
+		ms.pump(e.at)
+	case evFill:
+		ms.fillArrive(e.at, e.req)
+	case evRescan:
+		ms.scanAndIssue(e.at, e.hitVA, int(e.depth), e.lineVA)
 	}
 }

@@ -40,6 +40,13 @@ type MemSystem struct {
 	reqID    uint64
 	now      int64
 
+	// reqFree recycles bus.Request objects. A request is referenced only
+	// by the two arbiters, the inflight map, and its scheduled fill event,
+	// so it can be recycled the moment its fill completes (or it is
+	// squashed) without aliasing a live transaction. The freelist keeps
+	// the per-request allocation off the miss path entirely.
+	reqFree []*bus.Request
+
 	// flying counts granted but not-yet-arrived non-injected transfers.
 	// Maintained only under -tags simdebug (debugInvariants), where
 	// checkInvariants reconciles it against the inflight map.
@@ -53,6 +60,11 @@ type MemSystem struct {
 	injLCG     uint32
 	lastInject int64
 	nextPumpAt int64 // earliest scheduled pump event (0 = none)
+
+	// lineBuf is the scratch buffer the content scanner reads fills
+	// through; the scanner only inspects the bytes, so one buffer per
+	// memory system keeps line copies off the heap.
+	lineBuf [LineSize]byte
 
 	st   *stats.Counters
 	mptu *stats.MPTUSeries
@@ -89,7 +101,34 @@ func NewMemSystem(cfg *Config, space *mem.AddressSpace, st *stats.Counters, mptu
 	if cfg.Markov != nil {
 		ms.mkv = markov.New(*cfg.Markov)
 	}
+	ms.sched.ms = ms
 	return ms
+}
+
+// newRequest returns a zeroed request, recycling one retired by fillArrive
+// or a squash when available.
+func (ms *MemSystem) newRequest() *bus.Request {
+	n := len(ms.reqFree)
+	if n == 0 {
+		return &bus.Request{}
+	}
+	req := ms.reqFree[n-1]
+	ms.reqFree[n-1] = nil
+	ms.reqFree = ms.reqFree[:n-1]
+	*req = bus.Request{Waiters: req.Waiters[:0]}
+	return req
+}
+
+// releaseRequest returns a dead request to the freelist. Callers must hold
+// the only remaining reference: fillArrive (the request has left the
+// queues, the inflight map, and the event heap) and the squash path (the
+// arbiter removed it, and an unsquashable promoted request never reaches
+// here because promotion makes it demand-class).
+func (ms *MemSystem) releaseRequest(req *bus.Request) {
+	for i := range req.Waiters {
+		req.Waiters[i] = nil
+	}
+	ms.reqFree = append(ms.reqFree, req)
 }
 
 // Content returns the content prefetcher (nil if disabled); experiments use
@@ -151,7 +190,14 @@ func (ms *MemSystem) Load(cycle int64, va, pc uint32, done func(int64)) {
 	}
 	ms.st.L1Misses++
 	strideIssued := ms.observeStride(cycle, pc, va)
-	ms.translate(cycle, va, false, func(at int64, pa uint32, ok bool) {
+	if pa, ok := ms.dtlb.Lookup(va); ok {
+		// TLB hit: continue synchronously without building the walk
+		// continuation (which would otherwise be allocated on every L1
+		// miss just in case the slow path needed it).
+		ms.l2Access(cycle, pa, va, done, strideIssued, false)
+		return
+	}
+	ms.walk(cycle, va, false, func(at int64, pa uint32, ok bool) {
 		if !ok {
 			// Demand access to an unmapped page: return junk after an
 			// L2-latency delay. Valid traces never hit this path.
@@ -171,7 +217,11 @@ func (ms *MemSystem) Store(cycle int64, va, pc uint32, done func(int64)) {
 		return
 	}
 	strideIssued := ms.observeStride(cycle, pc, va)
-	ms.translate(cycle, va, false, func(at int64, pa uint32, ok bool) {
+	if pa, ok := ms.dtlb.Lookup(va); ok {
+		ms.l2Access(cycle, pa, va, done, strideIssued, true)
+		return
+	}
+	ms.walk(cycle, va, false, func(at int64, pa uint32, ok bool) {
 		if !ok {
 			done(at + ms.cfg.L2Lat)
 			return
@@ -220,15 +270,14 @@ func (ms *MemSystem) noteStrideLine(paBase uint32) {
 	}
 }
 
-// translate resolves va through the DTLB, walking the page table on a miss.
-// cont receives the completion cycle, the physical address, and whether the
-// page is mapped. speculative marks content-prefetch walks (accounted
-// separately and charged to the prefetcher, not the demand stream).
-func (ms *MemSystem) translate(cycle int64, va uint32, speculative bool, cont func(at int64, pa uint32, ok bool)) {
-	if pa, ok := ms.dtlb.Lookup(va); ok {
-		cont(cycle, pa, true)
-		return
-	}
+// walk resolves va's translation by walking the page table; callers handle
+// the DTLB lookup themselves (so the hot TLB-hit path can continue inline
+// without constructing a continuation closure) and reach here only on a
+// miss. cont receives the completion cycle, the physical address, and
+// whether the page is mapped. speculative marks content-prefetch walks
+// (accounted separately and charged to the prefetcher, not the demand
+// stream).
+func (ms *MemSystem) walk(cycle int64, va uint32, speculative bool, cont func(at int64, pa uint32, ok bool)) {
 	if speculative {
 		ms.st.CDPWalks++
 	} else {
@@ -271,11 +320,10 @@ func (ms *MemSystem) ptRead(cycle int64, pa uint32, cont func(at int64)) {
 		return
 	}
 	ms.reqID++
-	req := &bus.Request{
-		ID: ms.reqID, PABase: paBase, VABase: paBase, TrigVA: pa,
-		Class: bus.ClassDemand, PageWalk: true, Enqueued: slot,
-		Waiters: []func(int64){cont},
-	}
+	req := ms.newRequest()
+	req.ID, req.PABase, req.VABase, req.TrigVA = ms.reqID, paBase, paBase, pa
+	req.Class, req.PageWalk, req.Enqueued = bus.ClassDemand, true, slot
+	req.Waiters = append(req.Waiters, cont)
 	ms.enqueueDemandReq(slot, req)
 }
 
@@ -342,11 +390,10 @@ func (ms *MemSystem) l2Access(at int64, pa, va uint32, done func(int64), strideI
 		ms.st.MissNoPF++
 	}
 	ms.reqID++
-	req := &bus.Request{
-		ID: ms.reqID, PABase: paBase, VABase: lineBase(va), TrigVA: va,
-		Class: bus.ClassDemand, IsStore: isStore, Enqueued: slot,
-		Waiters: []func(int64){done},
-	}
+	req := ms.newRequest()
+	req.ID, req.PABase, req.VABase, req.TrigVA = ms.reqID, paBase, lineBase(va), va
+	req.Class, req.IsStore, req.Enqueued = bus.ClassDemand, isStore, slot
+	req.Waiters = append(req.Waiters, done)
 	ms.enqueueDemandReq(slot, req)
 }
 
@@ -376,15 +423,11 @@ func (ms *MemSystem) consumeHit(l *cache.Line, va uint32, slot int64, isStore bo
 		}
 		if rescan {
 			ms.st.Rescans++
-			lineVA := l.VA
-			depth := nd
-			hitVA := va
 			// The rescan consumes its own L2 port slot shortly after
-			// the hit (read port pressure).
+			// the hit (read port pressure). The event snapshots the
+			// line's VA and promoted depth at schedule time.
 			rs := ms.reserveL2(slot + ms.cfg.L2Lat)
-			ms.sched.schedule(rs, func(at int64) {
-				ms.scanAndIssue(at, hitVA, depth, lineVA)
-			})
+			ms.sched.schedule(rs, event{kind: evRescan, hitVA: va, depth: int32(nd), lineVA: l.VA})
 		}
 	}
 }
@@ -398,8 +441,8 @@ func (ms *MemSystem) scanAndIssue(at int64, trigVA uint32, depth int, lineVA uin
 	if ms.cdp == nil {
 		return
 	}
-	line := ms.space.Img.ReadLine(lineVA, LineSize)
-	for _, cand := range ms.cdp.OnFill(trigVA, depth, lineVA, line) {
+	ms.space.Img.ReadLineInto(lineVA, ms.lineBuf[:])
+	for _, cand := range ms.cdp.OnFill(trigVA, depth, lineVA, ms.lineBuf[:]) {
 		ms.issueContentPrefetch(at, cand)
 	}
 }
@@ -409,19 +452,27 @@ func (ms *MemSystem) scanAndIssue(at int64, trigVA uint32, depth int, lineVA uin
 // side effect of Section 4.2.2); an unmapped candidate — a data value that
 // happened to look like a pointer — is dropped.
 func (ms *MemSystem) issueContentPrefetch(at int64, cand core.Candidate) {
-	if !ms.dtlb.Probe(cand.VA) {
-		ms.st.CDPNeedWalk++
+	if pa, ok := ms.dtlb.Lookup(cand.VA); ok {
+		ms.finishContentPrefetch(at, pa, cand)
+		return
 	}
-	ms.translate(at, cand.VA, true, func(at2 int64, pa uint32, ok bool) {
+	ms.st.CDPNeedWalk++
+	ms.walk(at, cand.VA, true, func(at2 int64, pa uint32, ok bool) {
 		if !ok {
 			ms.st.PrefDroppedUnmapped++
 			return
 		}
-		overlap := ms.strideRecent[lineBase(pa)]
-		if ms.enqueuePrefetch2(at2, pa, cand.VA, cand.Pointer, bus.ClassContent, cand.Depth, overlap, cand.Widened) && overlap {
-			ms.st.CDPOverlapIssued++
-		}
+		ms.finishContentPrefetch(at2, pa, cand)
 	})
+}
+
+// finishContentPrefetch enqueues a translated content candidate, tagging it
+// with the stride-overlap bit the adjusted metrics need.
+func (ms *MemSystem) finishContentPrefetch(at int64, pa uint32, cand core.Candidate) {
+	overlap := ms.strideRecent[lineBase(pa)]
+	if ms.enqueuePrefetch2(at, pa, cand.VA, cand.Pointer, bus.ClassContent, cand.Depth, overlap, cand.Widened) && overlap {
+		ms.st.CDPOverlapIssued++
+	}
 }
 
 // issueMarkovPrefetch enqueues one Markov-predicted line (VA-keyed; the
@@ -460,10 +511,9 @@ func (ms *MemSystem) enqueuePrefetch2(at int64, pa, va, trigVA uint32, class bus
 		return false
 	}
 	ms.reqID++
-	req := &bus.Request{
-		ID: ms.reqID, PABase: paBase, VABase: lineBase(va), TrigVA: trigVA,
-		Class: class, Depth: depth, Overlap: overlap, Widened: widened, Enqueued: at,
-	}
+	req := ms.newRequest()
+	req.ID, req.PABase, req.VABase, req.TrigVA = ms.reqID, paBase, lineBase(va), trigVA
+	req.Class, req.Depth, req.Overlap, req.Widened, req.Enqueued = class, depth, overlap, widened, at
 	ms.l2q.Enqueue(req)
 	ms.inflight[paBase] = req
 	ms.st.PrefIssued[srcOf(class)]++
@@ -478,6 +528,7 @@ func (ms *MemSystem) enqueueDemandReq(at int64, req *bus.Request) {
 	if squashed != nil {
 		delete(ms.inflight, squashed.PABase)
 		ms.st.PrefSquashed++
+		ms.releaseRequest(squashed)
 	}
 	if !ok {
 		// The L2 queue is full of demand requests — with a 128-entry
@@ -521,7 +572,7 @@ func (ms *MemSystem) schedulePump(t int64) {
 		return
 	}
 	ms.nextPumpAt = t
-	ms.sched.schedule(t, func(at int64) { ms.pump(at) })
+	ms.sched.schedule(t, event{kind: evPump})
 }
 
 // grant starts the highest-priority transfer at cycle at, or injects a bad
@@ -545,7 +596,7 @@ func (ms *MemSystem) grant(at int64) {
 	if debugInvariants && !req.Injected {
 		ms.flying++
 	}
-	ms.sched.schedule(arrive, func(t int64) { ms.fillArrive(t, req) })
+	ms.sched.schedule(arrive, event{kind: evFill, req: req})
 	ms.schedulePump(ms.fsb.FreeAt())
 }
 
@@ -556,10 +607,10 @@ func (ms *MemSystem) makeInjectedRequest() *bus.Request {
 	pa := lineBase(ms.injLCG)
 	ms.reqID++
 	ms.st.InjectedPrefetches++
-	return &bus.Request{
-		ID: ms.reqID, PABase: pa, VABase: pa, TrigVA: pa,
-		Class: bus.ClassContent, Depth: 3, Injected: true,
-	}
+	req := ms.newRequest()
+	req.ID, req.PABase, req.VABase, req.TrigVA = ms.reqID, pa, pa, pa
+	req.Class, req.Depth, req.Injected = bus.ClassContent, 3, true
+	return req
 }
 
 // fillArrive completes one bus transaction: fill the L2 (and the L1 for
@@ -605,9 +656,9 @@ func (ms *MemSystem) fillArrive(at int64, req *bus.Request) {
 	for _, w := range req.Waiters {
 		w(at)
 	}
-	req.Waiters = nil
 	if ms.cdp != nil && !req.PageWalk && !req.Injected && !req.Widened {
 		ms.scanAndIssue(at, req.TrigVA, req.Depth, req.VABase)
 	}
+	ms.releaseRequest(req)
 	ms.pump(at)
 }

@@ -2,11 +2,19 @@ package sim
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"repro/internal/cpu"
 	"repro/internal/stats"
 	"repro/internal/trace"
 )
+
+// runs counts completed simulations process-wide (telemetry for cmd/bench's
+// sims/sec column; see internal/benchio).
+var runs atomic.Uint64
+
+// Runs reports how many simulations this process has completed.
+func Runs() uint64 { return runs.Load() }
 
 // Result is one complete simulation outcome.
 type Result struct {
@@ -58,13 +66,17 @@ func Run(ck *trace.Checkpoint, cfg Config) *Result {
 	ms := NewMemSystem(&cfg, ck.Space, st, mptu)
 	c := cpu.New(cfg.Core, st)
 
-	warmDone := cfg.WarmupOps == 0
 	var warmCycle int64
-	c.OnRetire = func(retired uint64, cycle int64) {
-		if !warmDone && retired >= cfg.WarmupOps {
-			warmDone = true
-			warmCycle = cycle
-			st.Reset(cycle)
+	if cfg.WarmupOps > 0 {
+		// The observer unsubscribes at the warm-up boundary so the
+		// post-warm-up region (the measured bulk of the run) retires
+		// with batched accounting and no per-µop callback.
+		c.OnRetire = func(retired uint64, cycle int64) {
+			if retired >= cfg.WarmupOps {
+				warmCycle = cycle
+				st.Reset(cycle)
+				c.OnRetire = nil
+			}
 		}
 	}
 	coreRes := c.Run(ck.Trace, ms, cfg.MaxOps)
@@ -89,5 +101,6 @@ func Run(ck *trace.Checkpoint, cfg Config) *Result {
 	if cfg.WarmupOps > 0 && coreRes.Retired > cfg.WarmupOps {
 		res.MeasuredUops = coreRes.Retired - cfg.WarmupOps
 	}
+	runs.Add(1)
 	return res
 }

@@ -77,6 +77,16 @@ type Counters struct {
 	MaskBuckets [11]uint64
 }
 
+// AddRetired batches retirement accounting: the core flushes one call per
+// retire burst instead of two counter increments per µop. Safe across the
+// warm-up Reset because RetiredUops is preserved (additive) there; callers
+// must flush before triggering the reset so RetiredStores is exact at the
+// boundary.
+func (c *Counters) AddRetired(uops, stores uint64) {
+	c.RetiredUops += uops
+	c.RetiredStores += stores
+}
+
 // RecordMask files one useful prefetch's masked-latency fraction.
 func (c *Counters) RecordMask(fraction float64) {
 	i := int(fraction * 10)

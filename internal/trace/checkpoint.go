@@ -157,13 +157,16 @@ func ReadCheckpoint(r io.Reader) (*Checkpoint, error) {
 	if err := binary.Read(br, binary.LittleEndian, &opCount); err != nil {
 		return nil, err
 	}
-	ops := make([]Op, opCount)
+	// Grow the op slice as records actually arrive rather than trusting the
+	// header's count: a corrupt (or hostile) opCount would otherwise demand
+	// an arbitrarily large upfront allocation before the first read fails.
+	ops := make([]Op, 0, min(opCount, 1<<16))
 	var rec [opRecSize]byte
-	for i := range ops {
+	for i := uint64(0); i < opCount; i++ {
 		if _, err := io.ReadFull(br, rec[:]); err != nil {
 			return nil, fmt.Errorf("trace: op %d: %w", i, err)
 		}
-		ops[i] = Op{
+		ops = append(ops, Op{
 			PC:    binary.LittleEndian.Uint32(rec[0:]),
 			Addr:  binary.LittleEndian.Uint32(rec[4:]),
 			Kind:  Kind(rec[8]),
@@ -171,7 +174,7 @@ func ReadCheckpoint(r io.Reader) (*Checkpoint, error) {
 			Src2:  rec[10],
 			Dst:   rec[11],
 			Taken: rec[12] != 0,
-		}
+		})
 	}
 
 	space := mem.NewAddressSpace()
