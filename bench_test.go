@@ -33,7 +33,10 @@ func runExperiment(b *testing.B, id string) {
 		b.Fatal(err)
 	}
 	for i := 0; i < b.N; i++ {
-		rep := r.Run(benchOpt())
+		rep, err := r.Run(benchOpt())
+		if err != nil {
+			b.Fatal(err)
+		}
 		if rep.Text == "" {
 			b.Fatalf("experiment %s produced no output", id)
 		}

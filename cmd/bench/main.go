@@ -80,7 +80,11 @@ func main() {
 		simsBefore := experiments.SimsRun()
 		runtime.ReadMemStats(&before)
 		start := time.Now()
-		rep := r.Run(opt)
+		rep, err := r.Run(opt)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
 		wall := time.Since(start)
 		runtime.ReadMemStats(&after)
 		if rep.Text == "" {

@@ -1,0 +1,80 @@
+// Command cdpd serves the simulator over HTTP: POST /v1/sim submits a
+// simulation into a bounded worker pool, identical requests are collapsed
+// and cached by content hash, and /metrics exposes queue, cache, and
+// throughput telemetry. See internal/api for the endpoint catalogue.
+//
+// SIGINT/SIGTERM trigger a graceful shutdown: the server stops accepting
+// work, drains in-flight jobs within -drain, cancels whatever remains, and
+// exits 0.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/api"
+	"repro/internal/jobq"
+	"repro/internal/simcache"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8080", "listen address")
+	workers := flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+	queueCap := flag.Int("queue", 64, "max queued jobs before 429s")
+	cacheMB := flag.Int("cache-mb", 64, "result cache bound in MiB")
+	jobTimeout := flag.Duration("job-timeout", 10*time.Minute, "per-job deadline (0 = none)")
+	drain := flag.Duration("drain", 30*time.Second, "graceful-shutdown drain deadline")
+	flag.Parse()
+
+	queue := jobq.New(jobq.Config{
+		Workers:    *workers,
+		Capacity:   *queueCap,
+		JobTimeout: *jobTimeout,
+	})
+	cache := simcache.New(int64(*cacheMB) << 20)
+	server := api.New(queue, cache)
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           server,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() {
+		fmt.Fprintf(os.Stderr, "cdpd: listening on http://%s\n", *addr)
+		errCh <- httpSrv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errCh:
+		fmt.Fprintf(os.Stderr, "cdpd: %v\n", err)
+		os.Exit(1)
+	case <-ctx.Done():
+	}
+
+	// Shutdown sequence: flip readiness so load balancers stop routing
+	// here, stop the queue (drain or cancel within the deadline), then
+	// close the listener once responses for finished jobs have gone out.
+	fmt.Fprintln(os.Stderr, "cdpd: shutting down")
+	server.SetDraining(true)
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := queue.Shutdown(drainCtx); err != nil {
+		fmt.Fprintf(os.Stderr, "cdpd: drain deadline passed, canceled remaining jobs: %v\n", err)
+	}
+	if err := httpSrv.Shutdown(drainCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		fmt.Fprintf(os.Stderr, "cdpd: http shutdown: %v\n", err)
+	}
+	fmt.Fprintln(os.Stderr, "cdpd: bye")
+}

@@ -47,7 +47,11 @@ func main() {
 	spec, err := workloads.ByName(flag.Arg(0))
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		fmt.Fprintln(os.Stderr, "valid benchmarks:")
+		for _, s := range workloads.All() {
+			fmt.Fprintf(os.Stderr, "  %-14s %s\n", s.Name, s.Suite)
+		}
+		os.Exit(2)
 	}
 	ck := workloads.Checkpoint(spec, *ops)
 

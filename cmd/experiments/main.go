@@ -49,7 +49,11 @@ func main() {
 			os.Exit(1)
 		}
 		start := time.Now()
-		rep := r.Run(opt)
+		rep, err := r.Run(opt)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
 		fmt.Println(rep.Text)
 		fmt.Printf("[%s completed in %v]\n\n", rep.ID, time.Since(start).Round(time.Millisecond))
 	}

@@ -1,0 +1,304 @@
+// Package api exposes the simulator as an HTTP service (cmd/cdpd). Three
+// layers cooperate: handlers validate and shape requests, internal/jobq
+// bounds and schedules the work, and internal/simcache deduplicates it —
+// an identical (benchmark, config, ops) request is served from cache, and
+// concurrent identical submissions collapse into one simulation.
+//
+// Endpoints:
+//
+//	POST   /v1/sim               submit a simulation (?wait=1 blocks for the result)
+//	GET    /v1/jobs/{id}         poll a job
+//	GET    /v1/jobs/{id}/stream  NDJSON progress stream until terminal
+//	DELETE /v1/jobs/{id}         cancel a job
+//	GET    /v1/experiments/{id}  run a registered experiment as a job
+//	GET    /healthz              liveness
+//	GET    /readyz               readiness (503 while draining)
+//	GET    /metrics              Prometheus-style text metrics
+package api
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/jobq"
+	"repro/internal/sim"
+	"repro/internal/simcache"
+	"repro/internal/workloads"
+)
+
+// Server wires the handlers to a queue and a cache. Construct with New.
+type Server struct {
+	queue    *jobq.Queue
+	cache    *simcache.Cache
+	mux      *http.ServeMux
+	draining atomic.Bool
+
+	started   time.Time
+	startSims uint64
+}
+
+// New builds a server around an already-running queue and cache.
+func New(q *jobq.Queue, c *simcache.Cache) *Server {
+	s := &Server{
+		queue:     q,
+		cache:     c,
+		mux:       http.NewServeMux(),
+		started:   time.Now(),
+		startSims: sim.Runs(),
+	}
+	s.mux.HandleFunc("POST /v1/sim", s.handleSubmitSim)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobGet)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/stream", s.handleJobStream)
+	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobCancel)
+	s.mux.HandleFunc("GET /v1/experiments/{id}", s.handleExperiment)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// SetDraining flips readiness; a draining server answers /readyz with 503
+// so load balancers stop routing to it while in-flight jobs finish.
+func (s *Server) SetDraining(v bool) { s.draining.Store(v) }
+
+// jobPayload is what sim/experiment jobs store as their jobq value.
+type jobPayload struct {
+	data   []byte
+	cached bool // true when served from a resident simcache entry
+}
+
+// envelope is the terminal response shape for results.
+type envelope struct {
+	Cached bool            `json:"cached"`
+	Result json.RawMessage `json:"result"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// writeBackpressure maps ErrQueueFull to 429 with a Retry-After estimate
+// proportional to the backlog (one second per queued job, clamped to
+// [1s, 30s]) and ErrShuttingDown to 503.
+func (s *Server) writeBackpressure(w http.ResponseWriter, err error) {
+	if errors.Is(err, jobq.ErrShuttingDown) {
+		writeError(w, http.StatusServiceUnavailable, "shutting down")
+		return
+	}
+	retry := s.queue.Stats().Depth
+	if retry < 1 {
+		retry = 1
+	}
+	if retry > 30 {
+		retry = 30
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(retry))
+	writeError(w, http.StatusTooManyRequests, "queue full, retry in ~%ds", retry)
+}
+
+// handleSubmitSim is POST /v1/sim: validate, consult the cache, and only
+// then spend a queue slot.
+func (s *Server) handleSubmitSim(w http.ResponseWriter, r *http.Request) {
+	var req SimRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	spec, cfg, ops, err := buildSim(req)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	key := simcache.KeyFor(spec, cfg, ops)
+	if data, ok := s.cache.Get(key); ok {
+		writeJSON(w, http.StatusOK, envelope{Cached: true, Result: data})
+		return
+	}
+
+	id := "sim-" + key.String()
+	job, err := s.queue.Submit(id, req.Priority, s.simJob(spec, cfg, ops, key))
+	if errors.Is(err, jobq.ErrDuplicateID) {
+		// The same request is already queued or running; attach to it
+		// instead of spending another slot.
+		if j, ok := s.queue.Get(id); ok {
+			s.respondJob(w, r, req.Wait, j)
+			return
+		}
+	}
+	if err != nil {
+		s.writeBackpressure(w, err)
+		return
+	}
+	s.respondJob(w, r, req.Wait, job)
+}
+
+// simJob builds the job function for one simulation request. The cache
+// fill happens inside the job so the queue, not the HTTP handler, pays for
+// the simulation, and GetOrCompute collapses concurrent identical keys
+// into one run.
+func (s *Server) simJob(spec workloads.Spec, cfg sim.Config, ops int, key simcache.Key) jobq.Func {
+	return func(ctx context.Context, j *jobq.Job) (any, error) {
+		data, hit, err := s.cache.GetOrCompute(key, func() ([]byte, error) {
+			j.SetProgress("generating checkpoint", 0, 2)
+			ck := workloads.Checkpoint(spec, ops)
+			j.SetProgress("simulating", 1, 2)
+			res, err := sim.RunContext(ctx, ck, cfg)
+			if err != nil {
+				return nil, err
+			}
+			return renderResult(spec.Name, ops, res)
+		})
+		if err != nil {
+			return nil, err
+		}
+		j.SetProgress("finished", 2, 2)
+		return jobPayload{data: data, cached: hit}, nil
+	}
+}
+
+// respondJob either acknowledges the job (202) or, when wait is requested,
+// blocks until it is terminal and returns its result.
+func (s *Server) respondJob(w http.ResponseWriter, r *http.Request, wait bool, job *jobq.Job) {
+	if !wait && r.URL.Query().Get("wait") != "1" {
+		writeJSON(w, http.StatusAccepted, map[string]string{
+			"job_id": job.ID(),
+			"status": "/v1/jobs/" + job.ID(),
+			"stream": "/v1/jobs/" + job.ID() + "/stream",
+		})
+		return
+	}
+	select {
+	case <-job.Done():
+	case <-r.Context().Done():
+		// Client gave up; the job keeps running for the next caller.
+		return
+	}
+	v, err := job.Result()
+	if err != nil {
+		code := http.StatusInternalServerError
+		if errors.Is(err, jobq.ErrCanceled) {
+			code = http.StatusConflict
+		}
+		writeError(w, code, "%v", err)
+		return
+	}
+	p := v.(jobPayload)
+	writeJSON(w, http.StatusOK, envelope{Cached: p.cached, Result: p.data})
+}
+
+// jobView is the GET /v1/jobs/{id} response.
+type jobView struct {
+	JobID  string          `json:"job_id"`
+	State  jobq.State      `json:"state"`
+	Stage  string          `json:"stage,omitempty"`
+	Done   int             `json:"done,omitempty"`
+	Total  int             `json:"total,omitempty"`
+	Error  string          `json:"error,omitempty"`
+	Cached *bool           `json:"cached,omitempty"`
+	Result json.RawMessage `json:"result,omitempty"`
+}
+
+func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.queue.Get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "no such job %q", r.PathValue("id"))
+		return
+	}
+	u := job.Snapshot()
+	view := jobView{JobID: u.JobID, State: u.State, Stage: u.Stage, Done: u.Done, Total: u.Total, Error: u.Error}
+	if u.State == jobq.StateDone {
+		if v, err := job.Result(); err == nil {
+			if p, ok := v.(jobPayload); ok {
+				view.Result = p.data
+				view.Cached = &p.cached
+			}
+		}
+	}
+	writeJSON(w, http.StatusOK, view)
+}
+
+// handleJobStream is GET /v1/jobs/{id}/stream: one JSON object per line
+// (NDJSON), flushed as progress arrives, ending with the terminal state.
+func (s *Server) handleJobStream(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.queue.Get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "no such job %q", r.PathValue("id"))
+		return
+	}
+	updates, cancel := job.Subscribe()
+	defer cancel()
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	for {
+		select {
+		case u, ok := <-updates:
+			if !ok {
+				// Channel closed on the terminal update; emit the final
+				// snapshot so late subscribers always see the end state.
+				_ = enc.Encode(job.Snapshot())
+				if flusher != nil {
+					flusher.Flush()
+				}
+				return
+			}
+			if err := enc.Encode(u); err != nil {
+				return
+			}
+			if flusher != nil {
+				flusher.Flush()
+			}
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if _, ok := s.queue.Get(id); !ok {
+		writeError(w, http.StatusNotFound, "no such job %q", id)
+		return
+	}
+	if !s.queue.Cancel(id) {
+		writeError(w, http.StatusConflict, "job %q already finished", id)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"job_id": id, "state": "canceling"})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if s.draining.Load() || !s.queue.Stats().Accepting {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, "draining")
+		return
+	}
+	fmt.Fprintln(w, "ready")
+}

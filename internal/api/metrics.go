@@ -1,0 +1,65 @@
+package api
+
+import (
+	"fmt"
+	"net/http"
+	"runtime"
+	"time"
+
+	"repro/internal/benchio"
+	"repro/internal/sim"
+)
+
+// handleMetrics is GET /metrics in the Prometheus text exposition format:
+// queue occupancy, cache effectiveness, simulator throughput since the
+// server started, and process memory.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	qs := s.queue.Stats()
+	cs := s.cache.Stats()
+	sims := sim.Runs() - s.startSims
+	uptime := time.Since(s.started).Seconds()
+	simsPerSec := 0.0
+	if uptime > 0 {
+		simsPerSec = float64(sims) / uptime
+	}
+	hitRate := 0.0
+	if lookups := cs.Hits + cs.Misses; lookups > 0 {
+		hitRate = float64(cs.Hits) / float64(lookups)
+	}
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	p := func(name, help, typ string, v any) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n%s %v\n", name, help, name, typ, name, v)
+	}
+	p("cdpd_queue_depth", "Jobs queued and waiting for a worker.", "gauge", qs.Depth)
+	p("cdpd_queue_capacity", "Maximum queued jobs before 429s.", "gauge", qs.Capacity)
+	p("cdpd_workers", "Fixed worker pool size.", "gauge", qs.Workers)
+	p("cdpd_jobs_running", "Jobs currently executing.", "gauge", qs.Running)
+	p("cdpd_worker_utilization", "Fraction of workers busy.", "gauge",
+		float64(qs.Running)/float64(qs.Workers))
+	p("cdpd_jobs_completed_total", "Jobs finished successfully.", "counter", qs.Completed)
+	p("cdpd_jobs_failed_total", "Jobs that returned an error or panicked.", "counter", qs.Failed)
+	p("cdpd_jobs_canceled_total", "Jobs canceled before or while running.", "counter", qs.Canceled)
+
+	p("cdpd_cache_hits_total", "Result-cache lookups served from a resident entry.", "counter", cs.Hits)
+	p("cdpd_cache_misses_total", "Result-cache lookups that computed.", "counter", cs.Misses)
+	p("cdpd_cache_collapsed_total", "Lookups that joined an in-flight computation.", "counter", cs.Collapsed)
+	p("cdpd_cache_evictions_total", "Entries evicted by the byte bound.", "counter", cs.Evictions)
+	p("cdpd_cache_entries", "Resident cache entries.", "gauge", cs.Entries)
+	p("cdpd_cache_bytes", "Resident cache payload bytes.", "gauge", cs.Bytes)
+	p("cdpd_cache_max_bytes", "Cache byte bound.", "gauge", cs.MaxBytes)
+	p("cdpd_cache_hit_rate", "Hits over hits+misses since start.", "gauge", hitRate)
+
+	p("cdpd_sims_total", "Simulations completed since the server started.", "counter", sims)
+	p("cdpd_sims_per_second", "Simulation throughput since start.", "gauge", simsPerSec)
+	p("cdpd_uptime_seconds", "Seconds since the server started.", "gauge", uptime)
+
+	p("cdpd_goroutines", "Live goroutines.", "gauge", runtime.NumGoroutine())
+	p("cdpd_heap_alloc_bytes", "Bytes of allocated heap objects.", "gauge", ms.HeapAlloc)
+	p("cdpd_heap_sys_bytes", "Heap memory obtained from the OS.", "gauge", ms.HeapSys)
+	p("cdpd_gc_total", "Completed GC cycles.", "counter", ms.NumGC)
+	p("cdpd_peak_rss_kb", "Peak resident set size in KiB (0 when unavailable).", "gauge",
+		benchio.PeakRSSKB())
+}

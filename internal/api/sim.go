@@ -1,0 +1,193 @@
+package api
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/cache"
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/workloads"
+)
+
+// SimRequest is the POST /v1/sim body. Every field beyond Benchmark is
+// optional and defaults to the Table 1 baseline (mirroring cmd/cdpsim's
+// flags). Pointer fields distinguish "omitted" from an explicit zero.
+type SimRequest struct {
+	Benchmark string `json:"benchmark"`
+	// Ops is the µop budget (0 = the default ~1.2 M-µop trace).
+	Ops int `json:"ops,omitempty"`
+
+	// CDP enables the content-directed prefetcher.
+	CDP       bool  `json:"cdp,omitempty"`
+	Depth     int   `json:"depth,omitempty"` // 0 = paper default 3
+	NextLines *int  `json:"next_lines,omitempty"`
+	PrevLines *int  `json:"prev_lines,omitempty"`
+	Reinforce *bool `json:"reinforce,omitempty"`
+
+	// MarkovKB enables the Markov comparator with the given STAB budget
+	// (-1 = unbounded).
+	MarkovKB int `json:"markov_kb,omitempty"`
+
+	L2KB       int  `json:"l2_kb,omitempty"`       // 0 = 1024
+	L2Ways     int  `json:"l2_ways,omitempty"`     // 0 = 8
+	TLBEntries int  `json:"tlb_entries,omitempty"` // 0 = 64
+	Inject     bool `json:"inject,omitempty"`
+
+	// Priority orders the job against other queued work (higher first).
+	Priority int `json:"priority,omitempty"`
+	// Wait makes the submission synchronous: the response carries the
+	// result instead of a job handle. ?wait=1 is equivalent.
+	Wait bool `json:"wait,omitempty"`
+}
+
+// buildSim resolves a request into the simulation inputs. The returned
+// configuration is fully determined by (benchmark, request, ops) — warm-up
+// and MPTU bucketing derive from the µop budget, not the generated trace —
+// so it can be validated and content-hashed before any checkpoint exists.
+func buildSim(req SimRequest) (workloads.Spec, sim.Config, int, error) {
+	spec, err := workloads.ByName(req.Benchmark)
+	if err != nil {
+		return workloads.Spec{}, sim.Config{}, 0,
+			fmt.Errorf("unknown benchmark %q (valid: %s)", req.Benchmark, strings.Join(benchmarkNames(), ", "))
+	}
+	ops := req.Ops
+	if ops < 0 {
+		return workloads.Spec{}, sim.Config{}, 0, fmt.Errorf("negative ops %d", ops)
+	}
+	if ops == 0 {
+		ops = workloads.DefaultOps
+	}
+
+	cfg := sim.Default()
+	cfg.WarmupOps = uint64(ops / 8)
+	cfg.MPTUBucketOps = uint64(ops / 48)
+	if cfg.MPTUBucketOps == 0 {
+		cfg.MPTUBucketOps = 1
+	}
+	if req.L2KB > 0 {
+		cfg.L2.SizeBytes = req.L2KB * 1024
+	}
+	if req.L2Ways > 0 {
+		cfg.L2.Ways = req.L2Ways
+	}
+	if req.TLBEntries > 0 {
+		cfg.TLB.Entries = req.TLBEntries
+	}
+	cfg.InjectBadPrefetches = req.Inject
+	if req.CDP {
+		cc := core.DefaultConfig
+		if req.Depth > 0 {
+			cc.DepthThreshold = req.Depth
+		}
+		if req.NextLines != nil {
+			cc.NextLines = *req.NextLines
+		}
+		if req.PrevLines != nil {
+			cc.PrevLines = *req.PrevLines
+		}
+		if req.Reinforce != nil {
+			cc.Reinforce = *req.Reinforce
+		}
+		cfg = cfg.WithContent(cc)
+	}
+	if req.MarkovKB != 0 {
+		budget := req.MarkovKB * 1024
+		if req.MarkovKB < 0 {
+			budget = 0
+		}
+		cfg = cfg.WithMarkov(budget, cfg.L2)
+	}
+	if err := cfg.Validate(); err != nil {
+		return workloads.Spec{}, sim.Config{}, 0, fmt.Errorf("invalid configuration: %w", err)
+	}
+	return spec, cfg, ops, nil
+}
+
+func benchmarkNames() []string {
+	specs := workloads.All()
+	names := make([]string, len(specs))
+	for i, s := range specs {
+		names[i] = s.Name
+	}
+	sort.Strings(names)
+	return names
+}
+
+// prefetchStats is the per-source slice of a SimResult.
+type prefetchStats struct {
+	Issued        uint64  `json:"issued"`
+	FullHits      uint64  `json:"full_hits"`
+	PartialHits   uint64  `json:"partial_hits"`
+	EvictedUnused uint64  `json:"evicted_unused"`
+	Accuracy      float64 `json:"accuracy"`
+}
+
+// SimResult is the rendered simulation outcome the cache stores and the
+// API serves. It is a stable subset of sim.Result; the full counter block
+// stays an internal type.
+type SimResult struct {
+	Benchmark string `json:"benchmark"`
+	Config    string `json:"config"`
+	Ops       int    `json:"ops"`
+
+	RetiredUops    uint64 `json:"retired_uops"`
+	Cycles         int64  `json:"cycles"`
+	MeasuredUops   uint64 `json:"measured_uops"`
+	MeasuredCycles int64  `json:"measured_cycles"`
+
+	IPC  float64 `json:"ipc"`
+	MPTU float64 `json:"mptu"`
+
+	L1Hits   uint64 `json:"l1_hits"`
+	L1Misses uint64 `json:"l1_misses"`
+	L2Hits   uint64 `json:"l2_hits"`
+	L2Misses uint64 `json:"l2_misses"`
+
+	TLBHits   uint64 `json:"tlb_hits"`
+	TLBMisses uint64 `json:"tlb_misses"`
+
+	Prefetch map[string]prefetchStats `json:"prefetch,omitempty"`
+}
+
+// renderResult marshals the cacheable payload for one finished simulation.
+func renderResult(benchmark string, ops int, res *sim.Result) ([]byte, error) {
+	c := res.Counters
+	out := SimResult{
+		Benchmark:      benchmark,
+		Config:         res.Config.Name,
+		Ops:            ops,
+		RetiredUops:    res.Core.Retired,
+		Cycles:         res.Core.Cycles,
+		MeasuredUops:   res.MeasuredUops,
+		MeasuredCycles: res.MeasuredCycles,
+		IPC:            res.IPC(),
+		MPTU:           c.MPTUFor(res.MeasuredUops),
+		L1Hits:         c.L1Hits,
+		L1Misses:       c.L1Misses,
+		L2Hits:         c.L2Hits,
+		L2Misses:       c.L2Misses,
+		TLBHits:        res.TLBHits,
+		TLBMisses:      res.TLBMisses,
+	}
+	srcs := []cache.Source{cache.SrcStride, cache.SrcContent, cache.SrcMarkov}
+	names := []string{"stride", "content", "markov"}
+	for i, s := range srcs {
+		if c.PrefIssued[s] == 0 {
+			continue
+		}
+		if out.Prefetch == nil {
+			out.Prefetch = map[string]prefetchStats{}
+		}
+		out.Prefetch[names[i]] = prefetchStats{
+			Issued:        c.PrefIssued[s],
+			FullHits:      c.FullHits[s],
+			PartialHits:   c.PartialHits[s],
+			EvictedUnused: c.PrefEvictedUnused[s],
+			Accuracy:      c.Accuracy(s),
+		}
+	}
+	return json.Marshal(out)
+}

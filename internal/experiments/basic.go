@@ -15,7 +15,7 @@ func init() {
 	register("table2", "Table 2: benchmark instructions, µops and L2 MPTU", runTable2)
 }
 
-func runTable1(o Options) *Report {
+func runTable1(o Options) (*Report, error) {
 	cfg := baseConfig(o)
 	t := &report.Table{
 		Title:   "Table 1: 4-GHz system configuration (as modelled)",
@@ -41,14 +41,17 @@ func runTable1(o Options) *Report {
 	t.AddRow("UL2 cache", fmt.Sprintf("%d KB, %d-way", cfg.L2.SizeBytes/1024, cfg.L2.Ways))
 	t.AddRow("Line size", fmt.Sprintf("%d bytes", cfg.L2.LineSize))
 	t.AddRow("Page size", "4 KB")
-	return &Report{ID: "table1", Title: "Table 1", Text: t.Render()}
+	return &Report{ID: "table1", Title: "Table 1", Text: t.Render()}, nil
 }
 
-func runFig1(o Options) *Report {
+func runFig1(o Options) (*Report, error) {
 	specs := workloads.SuiteRepresentatives() // one per suite, as in the paper
 	cfg := with4MB(baseConfig(o))
 	cfg.WarmupOps = 0 // Figure 1 shows the transient itself
-	results := runMatrix(o, specs, []sim.Config{cfg})
+	results, err := runMatrix(o, specs, []sim.Config{cfg})
+	if err != nil {
+		return nil, err
+	}
 
 	maxLen, maxSteady := 0, 0
 	for _, row := range results {
@@ -86,13 +89,16 @@ func runFig1(o Options) *Report {
 		"retired µops", xs, names, series)
 	text += fmt.Sprintf("\nSteady state after bucket %d (~%d retired µops): use ~%d µops of warm-up.\n",
 		maxSteady, uint64(maxSteady)*cfg.MPTUBucketOps, warmFor(o.ops()))
-	return &Report{ID: "fig1", Title: "Figure 1", Text: text}
+	return &Report{ID: "fig1", Title: "Figure 1", Text: text}, nil
 }
 
-func runTable2(o Options) *Report {
+func runTable2(o Options) (*Report, error) {
 	specs := workloads.All()
 	cfgs := []sim.Config{baseConfig(o), with4MB(baseConfig(o))}
-	results := runMatrix(o, specs, cfgs)
+	results, err := runMatrix(o, specs, cfgs)
+	if err != nil {
+		return nil, err
+	}
 
 	t := &report.Table{
 		Title:   "Table 2: instructions, µops, and L2 MPTU per benchmark",
@@ -110,5 +116,5 @@ func runTable2(o Options) *Report {
 	}
 	var sb strings.Builder
 	sb.WriteString(t.Render())
-	return &Report{ID: "table2", Title: "Table 2", Text: sb.String()}
+	return &Report{ID: "table2", Title: "Table 2", Text: sb.String()}, nil
 }

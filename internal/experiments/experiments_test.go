@@ -54,7 +54,10 @@ func mustRun(t *testing.T, id string) *Report {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rep := r.Run(quickOpt())
+	rep, err := r.Run(quickOpt())
+	if err != nil {
+		t.Fatal(err)
+	}
 	if rep == nil || rep.Text == "" {
 		t.Fatalf("experiment %s produced no text", id)
 	}

@@ -47,7 +47,7 @@ func fig4Chain(nodes, work int) *trace.Checkpoint {
 	return &trace.Checkpoint{Name: "fig4-chain", Space: space, Trace: b.Trace()}
 }
 
-func runFig4(o Options) *Report {
+func runFig4(o Options) (*Report, error) {
 	nodes := 20_000
 	ck := fig4Chain(nodes, 24)
 	base := sim.Default()
@@ -81,7 +81,10 @@ func runFig4(o Options) *Report {
 	}
 	var first *sim.Result
 	for _, r := range rows {
-		res := sim.Run(ck, r.cfg)
+		res, err := sim.RunContext(o.ctx(), ck, r.cfg)
+		if err != nil {
+			return nil, err
+		}
 		if first == nil {
 			first = res
 		}
@@ -93,5 +96,5 @@ func runFig4(o Options) *Report {
 		t.AddRow(r.name, c.MissNoPF, perMiss, c.Rescans,
 			c.FullHits[cache.SrcContent], res.SpeedupOver(first))
 	}
-	return &Report{ID: "fig4", Title: "Figure 4", Text: t.Render()}
+	return &Report{ID: "fig4", Title: "Figure 4", Text: t.Render()}, nil
 }

@@ -40,7 +40,10 @@ func TestGoldenOutputs(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			rep := r.Run(goldenOpt())
+			rep, err := r.Run(goldenOpt())
+			if err != nil {
+				t.Fatal(err)
+			}
 			if rep == nil || rep.Text == "" {
 				t.Fatalf("experiment %s produced no text", id)
 			}

@@ -35,7 +35,7 @@ func markovConfig(o Options, split int) sim.Config {
 	})
 }
 
-func runTable3(o Options) *Report {
+func runTable3(o Options) (*Report, error) {
 	t := &report.Table{
 		Title:   "Table 3: Markov prefetcher system configurations",
 		Headers: []string{"Configuration", "STAB size", "STAB entries", "UL2 size", "UL2 assoc"},
@@ -51,10 +51,10 @@ func runTable3(o Options) *Report {
 		t.AddRow(s.name, stab, entries, fmt.Sprintf("%d KB", s.l2Bytes/1024),
 			fmt.Sprintf("%d-way", s.l2Ways))
 	}
-	return &Report{ID: "table3", Title: "Table 3", Text: t.Render()}
+	return &Report{ID: "table3", Title: "Table 3", Text: t.Render()}, nil
 }
 
-func runFig11(o Options) *Report {
+func runFig11(o Options) (*Report, error) {
 	specs := workloads.All()
 	cfgs := []sim.Config{
 		baseConfig(o), // column 0: stride baseline, 1 MB UL2
@@ -63,7 +63,10 @@ func runFig11(o Options) *Report {
 		markovConfig(o, 2),
 		baseConfig(o).WithContent(core.DefaultConfig),
 	}
-	results := runMatrix(o, specs, cfgs)
+	results, err := runMatrix(o, specs, cfgs)
+	if err != nil {
+		return nil, err
+	}
 
 	names := []string{"markov_1/8", "markov_1/2", "markov_big", "content"}
 	t := &report.Table{
@@ -82,7 +85,7 @@ func runFig11(o Options) *Report {
 		text += fmt.Sprintf("\nContent/markov_big speedup-gain ratio: %.2fx.\n",
 			(sps[3]-1)/max1e9(sps[2]-1))
 	}
-	return &Report{ID: "fig11", Title: "Figure 11", Text: text}
+	return &Report{ID: "fig11", Title: "Figure 11", Text: text}, nil
 }
 
 func max1e9(v float64) float64 {

@@ -42,7 +42,7 @@ func curveName(c fig9Curve) string {
 	return fmt.Sprintf("depth.%d-nr", c.depth)
 }
 
-func runFig9(o Options) *Report {
+func runFig9(o Options) (*Report, error) {
 	specs := o.sweepSpecs()
 	cfgs := []sim.Config{baseConfig(o)} // column 0 = stride baseline
 	for _, cv := range fig9Curves {
@@ -55,7 +55,10 @@ func runFig9(o Options) *Report {
 			cfgs = append(cfgs, baseConfig(o).WithContent(cc))
 		}
 	}
-	results := runMatrix(o, specs, cfgs)
+	results, err := runMatrix(o, specs, cfgs)
+	if err != nil {
+		return nil, err
+	}
 
 	xs := make([]string, len(fig9Widths))
 	for i, w := range fig9Widths {
@@ -81,16 +84,19 @@ func runFig9(o Options) *Report {
 		"(relative to stride baseline)", "p.n", xs, names, series)
 	text += fmt.Sprintf("\nBest configuration: %s at %.3f speedup "+
 		"(paper: reinforcement, depth 3, p0.n3 at 1.126).\n", best, bestSp)
-	return &Report{ID: "fig9", Title: "Figure 9", Text: text}
+	return &Report{ID: "fig9", Title: "Figure 9", Text: text}, nil
 }
 
-func runFig10(o Options) *Report {
+func runFig10(o Options) (*Report, error) {
 	specs := workloads.All()
 	cfgs := []sim.Config{
 		baseConfig(o),
 		baseConfig(o).WithContent(core.DefaultConfig),
 	}
-	results := runMatrix(o, specs, cfgs)
+	results, err := runMatrix(o, specs, cfgs)
+	if err != nil {
+		return nil, err
+	}
 
 	t := &report.Table{
 		Title: "Figure 10: distribution of UL2 load requests that would miss without prefetching",
@@ -144,10 +150,10 @@ func runFig10(o Options) *Report {
 			report.Pct(cdpFull/nonStride), report.Pct(cdpUseful/nonStride),
 			report.Pct(cdpFull/cdpUseful))
 	}
-	return &Report{ID: "fig10", Title: "Figure 10", Text: text}
+	return &Report{ID: "fig10", Title: "Figure 10", Text: text}, nil
 }
 
-func runTLB(o Options) *Report {
+func runTLB(o Options) (*Report, error) {
 	entries := []int{64, 128, 256, 512, 1024}
 	specs := o.sweepSpecs()
 	var cfgs []sim.Config
@@ -157,7 +163,10 @@ func runTLB(o Options) *Report {
 		cdp := base.WithContent(core.DefaultConfig)
 		cfgs = append(cfgs, base, cdp)
 	}
-	results := runMatrix(o, specs, cfgs)
+	results, err := runMatrix(o, specs, cfgs)
+	if err != nil {
+		return nil, err
+	}
 
 	t := &report.Table{
 		Title:   "Section 4.2.2: content-prefetcher speedup vs DTLB size",
@@ -175,15 +184,18 @@ func runTLB(o Options) *Report {
 	}
 	text := t.Render()
 	text += fmt.Sprintf("\nSpeedup change across the sweep: %.3f -> %.3f.\n", first, last)
-	return &Report{ID: "tlb", Title: "TLB sweep", Text: text}
+	return &Report{ID: "tlb", Title: "TLB sweep", Text: text}, nil
 }
 
-func runLimit(o Options) *Report {
+func runLimit(o Options) (*Report, error) {
 	specs := o.sweepSpecs()
 	inj := baseConfig(o)
 	inj.InjectBadPrefetches = true
 	inj.Name = "baseline+pollution"
-	results := runMatrix(o, specs, []sim.Config{baseConfig(o), inj})
+	results, err := runMatrix(o, specs, []sim.Config{baseConfig(o), inj})
+	if err != nil {
+		return nil, err
+	}
 
 	t := &report.Table{
 		Title:   "Section 3.5 limit study: bad prefetches injected on idle bus cycles",
@@ -197,5 +209,5 @@ func runLimit(o Options) *Report {
 		t.AddRow(s.Name, slow, results[i][1].Counters.InjectedPrefetches)
 	}
 	t.AddRow("AVERAGE", sum/float64(len(specs)), "")
-	return &Report{ID: "limit", Title: "Limit study", Text: t.Render()}
+	return &Report{ID: "limit", Title: "Limit study", Text: t.Render()}, nil
 }

@@ -24,8 +24,14 @@ func TestRunMatrixParallelismInvariant(t *testing.T) {
 	base := baseConfig(o)
 	cfgs := []sim.Config{base, base.WithContent(core.DefaultConfig)}
 
-	serial := runMatrix(Options{Ops: o.Ops, Parallelism: 1}, specs, cfgs)
-	parallel := runMatrix(Options{Ops: o.Ops, Parallelism: 4}, specs, cfgs)
+	serial, err := runMatrix(Options{Ops: o.Ops, Parallelism: 1}, specs, cfgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := runMatrix(Options{Ops: o.Ops, Parallelism: 4}, specs, cfgs)
+	if err != nil {
+		t.Fatal(err)
+	}
 
 	for si := range serial {
 		for ci := range serial[si] {
@@ -57,7 +63,9 @@ func TestSimsRunCounterAdvances(t *testing.T) {
 	o := Options{Ops: 20_000, Parallelism: 2}
 	cfgs := []sim.Config{baseConfig(o), with4MB(baseConfig(o))}
 	before := SimsRun()
-	runMatrix(o, specs, cfgs)
+	if _, err := runMatrix(o, specs, cfgs); err != nil {
+		t.Fatal(err)
+	}
 	if got := SimsRun() - before; got != uint64(len(specs)*len(cfgs)) {
 		t.Fatalf("SimsRun advanced by %d, want %d", got, len(specs)*len(cfgs))
 	}

@@ -5,10 +5,12 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/sim"
 	"repro/internal/trace"
@@ -23,6 +25,11 @@ func SimsRun() uint64 { return sim.Runs() }
 
 // Options scales an experiment run.
 type Options struct {
+	// Ctx cancels a run between simulations (nil = context.Background()).
+	// Cancellation is cooperative at matrix-cell granularity: a simulation
+	// that has started always finishes, so partial results stay
+	// byte-identical to what an uncancelled run would have produced.
+	Ctx context.Context
 	// Ops is the per-benchmark µop budget (0 = workloads.DefaultOps).
 	Ops int
 	// Reps restricts multi-config sweeps to one benchmark per suite
@@ -31,6 +38,17 @@ type Options struct {
 	Reps bool
 	// Parallelism bounds concurrent simulations (0 = GOMAXPROCS).
 	Parallelism int
+	// Progress, when non-nil, is called after each completed matrix cell
+	// with the running completion count and the matrix total. Calls are
+	// serialized but may arrive from any worker goroutine.
+	Progress func(done, total int)
+}
+
+func (o Options) ctx() context.Context {
+	if o.Ctx != nil {
+		return o.Ctx
+	}
+	return context.Background()
 }
 
 func (o Options) ops() int {
@@ -90,12 +108,19 @@ type cell struct {
 
 // runMatrix simulates every (spec, config) pair and returns results indexed
 // [spec][config]. Checkpoints are generated once per spec and shared (the
-// simulator never mutates them).
-func runMatrix(o Options, specs []workloads.Spec, cfgs []sim.Config) [][]*sim.Result {
+// simulator never mutates them). Cancelling o.Ctx stops the sweep between
+// cells: completed cells keep their results, unstarted cells stay nil, and
+// the returned error reports the partial coverage.
+func runMatrix(o Options, specs []workloads.Spec, cfgs []sim.Config) ([][]*sim.Result, error) {
+	ctx := o.ctx()
+	total := len(specs) * len(cfgs)
 	// Pre-generate checkpoints sequentially (generation itself is
 	// allocation-heavy; doing it once also warms the cache).
 	cks := make([]*trace.Checkpoint, len(specs))
 	for i, s := range specs {
+		if err := ctx.Err(); err != nil {
+			return nil, partialErr(0, total, err)
+		}
 		cks[i] = workloads.Checkpoint(s, o.ops())
 	}
 	out := make([][]*sim.Result, len(specs))
@@ -108,6 +133,10 @@ func runMatrix(o Options, specs []workloads.Spec, cfgs []sim.Config) [][]*sim.Re
 			cells = append(cells, cell{spec: s, cfg: c, si: si, ci: ci})
 		}
 	}
+	var (
+		done   atomic.Uint64
+		progMu sync.Mutex
+	)
 	work := make(chan cell)
 	var wg sync.WaitGroup
 	for w := 0; w < o.workers(); w++ {
@@ -115,7 +144,20 @@ func runMatrix(o Options, specs []workloads.Spec, cfgs []sim.Config) [][]*sim.Re
 		go func() {
 			defer wg.Done()
 			for c := range work {
-				out[c.si][c.ci] = sim.Run(cks[c.si], c.cfg)
+				// The cooperative cancellation check between matrix
+				// cells: once ctx is cancelled, remaining cells are
+				// drained without simulating.
+				res, err := sim.RunContext(ctx, cks[c.si], c.cfg)
+				if err != nil {
+					continue
+				}
+				out[c.si][c.ci] = res
+				n := int(done.Add(1))
+				if o.Progress != nil {
+					progMu.Lock()
+					o.Progress(n, total)
+					progMu.Unlock()
+				}
 			}
 		}()
 	}
@@ -124,7 +166,16 @@ func runMatrix(o Options, specs []workloads.Spec, cfgs []sim.Config) [][]*sim.Re
 	}
 	close(work)
 	wg.Wait()
-	return out
+	if err := ctx.Err(); err != nil {
+		return out, partialErr(int(done.Load()), total, err)
+	}
+	return out, nil
+}
+
+// partialErr wraps a context error with the sweep coverage at the moment it
+// took effect, so callers can report how much of a matrix survives.
+func partialErr(done, total int, err error) error {
+	return fmt.Errorf("experiments: sweep cancelled after %d of %d simulations: %w", done, total, err)
 }
 
 // meanSpeedup averages per-benchmark speedups of column ci relative to
@@ -137,16 +188,18 @@ func meanSpeedup(results [][]*sim.Result, ci, base int) float64 {
 	return sum / float64(len(results))
 }
 
-// Runner is one registered experiment.
+// Runner is one registered experiment. Run returns a non-nil error only
+// when the options' context was cancelled; the report then covers whatever
+// completed before the cut.
 type Runner struct {
 	ID    string
 	Title string
-	Run   func(Options) *Report
+	Run   func(Options) (*Report, error)
 }
 
 var registry []Runner
 
-func register(id, title string, fn func(Options) *Report) {
+func register(id, title string, fn func(Options) (*Report, error)) {
 	registry = append(registry, Runner{ID: id, Title: title, Run: fn})
 }
 
@@ -171,11 +224,17 @@ func Get(id string) (Runner, error) {
 	return Runner{}, fmt.Errorf("experiments: unknown id %q (have %v)", id, sorted)
 }
 
-// RunAll executes every experiment and returns the reports in order.
-func RunAll(o Options) []*Report {
+// RunAll executes every experiment and returns the reports in order. On
+// cancellation it returns the reports completed so far together with the
+// partial-result error of the experiment that was cut short.
+func RunAll(o Options) ([]*Report, error) {
 	out := make([]*Report, 0, len(registry))
 	for _, r := range registry {
-		out = append(out, r.Run(o))
+		rep, err := r.Run(o)
+		if err != nil {
+			return out, fmt.Errorf("experiments: %s: %w", r.ID, err)
+		}
+		out = append(out, rep)
 	}
-	return out
+	return out, nil
 }

@@ -40,7 +40,7 @@ func adjusted(results [][]*sim.Result, ci int) (cov, acc float64) {
 	return cov / n, acc / n
 }
 
-func runFig7(o Options) *Report {
+func runFig7(o Options) (*Report, error) {
 	// The paper's horizontal axis: compare.filter combinations.
 	combos := [][2]int{
 		{8, 0}, {8, 2}, {8, 4}, {8, 6}, {8, 8},
@@ -57,7 +57,10 @@ func runFig7(o Options) *Report {
 		cfgs[i] = baseConfig(o).WithContent(tuningContent(m))
 		xs[i] = fmt.Sprintf("%02d.%d", cf[0], cf[1])
 	}
-	results := runMatrix(o, specs, cfgs)
+	results, err := runMatrix(o, specs, cfgs)
+	if err != nil {
+		return nil, err
+	}
 
 	covS := make([]float64, len(combos))
 	accS := make([]float64, len(combos))
@@ -72,10 +75,10 @@ func runFig7(o Options) *Report {
 		"Figure 7: adjusted prefetch coverage and accuracy vs compare.filter bits",
 		"cmp.flt", xs, []string{"adj-coverage", "adj-accuracy"}, [][]float64{covS, accS})
 	text += fmt.Sprintf("\nBest coverage/accuracy trade-off: %s (paper selects 08.4).\n", xs[bestI])
-	return &Report{ID: "fig7", Title: "Figure 7", Text: text}
+	return &Report{ID: "fig7", Title: "Figure 7", Text: text}, nil
 }
 
-func runFig8(o Options) *Report {
+func runFig8(o Options) (*Report, error) {
 	// Align bits x scan step at fixed 8 compare / 4 filter bits.
 	aligns := []int{0, 1, 2, 4}
 	steps := []int{1, 2, 4}
@@ -89,7 +92,10 @@ func runFig8(o Options) *Report {
 			xs = append(xs, fmt.Sprintf("8.4.%d.%d", al, st))
 		}
 	}
-	results := runMatrix(o, specs, cfgs)
+	results, err := runMatrix(o, specs, cfgs)
+	if err != nil {
+		return nil, err
+	}
 
 	covS := make([]float64, len(cfgs))
 	accS := make([]float64, len(cfgs))
@@ -104,7 +110,7 @@ func runFig8(o Options) *Report {
 		"Figure 8: adjusted coverage and accuracy vs align bits and scan step (compare 8, filter 4)",
 		"cfg", xs, []string{"adj-coverage", "adj-accuracy"}, [][]float64{covS, accS})
 	text += fmt.Sprintf("\nBest coverage/accuracy trade-off: %s (paper selects 8.4.1.2).\n", xs[bestI])
-	return &Report{ID: "fig8", Title: "Figure 8", Text: text}
+	return &Report{ID: "fig8", Title: "Figure 8", Text: text}, nil
 }
 
 // avgCounters is a test hook summing a counter across a column.

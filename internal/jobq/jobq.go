@@ -1,0 +1,528 @@
+// Package jobq is cdpd's bounded job queue: a fixed worker pool draining a
+// priority heap, with backpressure when the queue is full, per-job
+// context-based cancellation and timeout, progress subscriptions for
+// streaming clients, and a graceful shutdown that drains in-flight work
+// within a deadline or cancels what remains.
+package jobq
+
+import (
+	"container/heap"
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// State is a job's lifecycle position. Terminal states are StateDone,
+// StateFailed, and StateCanceled.
+type State string
+
+const (
+	StateQueued   State = "queued"
+	StateRunning  State = "running"
+	StateDone     State = "done"
+	StateFailed   State = "failed"
+	StateCanceled State = "canceled"
+)
+
+// Terminal reports whether s is an end state.
+func (s State) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCanceled
+}
+
+var (
+	// ErrQueueFull is backpressure: the caller should retry later (the
+	// API layer maps it to 429 + Retry-After).
+	ErrQueueFull = errors.New("jobq: queue full")
+	// ErrShuttingDown rejects submissions after Shutdown began.
+	ErrShuttingDown = errors.New("jobq: shutting down")
+	// ErrCanceled is the result error of a job canceled before or while
+	// running.
+	ErrCanceled = errors.New("jobq: job canceled")
+	// ErrDuplicateID rejects a submission reusing a live job ID.
+	ErrDuplicateID = errors.New("jobq: duplicate job id")
+)
+
+// Func is the work a job performs. ctx is canceled when the job is
+// canceled, times out, or the queue force-drains; cooperative functions
+// return promptly once it is. The job handle lets the function publish
+// progress.
+type Func func(ctx context.Context, j *Job) (any, error)
+
+// Update is one progress observation, shaped for NDJSON streaming.
+type Update struct {
+	JobID string `json:"job_id"`
+	State State  `json:"state"`
+	Stage string `json:"stage,omitempty"`
+	Done  int    `json:"done,omitempty"`
+	Total int    `json:"total,omitempty"`
+	Error string `json:"error,omitempty"`
+}
+
+// Job is one unit of queued work.
+type Job struct {
+	id       string
+	priority int
+	seq      uint64
+	index    int // heap position; -1 once popped or removed
+	fn       Func
+
+	mu       sync.Mutex
+	state    State
+	stage    string
+	done     int
+	total    int
+	value    any
+	err      error
+	canceled bool
+	cancel   context.CancelFunc
+	subs     map[chan Update]bool
+	doneCh   chan struct{}
+	created  time.Time
+	started  time.Time
+	finished time.Time
+}
+
+// ID returns the job's queue-unique identifier.
+func (j *Job) ID() string { return j.id }
+
+// Priority returns the submission priority (higher runs first).
+func (j *Job) Priority() int { return j.priority }
+
+// State returns the current lifecycle state.
+func (j *Job) State() State {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state
+}
+
+// Done is closed when the job reaches a terminal state.
+func (j *Job) Done() <-chan struct{} { return j.doneCh }
+
+// Result returns the job's value and error; meaningful only after Done is
+// closed.
+func (j *Job) Result() (any, error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.value, j.err
+}
+
+// SetProgress publishes a progress observation to all subscribers. It is
+// safe to call from the job function at any rate; slow subscribers drop
+// intermediate updates rather than blocking the worker.
+func (j *Job) SetProgress(stage string, done, total int) {
+	j.mu.Lock()
+	j.stage, j.done, j.total = stage, done, total
+	j.broadcastLocked()
+	j.mu.Unlock()
+}
+
+// Snapshot returns the job's current Update.
+func (j *Job) Snapshot() Update {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.snapshotLocked()
+}
+
+func (j *Job) snapshotLocked() Update {
+	u := Update{JobID: j.id, State: j.state, Stage: j.stage, Done: j.done, Total: j.total}
+	if j.err != nil {
+		u.Error = j.err.Error()
+	}
+	return u
+}
+
+// Subscribe returns a channel of progress updates, primed with the current
+// snapshot and closed once the job is terminal (the terminal update is
+// always delivered). The returned cancel function releases the
+// subscription; it is safe to call more than once.
+func (j *Job) Subscribe() (<-chan Update, func()) {
+	ch := make(chan Update, 16)
+	j.mu.Lock()
+	ch <- j.snapshotLocked()
+	if j.state.Terminal() {
+		close(ch)
+		j.mu.Unlock()
+		return ch, func() {}
+	}
+	j.subs[ch] = true
+	j.mu.Unlock()
+	var once sync.Once
+	return ch, func() {
+		once.Do(func() {
+			j.mu.Lock()
+			if j.subs[ch] {
+				delete(j.subs, ch)
+				close(ch)
+			}
+			j.mu.Unlock()
+		})
+	}
+}
+
+// broadcastLocked fans the current snapshot out to subscribers, dropping
+// the update for any subscriber whose buffer is full. Caller holds j.mu.
+func (j *Job) broadcastLocked() {
+	u := j.snapshotLocked()
+	for ch := range j.subs {
+		select {
+		case ch <- u:
+		default:
+		}
+	}
+}
+
+// finishLocked moves the job to a terminal state, delivers the final
+// update to every subscriber (blocking-free: the final state is also
+// readable via Snapshot after doneCh closes), and closes doneCh. Caller
+// holds j.mu.
+func (j *Job) finishLocked(st State, value any, err error) {
+	if j.state.Terminal() {
+		return
+	}
+	j.state = st
+	j.value = value
+	j.err = err
+	j.finished = time.Now()
+	u := j.snapshotLocked()
+	for ch := range j.subs {
+		// Make room for the terminal update if the buffer is full of
+		// stale progress; subscribers always observe the end state.
+		select {
+		case ch <- u:
+		default:
+			select {
+			case <-ch:
+			default:
+			}
+			select {
+			case ch <- u:
+			default:
+			}
+		}
+		delete(j.subs, ch)
+		close(ch)
+	}
+	close(j.doneCh)
+}
+
+// jobHeap orders queued jobs by priority (higher first), then FIFO.
+type jobHeap []*Job
+
+func (h jobHeap) Len() int { return len(h) }
+func (h jobHeap) Less(a, b int) bool {
+	if h[a].priority != h[b].priority {
+		return h[a].priority > h[b].priority
+	}
+	return h[a].seq < h[b].seq
+}
+func (h jobHeap) Swap(a, b int) {
+	h[a], h[b] = h[b], h[a]
+	h[a].index = a
+	h[b].index = b
+}
+func (h *jobHeap) Push(x any) {
+	j := x.(*Job)
+	j.index = len(*h)
+	*h = append(*h, j)
+}
+func (h *jobHeap) Pop() any {
+	old := *h
+	n := len(old)
+	j := old[n-1]
+	old[n-1] = nil
+	j.index = -1
+	*h = old[:n-1]
+	return j
+}
+
+// Config sizes a queue.
+type Config struct {
+	// Workers is the fixed pool size (0 = GOMAXPROCS).
+	Workers int
+	// Capacity bounds the number of queued (not yet running) jobs;
+	// submissions beyond it fail with ErrQueueFull. 0 defaults to 64.
+	Capacity int
+	// JobTimeout bounds each job's execution (0 = no per-job timeout).
+	JobTimeout time.Duration
+}
+
+func (c Config) workers() int {
+	if c.Workers > 0 {
+		return c.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+func (c Config) capacity() int {
+	if c.Capacity > 0 {
+		return c.Capacity
+	}
+	return 64
+}
+
+// Stats is a point-in-time queue snapshot for /metrics.
+type Stats struct {
+	Workers   int
+	Capacity  int
+	Depth     int // queued, waiting for a worker
+	Running   int
+	Accepting bool
+	Completed uint64
+	Failed    uint64
+	Canceled  uint64
+}
+
+// Queue is the bounded priority job queue. Construct with New.
+type Queue struct {
+	cfg        Config
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+
+	mu        sync.Mutex
+	cond      *sync.Cond
+	pq        jobHeap
+	jobs      map[string]*Job
+	closed    bool
+	running   int
+	seqNext   uint64
+	completed uint64
+	failed    uint64
+	canceled  uint64
+	wg        sync.WaitGroup
+}
+
+// New builds a queue and starts its worker pool.
+func New(cfg Config) *Queue {
+	ctx, cancel := context.WithCancel(context.Background())
+	q := &Queue{
+		cfg:        cfg,
+		baseCtx:    ctx,
+		baseCancel: cancel,
+		jobs:       map[string]*Job{},
+	}
+	q.cond = sync.NewCond(&q.mu)
+	for i := 0; i < cfg.workers(); i++ {
+		q.wg.Add(1)
+		go q.worker()
+	}
+	return q
+}
+
+// Submit enqueues work under the given id (empty = auto-assigned) and
+// priority. It fails fast with ErrQueueFull when the queue is at capacity
+// and ErrShuttingDown once Shutdown has begun.
+func (q *Queue) Submit(id string, priority int, fn Func) (*Job, error) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return nil, ErrShuttingDown
+	}
+	if len(q.pq) >= q.cfg.capacity() {
+		return nil, ErrQueueFull
+	}
+	q.seqNext++
+	if id == "" {
+		id = fmt.Sprintf("job-%d", q.seqNext)
+	}
+	if prev, ok := q.jobs[id]; ok && !prev.State().Terminal() {
+		return nil, fmt.Errorf("%w: %s", ErrDuplicateID, id)
+	}
+	j := &Job{
+		id:       id,
+		priority: priority,
+		seq:      q.seqNext,
+		fn:       fn,
+		state:    StateQueued,
+		subs:     map[chan Update]bool{},
+		doneCh:   make(chan struct{}),
+		created:  time.Now(),
+	}
+	q.jobs[id] = j
+	heap.Push(&q.pq, j)
+	q.cond.Signal()
+	return j, nil
+}
+
+// Get finds a job by id (queued, running, or finished).
+func (q *Queue) Get(id string) (*Job, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	j, ok := q.jobs[id]
+	return j, ok
+}
+
+// Cancel requests cancellation of a job. A queued job terminates
+// immediately; a running job has its context canceled and terminates when
+// its function returns. Cancel reports whether it had any effect.
+func (q *Queue) Cancel(id string) bool {
+	q.mu.Lock()
+	j, ok := q.jobs[id]
+	if !ok {
+		q.mu.Unlock()
+		return false
+	}
+	j.mu.Lock()
+	switch j.state {
+	case StateQueued:
+		if j.index >= 0 {
+			heap.Remove(&q.pq, j.index)
+		}
+		j.canceled = true
+		j.finishLocked(StateCanceled, nil, ErrCanceled)
+		j.mu.Unlock()
+		q.canceled++
+		q.mu.Unlock()
+		return true
+	case StateRunning:
+		j.canceled = true
+		cancel := j.cancel
+		j.mu.Unlock()
+		q.mu.Unlock()
+		if cancel != nil {
+			cancel()
+		}
+		return true
+	default:
+		j.mu.Unlock()
+		q.mu.Unlock()
+		return false
+	}
+}
+
+// Stats snapshots queue occupancy and lifetime counters.
+func (q *Queue) Stats() Stats {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return Stats{
+		Workers:   q.cfg.workers(),
+		Capacity:  q.cfg.capacity(),
+		Depth:     len(q.pq),
+		Running:   q.running,
+		Accepting: !q.closed,
+		Completed: q.completed,
+		Failed:    q.failed,
+		Canceled:  q.canceled,
+	}
+}
+
+// Shutdown stops accepting submissions and waits for queued and running
+// jobs to finish. If ctx expires first, every remaining job's context is
+// canceled and Shutdown waits for the workers to observe that, returning
+// ctx's error. Either way the pool is fully stopped on return.
+func (q *Queue) Shutdown(ctx context.Context) error {
+	q.mu.Lock()
+	q.closed = true
+	q.cond.Broadcast()
+	q.mu.Unlock()
+
+	drained := make(chan struct{})
+	go func() {
+		q.wg.Wait()
+		close(drained)
+	}()
+	select {
+	case <-drained:
+		return nil
+	case <-ctx.Done():
+		// Deadline passed: cancel running jobs via the shared base
+		// context and flush the backlog as canceled.
+		q.baseCancel()
+		q.mu.Lock()
+		for len(q.pq) > 0 {
+			j := heap.Pop(&q.pq).(*Job)
+			j.mu.Lock()
+			j.canceled = true
+			j.finishLocked(StateCanceled, nil, ErrCanceled)
+			j.mu.Unlock()
+			q.canceled++
+		}
+		q.cond.Broadcast()
+		q.mu.Unlock()
+		<-drained
+		return ctx.Err()
+	}
+}
+
+// worker pops and runs jobs until the queue is closed and empty.
+func (q *Queue) worker() {
+	defer q.wg.Done()
+	for {
+		q.mu.Lock()
+		for len(q.pq) == 0 && !q.closed {
+			q.cond.Wait()
+		}
+		if len(q.pq) == 0 {
+			q.mu.Unlock()
+			return
+		}
+		j := heap.Pop(&q.pq).(*Job)
+		q.running++
+		q.mu.Unlock()
+
+		q.run(j)
+
+		q.mu.Lock()
+		q.running--
+		q.mu.Unlock()
+	}
+}
+
+// run executes one popped job through its terminal state.
+func (q *Queue) run(j *Job) {
+	j.mu.Lock()
+	if j.state.Terminal() {
+		// Canceled between pop and here.
+		j.mu.Unlock()
+		return
+	}
+	ctx, cancel := context.WithCancel(q.baseCtx)
+	if q.cfg.JobTimeout > 0 {
+		ctx, cancel = context.WithTimeout(q.baseCtx, q.cfg.JobTimeout)
+	}
+	j.cancel = cancel
+	j.state = StateRunning
+	j.started = time.Now()
+	j.broadcastLocked()
+	j.mu.Unlock()
+
+	value, err := runSafely(ctx, j)
+	cancel()
+
+	j.mu.Lock()
+	canceled := j.canceled
+	switch {
+	case err == nil:
+		j.finishLocked(StateDone, value, nil)
+	case canceled || errors.Is(err, context.Canceled):
+		j.finishLocked(StateCanceled, nil, fmt.Errorf("%w: %v", ErrCanceled, err))
+	default:
+		j.finishLocked(StateFailed, nil, err)
+	}
+	st := j.state
+	j.mu.Unlock()
+
+	q.mu.Lock()
+	switch st {
+	case StateDone:
+		q.completed++
+	case StateCanceled:
+		q.canceled++
+	default:
+		q.failed++
+	}
+	q.mu.Unlock()
+}
+
+// runSafely converts a panicking job function into a failed job instead of
+// taking the daemon down with it.
+func runSafely(ctx context.Context, j *Job) (value any, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("jobq: job %s panicked: %v", j.id, r)
+		}
+	}()
+	return j.fn(ctx, j)
+}

@@ -1,0 +1,294 @@
+package jobq
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// blockingJob returns a job function that signals when it starts and
+// blocks until released or its context dies.
+func blockingJob(started chan<- string, release <-chan struct{}) Func {
+	return func(ctx context.Context, j *Job) (any, error) {
+		if started != nil {
+			started <- j.ID()
+		}
+		select {
+		case <-release:
+			return "done", nil
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+}
+
+func waitTerminal(t *testing.T, j *Job) {
+	t.Helper()
+	select {
+	case <-j.Done():
+	case <-time.After(5 * time.Second):
+		t.Fatalf("job %s did not finish (state %s)", j.ID(), j.State())
+	}
+}
+
+func TestSubmitRunsAndReturnsValue(t *testing.T) {
+	q := New(Config{Workers: 2, Capacity: 4})
+	defer q.Shutdown(context.Background())
+	j, err := q.Submit("", 0, func(ctx context.Context, j *Job) (any, error) {
+		return 42, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitTerminal(t, j)
+	v, err := j.Result()
+	if err != nil || v != 42 {
+		t.Fatalf("result = %v, %v", v, err)
+	}
+	if st := q.Stats(); st.Completed != 1 {
+		t.Fatalf("stats %+v, want 1 completed", st)
+	}
+}
+
+// TestBackpressure fills a 1-worker, 2-slot queue and requires the next
+// submission to fail fast with ErrQueueFull, then succeed again once a
+// slot frees up.
+func TestBackpressure(t *testing.T) {
+	started := make(chan string, 8)
+	release := make(chan struct{})
+	q := New(Config{Workers: 1, Capacity: 2})
+	defer func() {
+		close(release)
+		q.Shutdown(context.Background())
+	}()
+
+	running, err := q.Submit("running", 0, blockingJob(started, release))
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started // the worker holds "running"; queue is empty again
+
+	if _, err := q.Submit("q1", 0, blockingJob(nil, release)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := q.Submit("q2", 0, blockingJob(nil, release)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := q.Submit("q3", 0, blockingJob(nil, release)); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("err = %v, want ErrQueueFull", err)
+	}
+	if st := q.Stats(); st.Depth != 2 || st.Running != 1 {
+		t.Fatalf("stats %+v, want depth 2 running 1", st)
+	}
+
+	// Free a slot by canceling a queued job; submission works again.
+	if !q.Cancel("q2") {
+		t.Fatal("cancel of queued q2 had no effect")
+	}
+	if _, err := q.Submit("q4", 0, blockingJob(nil, release)); err != nil {
+		t.Fatalf("submit after freeing a slot: %v", err)
+	}
+	_ = running
+}
+
+// TestPriorityOrder: with one worker, higher-priority jobs run before
+// earlier-submitted lower-priority ones; ties run FIFO.
+func TestPriorityOrder(t *testing.T) {
+	started := make(chan string, 8)
+	release := make(chan struct{})
+	q := New(Config{Workers: 1, Capacity: 8})
+	defer q.Shutdown(context.Background())
+
+	gate := make(chan struct{})
+	if _, err := q.Submit("gate", 0, blockingJob(started, gate)); err != nil {
+		t.Fatal(err)
+	}
+	<-started // worker is pinned; everything below queues up
+
+	for _, s := range []struct {
+		id  string
+		pri int
+	}{{"low-1", 0}, {"low-2", 0}, {"high", 5}, {"mid", 3}} {
+		if _, err := q.Submit(s.id, s.pri, blockingJob(started, release)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(gate)
+	close(release)
+	want := []string{"high", "mid", "low-1", "low-2"}
+	for _, w := range want {
+		select {
+		case got := <-started:
+			if got != w {
+				t.Fatalf("start order: got %s, want %s", got, w)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatalf("timed out waiting for %s to start", w)
+		}
+	}
+}
+
+// TestCancelRunningJob: cancellation reaches a running job through its
+// context and the job terminates as canceled.
+func TestCancelRunningJob(t *testing.T) {
+	started := make(chan string, 1)
+	q := New(Config{Workers: 1, Capacity: 2})
+	defer q.Shutdown(context.Background())
+	j, err := q.Submit("victim", 0, blockingJob(started, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	if !q.Cancel("victim") {
+		t.Fatal("cancel had no effect")
+	}
+	waitTerminal(t, j)
+	if st := j.State(); st != StateCanceled {
+		t.Fatalf("state = %s, want canceled", st)
+	}
+	if _, err := j.Result(); !errors.Is(err, ErrCanceled) {
+		t.Fatalf("result err = %v, want ErrCanceled", err)
+	}
+}
+
+// TestJobTimeout: a job exceeding the per-job timeout fails with the
+// deadline error rather than hanging a worker forever.
+func TestJobTimeout(t *testing.T) {
+	q := New(Config{Workers: 1, Capacity: 2, JobTimeout: 30 * time.Millisecond})
+	defer q.Shutdown(context.Background())
+	j, err := q.Submit("slow", 0, blockingJob(nil, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitTerminal(t, j)
+	if st := j.State(); st != StateFailed {
+		t.Fatalf("state = %s, want failed", st)
+	}
+	if _, err := j.Result(); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("result err = %v, want DeadlineExceeded", err)
+	}
+}
+
+// TestPanicBecomesFailure: a panicking job fails cleanly; the worker and
+// queue survive.
+func TestPanicBecomesFailure(t *testing.T) {
+	q := New(Config{Workers: 1, Capacity: 2})
+	defer q.Shutdown(context.Background())
+	j, err := q.Submit("boom", 0, func(ctx context.Context, j *Job) (any, error) {
+		panic("kaboom")
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitTerminal(t, j)
+	if st := j.State(); st != StateFailed {
+		t.Fatalf("state = %s, want failed", st)
+	}
+	// The pool still works.
+	j2, err := q.Submit("after", 0, func(ctx context.Context, j *Job) (any, error) { return "ok", nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitTerminal(t, j2)
+	if v, _ := j2.Result(); v != "ok" {
+		t.Fatal("queue wedged after a panic")
+	}
+}
+
+// TestSubscribeSeesTerminalUpdate: a subscriber always observes the final
+// state even if it never drained intermediate progress.
+func TestSubscribeSeesTerminalUpdate(t *testing.T) {
+	started := make(chan string, 1)
+	release := make(chan struct{})
+	q := New(Config{Workers: 1, Capacity: 2})
+	defer q.Shutdown(context.Background())
+	j, err := q.Submit("obs", 0, func(ctx context.Context, j *Job) (any, error) {
+		started <- j.ID()
+		for i := 0; i < 100; i++ {
+			j.SetProgress("simulating", i, 100)
+		}
+		<-release
+		return "ok", nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch, cancel := j.Subscribe()
+	defer cancel()
+	<-started
+	close(release)
+	waitTerminal(t, j)
+	var last Update
+	for u := range ch {
+		last = u
+	}
+	if last.State != StateDone {
+		t.Fatalf("last streamed state = %s, want done", last.State)
+	}
+}
+
+// TestShutdownDrains: a shutdown with a generous deadline lets queued and
+// running jobs finish and returns nil.
+func TestShutdownDrains(t *testing.T) {
+	q := New(Config{Workers: 2, Capacity: 8})
+	var ran sync.WaitGroup
+	jobs := make([]*Job, 6)
+	for i := range jobs {
+		ran.Add(1)
+		j, err := q.Submit("", 0, func(ctx context.Context, j *Job) (any, error) {
+			defer ran.Done()
+			time.Sleep(10 * time.Millisecond)
+			return "ok", nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		jobs[i] = j
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := q.Shutdown(ctx); err != nil {
+		t.Fatalf("drain shutdown returned %v", err)
+	}
+	ran.Wait()
+	for _, j := range jobs {
+		if st := j.State(); st != StateDone {
+			t.Fatalf("job %s state %s after drain, want done", j.ID(), st)
+		}
+	}
+	if _, err := q.Submit("late", 0, blockingJob(nil, nil)); !errors.Is(err, ErrShuttingDown) {
+		t.Fatalf("post-shutdown submit err = %v, want ErrShuttingDown", err)
+	}
+}
+
+// TestShutdownForceCancels: when the drain deadline passes, running jobs
+// are canceled through their context, the backlog is flushed as canceled,
+// and Shutdown still returns (with the deadline error).
+func TestShutdownForceCancels(t *testing.T) {
+	started := make(chan string, 1)
+	q := New(Config{Workers: 1, Capacity: 4})
+	running, err := q.Submit("stuck", 0, blockingJob(started, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	queued, err := q.Submit("backlog", 0, blockingJob(nil, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	if err := q.Shutdown(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("forced shutdown err = %v, want DeadlineExceeded", err)
+	}
+	waitTerminal(t, running)
+	waitTerminal(t, queued)
+	if st := running.State(); st != StateCanceled {
+		t.Fatalf("running job state %s, want canceled", st)
+	}
+	if st := queued.State(); st != StateCanceled {
+		t.Fatalf("queued job state %s, want canceled", st)
+	}
+}

@@ -1,0 +1,57 @@
+package sim
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+
+	"repro/internal/workloads"
+)
+
+// TestRunContextCancelled: a dead context refuses to simulate and does not
+// advance the process-wide run counter.
+func TestRunContextCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	spec, err := workloads.ByName("b2c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ck := workloads.Checkpoint(spec, 10_000)
+	before := Runs()
+	res, err := RunContext(ctx, ck, Default())
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if res != nil {
+		t.Fatal("cancelled RunContext still returned a result")
+	}
+	if Runs() != before {
+		t.Fatal("cancelled RunContext advanced the run counter")
+	}
+}
+
+// TestRunContextMatchesRun: with a live context, RunContext is Run — same
+// counters, same measured region, bit for bit.
+func TestRunContextMatchesRun(t *testing.T) {
+	spec, err := workloads.ByName("b2c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ck := workloads.Checkpoint(spec, 30_000)
+	cfg := Default()
+	cfg.WarmupOps = 5_000
+	want := Run(ck, cfg)
+	got, err := RunContext(context.Background(), ck, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.MeasuredCycles != want.MeasuredCycles || got.MeasuredUops != want.MeasuredUops {
+		t.Fatalf("RunContext measured %d cycles / %d µops, Run measured %d / %d",
+			got.MeasuredCycles, got.MeasuredUops, want.MeasuredCycles, want.MeasuredUops)
+	}
+	if !reflect.DeepEqual(got.Counters, want.Counters) {
+		t.Fatal("RunContext and Run produced different counter blocks")
+	}
+}

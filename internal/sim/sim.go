@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"sync/atomic"
 
@@ -54,6 +55,19 @@ func (r *Result) String() string {
 	return fmt.Sprintf("result{%s: %d µops in %d cycles, IPC %.3f, L2 MPTU %.2f}",
 		r.Config.Name, r.MeasuredUops, r.MeasuredCycles, r.IPC(),
 		r.Counters.MPTUFor(r.MeasuredUops))
+}
+
+// RunContext is Run with cooperative cancellation at simulation granularity:
+// it checks ctx once before starting and refuses to run when it is already
+// cancelled. The inner event loop is deliberately not interrupted — a
+// simulation that starts always finishes, which keeps every result
+// byte-identical to Run and makes the cancellation boundary the natural
+// unit callers (experiment sweeps, the cdpd job queue) reason about.
+func RunContext(ctx context.Context, ck *trace.Checkpoint, cfg Config) (*Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return Run(ck, cfg), nil
 }
 
 // Run simulates one checkpoint on one machine configuration.

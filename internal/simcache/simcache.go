@@ -1,0 +1,160 @@
+package simcache
+
+import (
+	"container/list"
+	"sync"
+)
+
+// Stats is a point-in-time snapshot of cache effectiveness, surfaced by
+// cdpd's /metrics endpoint.
+type Stats struct {
+	// Hits counts lookups served from a resident entry; Collapsed counts
+	// callers that piggybacked on an in-flight computation of the same
+	// key (they waited, but no second simulation ran).
+	Hits      uint64
+	Collapsed uint64
+	// Misses counts computations actually started.
+	Misses    uint64
+	Evictions uint64
+	Entries   int
+	Bytes     int64
+	MaxBytes  int64
+}
+
+type entry struct {
+	key Key
+	val []byte
+}
+
+// call is one in-flight computation; latecomers block on done.
+type call struct {
+	done chan struct{}
+	val  []byte
+	err  error
+}
+
+// Cache is a content-addressed result cache: LRU over payload bytes with
+// singleflight collapsing of concurrent identical misses. The zero value
+// is not usable; construct with New.
+type Cache struct {
+	mu        sync.Mutex
+	maxBytes  int64
+	bytes     int64
+	ll        *list.List // of *entry; front = most recently used
+	items     map[Key]*list.Element
+	flight    map[Key]*call
+	hits      uint64
+	collapsed uint64
+	misses    uint64
+	evictions uint64
+}
+
+// New builds a cache bounded to maxBytes of cached payload (metadata is
+// not counted). maxBytes must be positive.
+func New(maxBytes int64) *Cache {
+	if maxBytes <= 0 {
+		panic("simcache: non-positive byte bound")
+	}
+	return &Cache{
+		maxBytes: maxBytes,
+		ll:       list.New(),
+		items:    map[Key]*list.Element{},
+		flight:   map[Key]*call{},
+	}
+}
+
+// Get returns the cached payload for k, if resident. Callers must not
+// mutate the returned slice.
+func (c *Cache) Get(k Key) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[k]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	c.hits++
+	return el.Value.(*entry).val, true
+}
+
+// GetOrCompute returns the payload for k, computing it at most once across
+// all concurrent callers. hit reports whether the payload came from the
+// cache (true) or from a computation this call either ran or waited on
+// (false). A failed computation is not cached; its error is shared with
+// every collapsed waiter.
+func (c *Cache) GetOrCompute(k Key, compute func() ([]byte, error)) (val []byte, hit bool, err error) {
+	c.mu.Lock()
+	if el, ok := c.items[k]; ok {
+		c.ll.MoveToFront(el)
+		c.hits++
+		v := el.Value.(*entry).val
+		c.mu.Unlock()
+		return v, true, nil
+	}
+	if cl, ok := c.flight[k]; ok {
+		c.collapsed++
+		c.mu.Unlock()
+		<-cl.done
+		return cl.val, false, cl.err
+	}
+	cl := &call{done: make(chan struct{})}
+	c.flight[k] = cl
+	c.misses++
+	c.mu.Unlock()
+
+	cl.val, cl.err = compute()
+
+	c.mu.Lock()
+	delete(c.flight, k)
+	if cl.err == nil {
+		c.add(k, cl.val)
+	}
+	c.mu.Unlock()
+	close(cl.done)
+	return cl.val, false, cl.err
+}
+
+// add inserts a computed payload and evicts from the cold end until the
+// byte bound holds again. Payloads larger than the whole bound are served
+// but never cached. Caller holds c.mu.
+func (c *Cache) add(k Key, val []byte) {
+	if int64(len(val)) > c.maxBytes {
+		return
+	}
+	if el, ok := c.items[k]; ok {
+		// A racing Get cannot have inserted (only add does), but a
+		// re-entrant fill after an eviction can; refresh in place.
+		c.bytes += int64(len(val)) - int64(len(el.Value.(*entry).val))
+		el.Value.(*entry).val = val
+		c.ll.MoveToFront(el)
+	} else {
+		c.items[k] = c.ll.PushFront(&entry{key: k, val: val})
+		c.bytes += int64(len(val))
+	}
+	for c.bytes > c.maxBytes {
+		last := c.ll.Back()
+		if last == nil {
+			break
+		}
+		e := last.Value.(*entry)
+		c.ll.Remove(last)
+		delete(c.items, e.key)
+		c.bytes -= int64(len(e.val))
+		c.evictions++
+	}
+}
+
+// Stats snapshots the counters.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return Stats{
+		Hits:      c.hits,
+		Collapsed: c.collapsed,
+		Misses:    c.misses,
+		Evictions: c.evictions,
+		Entries:   c.ll.Len(),
+		Bytes:     c.bytes,
+		MaxBytes:  c.maxBytes,
+	}
+}

@@ -1,0 +1,135 @@
+package simcache
+
+import (
+	"bytes"
+	"errors"
+	"sync"
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/workloads"
+)
+
+func key(b byte) Key { return Key{0: b} }
+
+func fill(t *testing.T, c *Cache, k Key, payload []byte) {
+	t.Helper()
+	v, hit, err := c.GetOrCompute(k, func() ([]byte, error) { return payload, nil })
+	if err != nil || hit {
+		t.Fatalf("fill of %s: hit=%v err=%v", k, hit, err)
+	}
+	if !bytes.Equal(v, payload) {
+		t.Fatalf("fill of %s returned wrong payload", k)
+	}
+}
+
+// TestLRUByteBoundEviction pins the byte accounting: inserts evict from
+// the cold end exactly when the bound is crossed, and a Get refreshes an
+// entry's position.
+func TestLRUByteBoundEviction(t *testing.T) {
+	c := New(100)
+	fill(t, c, key(1), make([]byte, 40))
+	fill(t, c, key(2), make([]byte, 40))
+	if st := c.Stats(); st.Entries != 2 || st.Bytes != 80 || st.Evictions != 0 {
+		t.Fatalf("after two fills: %+v", st)
+	}
+
+	// Touch key 1 so key 2 is the LRU victim of the next insert.
+	if _, ok := c.Get(key(1)); !ok {
+		t.Fatal("key 1 missing before eviction")
+	}
+	fill(t, c, key(3), make([]byte, 40))
+	st := c.Stats()
+	if st.Entries != 2 || st.Bytes != 80 || st.Evictions != 1 {
+		t.Fatalf("after third fill: %+v", st)
+	}
+	if _, ok := c.Get(key(2)); ok {
+		t.Fatal("key 2 survived eviction despite being LRU")
+	}
+	if _, ok := c.Get(key(1)); !ok {
+		t.Fatal("recently-used key 1 was evicted")
+	}
+
+	// One oversized payload evicts everything it must, down to fitting.
+	fill(t, c, key(4), make([]byte, 90))
+	st = c.Stats()
+	if st.Entries != 1 || st.Bytes != 90 {
+		t.Fatalf("after oversized fill: %+v", st)
+	}
+
+	// A payload larger than the whole bound is served but never cached.
+	fill(t, c, key(5), make([]byte, 101))
+	if _, ok := c.Get(key(5)); ok {
+		t.Fatal("payload above the byte bound was cached")
+	}
+}
+
+// TestGetOrComputeErrorNotCached: failures propagate and leave no entry.
+func TestGetOrComputeErrorNotCached(t *testing.T) {
+	c := New(100)
+	boom := errors.New("boom")
+	_, _, err := c.GetOrCompute(key(1), func() ([]byte, error) { return nil, boom })
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if _, ok := c.Get(key(1)); ok {
+		t.Fatal("failed computation was cached")
+	}
+	// The key is retryable after the failure.
+	fill(t, c, key(1), []byte("ok"))
+}
+
+// TestSingleflightCollapsesSimulations is the contract cdpd relies on: N
+// concurrent identical submissions run the simulator exactly once (one
+// sim.Runs() increment) and everyone gets the same payload.
+func TestSingleflightCollapsesSimulations(t *testing.T) {
+	const n = 16
+	spec, err := workloads.ByName("b2c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := sim.Default()
+	cfg.WarmupOps = 1_000
+	cfg.MPTUBucketOps = 1_000
+	ck := workloads.Checkpoint(spec, 10_000)
+	k := KeyFor(spec, cfg, 10_000)
+
+	c := New(1 << 20)
+	before := sim.Runs()
+	var (
+		start sync.WaitGroup
+		done  sync.WaitGroup
+	)
+	start.Add(1)
+	payloads := make([][]byte, n)
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		done.Add(1)
+		go func(i int) {
+			defer done.Done()
+			start.Wait()
+			payloads[i], _, errs[i] = c.GetOrCompute(k, func() ([]byte, error) {
+				res := sim.Run(ck, cfg)
+				return []byte(res.String()), nil
+			})
+		}(i)
+	}
+	start.Done()
+	done.Wait()
+
+	if got := sim.Runs() - before; got != 1 {
+		t.Fatalf("%d concurrent identical submissions ran %d simulations, want 1", n, got)
+	}
+	for i := 0; i < n; i++ {
+		if errs[i] != nil {
+			t.Fatalf("caller %d: %v", i, errs[i])
+		}
+		if !bytes.Equal(payloads[i], payloads[0]) {
+			t.Fatalf("caller %d saw a different payload", i)
+		}
+	}
+	st := c.Stats()
+	if st.Misses != 1 || st.Hits+st.Collapsed != n-1 {
+		t.Fatalf("stats after stampede: %+v (want 1 miss, %d hits+collapsed)", st, n-1)
+	}
+}
