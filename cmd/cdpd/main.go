@@ -3,6 +3,13 @@
 // and cached by content hash, and /metrics exposes queue, cache, and
 // throughput telemetry. See internal/api for the endpoint catalogue.
 //
+// Resilience: -checkpoint-dir persists boundary snapshots of running
+// simulations so a killed daemon resumes them on restart (byte-identical
+// results); watermark flags shed low-priority work and flip /readyz under
+// overload; -faults arms the deterministic fault-injection plan (testing
+// only). Invalid flags exit 2 with a one-line message before anything
+// starts.
+//
 // SIGINT/SIGTERM trigger a graceful shutdown: the server stops accepting
 // work, drains in-flight jobs within -drain, cancels whatever remains, and
 // exits 0.
@@ -16,33 +23,146 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"syscall"
 	"time"
 
 	"repro/internal/api"
+	"repro/internal/faultinject"
 	"repro/internal/jobq"
 	"repro/internal/simcache"
 )
 
+// options collects every flag so validation is one pure function the tests
+// can hit without execing the binary.
+type options struct {
+	addr       string
+	workers    int
+	queueCap   int
+	cacheMB    int
+	jobTimeout time.Duration
+	drain      time.Duration
+
+	checkpointDir   string
+	checkpointEvery int
+	shedWatermark   float64
+	overloadWM      float64
+	adaptiveTimeout bool
+
+	faults    string
+	faultSeed int64
+}
+
+// validate rejects configurations that cannot work, each with a one-line
+// message that says how to fix it. It also probes the checkpoint
+// directory for writability so a typoed path fails at startup, not at the
+// first boundary snapshot.
+func validate(o options) error {
+	if o.addr == "" {
+		return errors.New("-addr must not be empty; pass host:port, e.g. -addr 127.0.0.1:8080")
+	}
+	if o.workers < 0 {
+		return fmt.Errorf("-workers must be >= 0 (0 means GOMAXPROCS); got %d", o.workers)
+	}
+	if o.queueCap <= 0 {
+		return fmt.Errorf("-queue must be positive (it bounds queued jobs before 429s); got %d", o.queueCap)
+	}
+	if o.cacheMB <= 0 {
+		return fmt.Errorf("-cache-mb must be positive (result cache bound in MiB); got %d", o.cacheMB)
+	}
+	if o.jobTimeout < 0 {
+		return fmt.Errorf("-job-timeout must be >= 0 (0 disables the per-job deadline); got %v", o.jobTimeout)
+	}
+	if o.drain < 0 {
+		return fmt.Errorf("-drain must be >= 0; got %v", o.drain)
+	}
+	if o.checkpointEvery < 0 {
+		return fmt.Errorf("-checkpoint-every must be >= 0 µops (0 disables segmentation); got %d", o.checkpointEvery)
+	}
+	if o.shedWatermark < 0 || o.shedWatermark > 1 {
+		return fmt.Errorf("-shed-watermark must be in [0,1] (fraction of -queue; 0 = default 0.75); got %g", o.shedWatermark)
+	}
+	if o.overloadWM < 0 || o.overloadWM > 1 {
+		return fmt.Errorf("-overload-watermark must be in [0,1] (fraction of -queue; 0 = default 0.90); got %g", o.overloadWM)
+	}
+	if o.shedWatermark > 0 && o.overloadWM > 0 && o.shedWatermark > o.overloadWM {
+		return fmt.Errorf("-shed-watermark (%g) must not exceed -overload-watermark (%g); shedding is the earlier defense", o.shedWatermark, o.overloadWM)
+	}
+	if o.checkpointDir != "" {
+		if err := os.MkdirAll(o.checkpointDir, 0o755); err != nil {
+			return fmt.Errorf("-checkpoint-dir %q is not creatable: %v", o.checkpointDir, err)
+		}
+		probe := filepath.Join(o.checkpointDir, ".cdpd-probe")
+		if err := os.WriteFile(probe, nil, 0o644); err != nil {
+			return fmt.Errorf("-checkpoint-dir %q is not writable: %v", o.checkpointDir, err)
+		}
+		_ = os.Remove(probe)
+	}
+	if o.faults != "" {
+		if _, err := faultinject.Parse(o.faultSeed, o.faults); err != nil {
+			return fmt.Errorf("-faults spec rejected: %v", err)
+		}
+	}
+	return nil
+}
+
 func main() {
-	addr := flag.String("addr", "127.0.0.1:8080", "listen address")
-	workers := flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
-	queueCap := flag.Int("queue", 64, "max queued jobs before 429s")
-	cacheMB := flag.Int("cache-mb", 64, "result cache bound in MiB")
-	jobTimeout := flag.Duration("job-timeout", 10*time.Minute, "per-job deadline (0 = none)")
-	drain := flag.Duration("drain", 30*time.Second, "graceful-shutdown drain deadline")
+	var o options
+	flag.StringVar(&o.addr, "addr", "127.0.0.1:8080", "listen address")
+	flag.IntVar(&o.workers, "workers", 0, "worker pool size (0 = GOMAXPROCS)")
+	flag.IntVar(&o.queueCap, "queue", 64, "max queued jobs before 429s")
+	flag.IntVar(&o.cacheMB, "cache-mb", 64, "result cache bound in MiB")
+	flag.DurationVar(&o.jobTimeout, "job-timeout", 10*time.Minute, "per-job deadline (0 = none)")
+	flag.DurationVar(&o.drain, "drain", 30*time.Second, "graceful-shutdown drain deadline")
+	flag.StringVar(&o.checkpointDir, "checkpoint-dir", "", "persist boundary snapshots here and resume them on restart (empty = off)")
+	flag.IntVar(&o.checkpointEvery, "checkpoint-every", 0, "default snapshot interval in fetched µops for submitted sims (0 = unsegmented)")
+	flag.Float64Var(&o.shedWatermark, "shed-watermark", 0, "queue-depth fraction beyond which priority<0 work is shed (0 = 0.75)")
+	flag.Float64Var(&o.overloadWM, "overload-watermark", 0, "queue-depth fraction beyond which /readyz reports 503 (0 = 0.90)")
+	flag.BoolVar(&o.adaptiveTimeout, "adaptive-timeout", false, "derive per-job deadlines from observed simulation throughput")
+	flag.StringVar(&o.faults, "faults", os.Getenv("CDPD_FAULTS"), "fault-injection plan, e.g. 'jobq.worker.crash:p=0.1' (testing only; also CDPD_FAULTS)")
+	flag.Int64Var(&o.faultSeed, "fault-seed", 1, "seed for the fault plan's deterministic randomness")
 	flag.Parse()
 
+	if err := validate(o); err != nil {
+		fmt.Fprintf(os.Stderr, "cdpd: %v\n", err)
+		os.Exit(2)
+	}
+
+	if o.faults != "" {
+		plan, err := faultinject.Parse(o.faultSeed, o.faults)
+		if err != nil { // unreachable: validate parsed the same spec
+			fmt.Fprintf(os.Stderr, "cdpd: %v\n", err)
+			os.Exit(2)
+		}
+		faultinject.Enable(plan)
+		fmt.Fprintf(os.Stderr, "cdpd: WARNING fault injection armed (seed %d): %s\n", o.faultSeed, o.faults)
+	}
+
 	queue := jobq.New(jobq.Config{
-		Workers:    *workers,
-		Capacity:   *queueCap,
-		JobTimeout: *jobTimeout,
+		Workers:    o.workers,
+		Capacity:   o.queueCap,
+		JobTimeout: o.jobTimeout,
 	})
-	cache := simcache.New(int64(*cacheMB) << 20)
-	server := api.New(queue, cache)
+	cache := simcache.New(int64(o.cacheMB) << 20)
+	server, err := api.NewWithOptions(queue, cache, api.Options{
+		CheckpointDir:      o.checkpointDir,
+		CheckpointEveryOps: o.checkpointEvery,
+		ShedWatermark:      o.shedWatermark,
+		OverloadWatermark:  o.overloadWM,
+		AdaptiveTimeout:    o.adaptiveTimeout,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cdpd: %v\n", err)
+		os.Exit(2)
+	}
+	if n, err := server.RecoverJobs(); err != nil {
+		fmt.Fprintf(os.Stderr, "cdpd: checkpoint recovery: %v\n", err)
+	} else if n > 0 {
+		fmt.Fprintf(os.Stderr, "cdpd: resumed %d persisted job(s) from %s\n", n, o.checkpointDir)
+	}
 
 	httpSrv := &http.Server{
-		Addr:              *addr,
+		Addr:              o.addr,
 		Handler:           server,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
@@ -52,7 +172,7 @@ func main() {
 
 	errCh := make(chan error, 1)
 	go func() {
-		fmt.Fprintf(os.Stderr, "cdpd: listening on http://%s\n", *addr)
+		fmt.Fprintf(os.Stderr, "cdpd: listening on http://%s\n", o.addr)
 		errCh <- httpSrv.ListenAndServe()
 	}()
 
@@ -68,7 +188,7 @@ func main() {
 	// close the listener once responses for finished jobs have gone out.
 	fmt.Fprintln(os.Stderr, "cdpd: shutting down")
 	server.SetDraining(true)
-	drainCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	drainCtx, cancel := context.WithTimeout(context.Background(), o.drain)
 	defer cancel()
 	if err := queue.Shutdown(drainCtx); err != nil {
 		fmt.Fprintf(os.Stderr, "cdpd: drain deadline passed, canceled remaining jobs: %v\n", err)

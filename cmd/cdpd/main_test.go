@@ -1,0 +1,89 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func goodOptions() options {
+	return options{
+		addr:       "127.0.0.1:0",
+		queueCap:   64,
+		cacheMB:    64,
+		jobTimeout: time.Minute,
+		drain:      time.Second,
+	}
+}
+
+// TestValidate pins the startup contract: every broken flag is rejected
+// with a message naming the flag and how to fix it, before any state
+// exists.
+func TestValidate(t *testing.T) {
+	if err := validate(goodOptions()); err != nil {
+		t.Fatalf("default-shaped options rejected: %v", err)
+	}
+
+	cases := []struct {
+		name string
+		mut  func(*options)
+		want string
+	}{
+		{"empty addr", func(o *options) { o.addr = "" }, "-addr"},
+		{"negative workers", func(o *options) { o.workers = -1 }, "-workers"},
+		{"zero queue", func(o *options) { o.queueCap = 0 }, "-queue"},
+		{"zero cache", func(o *options) { o.cacheMB = 0 }, "-cache-mb"},
+		{"negative job timeout", func(o *options) { o.jobTimeout = -time.Second }, "-job-timeout"},
+		{"negative drain", func(o *options) { o.drain = -time.Second }, "-drain"},
+		{"negative checkpoint interval", func(o *options) { o.checkpointEvery = -5 }, "-checkpoint-every"},
+		{"watermark above one", func(o *options) { o.shedWatermark = 1.5 }, "-shed-watermark"},
+		{"inverted watermarks", func(o *options) { o.shedWatermark = 0.9; o.overloadWM = 0.5 }, "must not exceed"},
+		{"bad fault spec", func(o *options) { o.faults = "no.such.point" }, "-faults"},
+		{"malformed fault option", func(o *options) { o.faults = "jobq.worker.crash:wat" }, "-faults"},
+	}
+	for _, c := range cases {
+		o := goodOptions()
+		c.mut(&o)
+		err := validate(o)
+		if err == nil {
+			t.Errorf("%s: accepted", c.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: message %q does not mention %q", c.name, err, c.want)
+		}
+		if strings.ContainsRune(err.Error(), '\n') {
+			t.Errorf("%s: message is not one line: %q", c.name, err)
+		}
+	}
+}
+
+// TestValidateCheckpointDirProbe: an impossible checkpoint path (a file in
+// the way) fails at startup with the path in the message, and a good path
+// is created and left probe-free.
+func TestValidateCheckpointDirProbe(t *testing.T) {
+	base := t.TempDir()
+	file := filepath.Join(base, "occupied")
+	if err := os.WriteFile(file, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	o := goodOptions()
+	o.checkpointDir = filepath.Join(file, "sub")
+	if err := validate(o); err == nil || !strings.Contains(err.Error(), "-checkpoint-dir") {
+		t.Fatalf("impossible dir: %v, want a -checkpoint-dir error", err)
+	}
+
+	o.checkpointDir = filepath.Join(base, "ckpt")
+	if err := validate(o); err != nil {
+		t.Fatalf("creatable dir rejected: %v", err)
+	}
+	entries, err := os.ReadDir(o.checkpointDir)
+	if err != nil {
+		t.Fatalf("validate did not create the dir: %v", err)
+	}
+	if len(entries) != 0 {
+		t.Fatalf("probe file left behind: %v", entries)
+	}
+}

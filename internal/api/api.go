@@ -12,7 +12,7 @@
 //	DELETE /v1/jobs/{id}         cancel a job
 //	GET    /v1/experiments/{id}  run a registered experiment as a job
 //	GET    /healthz              liveness
-//	GET    /readyz               readiness (503 while draining)
+//	GET    /readyz               readiness (503 while draining or overloaded)
 //	GET    /metrics              Prometheus-style text metrics
 package api
 
@@ -26,31 +26,58 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/faultinject"
 	"repro/internal/jobq"
 	"repro/internal/sim"
 	"repro/internal/simcache"
+	"repro/internal/trace"
 	"repro/internal/workloads"
 )
 
-// Server wires the handlers to a queue and a cache. Construct with New.
+// Server wires the handlers to a queue and a cache. Construct with New or
+// NewWithOptions.
 type Server struct {
 	queue    *jobq.Queue
 	cache    *simcache.Cache
 	mux      *http.ServeMux
 	draining atomic.Bool
+	opts     Options
+	store    *ckptStore // nil unless Options.CheckpointDir is set
+	counters
 
 	started   time.Time
 	startSims uint64
 }
 
-// New builds a server around an already-running queue and cache.
+// New builds a server around an already-running queue and cache with the
+// default (zero) resilience options.
 func New(q *jobq.Queue, c *simcache.Cache) *Server {
+	s, err := NewWithOptions(q, c, Options{})
+	if err != nil {
+		// Only the checkpoint store can fail, and Options{} has none.
+		panic(err)
+	}
+	return s
+}
+
+// NewWithOptions builds a server with an explicit resilience
+// configuration. It fails only when the checkpoint directory cannot be
+// created.
+func NewWithOptions(q *jobq.Queue, c *simcache.Cache, opts Options) (*Server, error) {
 	s := &Server{
 		queue:     q,
 		cache:     c,
 		mux:       http.NewServeMux(),
+		opts:      opts,
 		started:   time.Now(),
 		startSims: sim.Runs(),
+	}
+	if opts.CheckpointDir != "" {
+		store, err := newCkptStore(opts.CheckpointDir)
+		if err != nil {
+			return nil, err
+		}
+		s.store = store
 	}
 	s.mux.HandleFunc("POST /v1/sim", s.handleSubmitSim)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobGet)
@@ -60,7 +87,7 @@ func New(q *jobq.Queue, c *simcache.Cache) *Server {
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
-	return s
+	return s, nil
 }
 
 // ServeHTTP implements http.Handler.
@@ -123,6 +150,9 @@ func (s *Server) handleSubmitSim(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
 		return
 	}
+	if req.CheckpointEveryOps == 0 {
+		req.CheckpointEveryOps = s.opts.CheckpointEveryOps
+	}
 	spec, cfg, ops, err := buildSim(req)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
@@ -130,12 +160,18 @@ func (s *Server) handleSubmitSim(w http.ResponseWriter, r *http.Request) {
 	}
 	key := simcache.KeyFor(spec, cfg, ops)
 	if data, ok := s.cache.Get(key); ok {
+		injectRespondFaults(w, r)
 		writeJSON(w, http.StatusOK, envelope{Cached: true, Result: data})
+		return
+	}
+	if s.shedLowPriority(req.Priority) {
+		s.writeShed(w)
 		return
 	}
 
 	id := "sim-" + key.String()
-	job, err := s.queue.Submit(id, req.Priority, s.simJob(spec, cfg, ops, key))
+	job, err := s.queue.SubmitTimeout(id, req.Priority, s.adaptiveTimeout(ops),
+		s.simJob(id, spec, cfg, ops, key, nil))
 	if errors.Is(err, jobq.ErrDuplicateID) {
 		// The same request is already queued or running; attach to it
 		// instead of spending another slot.
@@ -148,31 +184,78 @@ func (s *Server) handleSubmitSim(w http.ResponseWriter, r *http.Request) {
 		s.writeBackpressure(w, err)
 		return
 	}
+	if s.store != nil {
+		// Persist the defaulted request so a restarted daemon can rebuild
+		// this exact job (same content key, same ID) and resume it.
+		if err := s.store.saveRequest(id, req); err != nil {
+			s.ckptWriteErrs.Add(1)
+		}
+	}
 	s.respondJob(w, r, req.Wait, job)
 }
 
 // simJob builds the job function for one simulation request. The cache
 // fill happens inside the job so the queue, not the HTTP handler, pays for
 // the simulation, and GetOrCompute collapses concurrent identical keys
-// into one run.
-func (s *Server) simJob(spec workloads.Spec, cfg sim.Config, ops int, key simcache.Key) jobq.Func {
+// into one run. With a positive checkpoint interval the simulation runs
+// segmented, persisting each boundary snapshot (when a store is
+// configured); resume picks the run up from a snapshot recovered at
+// startup instead of µop zero.
+func (s *Server) simJob(id string, spec workloads.Spec, cfg sim.Config, ops int, key simcache.Key, resume *sim.Snapshot) jobq.Func {
 	return func(ctx context.Context, j *jobq.Job) (any, error) {
 		data, hit, err := s.cache.GetOrCompute(key, func() ([]byte, error) {
 			j.SetProgress("generating checkpoint", 0, 2)
 			ck := workloads.Checkpoint(spec, ops)
 			j.SetProgress("simulating", 1, 2)
-			res, err := sim.RunContext(ctx, ck, cfg)
+			start := time.Now()
+			res, err := s.runSim(ctx, j, id, ck, cfg, resume)
 			if err != nil {
 				return nil, err
 			}
+			s.observeSimRate(time.Since(start), ops)
 			return renderResult(spec.Name, ops, res)
 		})
 		if err != nil {
 			return nil, err
 		}
+		if s.store != nil {
+			s.store.remove(id)
+		}
 		j.SetProgress("finished", 2, 2)
 		return jobPayload{data: data, cached: hit}, nil
 	}
+}
+
+// runSim executes one simulation, segmented when the configuration asks
+// for checkpoints. Boundary snapshots are persisted best-effort: a failed
+// write (disk full, injected ckpt.write.error) costs one boundary of
+// resume granularity, never the run. Cancellation is observed at
+// boundaries for segmented runs and continuously for plain ones.
+func (s *Server) runSim(ctx context.Context, j *jobq.Job, id string, ck *trace.Checkpoint, cfg sim.Config, resume *sim.Snapshot) (*sim.Result, error) {
+	if cfg.CheckpointEveryOps <= 0 {
+		return sim.RunContext(ctx, ck, cfg)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	sink := func(snap *sim.Snapshot) error {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		j.SetProgress("simulating", 1+snap.OpsFetched/cfg.CheckpointEveryOps, 0)
+		if s.store != nil {
+			if err := s.store.saveSnapshot(id, snap); err != nil {
+				s.ckptWriteErrs.Add(1)
+			} else {
+				s.ckptWrites.Add(1)
+			}
+		}
+		return nil
+	}
+	if resume != nil {
+		return sim.Resume(ck, cfg, resume, sink)
+	}
+	return sim.RunCheckpointed(ck, cfg, sink)
 }
 
 // respondJob either acknowledges the job (202) or, when wait is requested,
@@ -202,6 +285,7 @@ func (s *Server) respondJob(w http.ResponseWriter, r *http.Request, wait bool, j
 		return
 	}
 	p := v.(jobPayload)
+	injectRespondFaults(w, r)
 	writeJSON(w, http.StatusOK, envelope{Cached: p.cached, Result: p.data})
 }
 
@@ -269,6 +353,12 @@ func (s *Server) handleJobStream(w http.ResponseWriter, r *http.Request) {
 			if flusher != nil {
 				flusher.Flush()
 			}
+			// Fault point: the connection dies mid-stream. Clients must
+			// resubscribe (the terminal snapshot is always replayed) rather
+			// than trust an unterminated stream.
+			if faultinject.Should("api.stream.drop") {
+				return
+			}
 		case <-r.Context().Done():
 			return
 		}
@@ -285,6 +375,10 @@ func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusConflict, "job %q already finished", id)
 		return
 	}
+	if s.store != nil {
+		// A canceled job must not resurrect on the next restart.
+		s.store.remove(id)
+	}
 	writeJSON(w, http.StatusOK, map[string]string{"job_id": id, "state": "canceling"})
 }
 
@@ -298,6 +392,13 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	if s.draining.Load() || !s.queue.Stats().Accepting {
 		w.WriteHeader(http.StatusServiceUnavailable)
 		fmt.Fprintln(w, "draining")
+		return
+	}
+	if s.overloaded() {
+		// Still alive and still finishing queued work, but new traffic
+		// should go elsewhere until the backlog falls below the watermark.
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, "overloaded")
 		return
 	}
 	fmt.Fprintln(w, "ready")

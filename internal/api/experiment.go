@@ -57,7 +57,13 @@ func (s *Server) handleExperiment(w http.ResponseWriter, r *http.Request) {
 
 	key := simcache.KeyForExperiment(id, ops, reps)
 	if data, ok := s.cache.Get(key); ok {
+		injectRespondFaults(w, r)
 		writeJSON(w, http.StatusOK, envelope{Cached: true, Result: data})
+		return
+	}
+
+	if s.shedLowPriority(priority) {
+		s.writeShed(w)
 		return
 	}
 

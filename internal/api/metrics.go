@@ -2,6 +2,7 @@ package api
 
 import (
 	"fmt"
+	"math"
 	"net/http"
 	"runtime"
 	"time"
@@ -55,6 +56,22 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	p("cdpd_sims_total", "Simulations completed since the server started.", "counter", sims)
 	p("cdpd_sims_per_second", "Simulation throughput since start.", "gauge", simsPerSec)
 	p("cdpd_uptime_seconds", "Seconds since the server started.", "gauge", uptime)
+
+	overloaded := 0
+	if s.overloaded() {
+		overloaded = 1
+	}
+	p("cdpd_shed_total", "Low-priority submissions rejected at the shed watermark.", "counter",
+		s.shedTotal.Load())
+	p("cdpd_overloaded", "1 while queued depth exceeds the readiness watermark.", "gauge", overloaded)
+	p("cdpd_checkpoint_writes_total", "Boundary snapshots persisted to the checkpoint store.", "counter",
+		s.ckptWrites.Load())
+	p("cdpd_checkpoint_write_errors_total", "Snapshot or request persists that failed.", "counter",
+		s.ckptWriteErrs.Load())
+	p("cdpd_jobs_resumed_total", "Jobs resumed from a persisted snapshot after restart.", "counter",
+		s.resumedJobs.Load())
+	p("cdpd_sim_ns_per_op_ewma", "Smoothed simulation cost in ns per µop (0 until first completion).", "gauge",
+		math.Float64frombits(s.ewmaNsPerOp.Load()))
 
 	p("cdpd_goroutines", "Live goroutines.", "gauge", runtime.NumGoroutine())
 	p("cdpd_heap_alloc_bytes", "Bytes of allocated heap objects.", "gauge", ms.HeapAlloc)

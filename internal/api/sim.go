@@ -36,6 +36,13 @@ type SimRequest struct {
 	TLBEntries int  `json:"tlb_entries,omitempty"` // 0 = 64
 	Inject     bool `json:"inject,omitempty"`
 
+	// CheckpointEveryOps segments the run, pausing at every multiple of
+	// this many fetched µops; with a checkpoint store configured each
+	// boundary snapshot is persisted for crash recovery. 0 inherits the
+	// server default (which may itself be 0 = unsegmented). Segmentation
+	// perturbs timing, so it is part of the result's content key.
+	CheckpointEveryOps int `json:"checkpoint_every_ops,omitempty"`
+
 	// Priority orders the job against other queued work (higher first).
 	Priority int `json:"priority,omitempty"`
 	// Wait makes the submission synchronous: the response carries the
@@ -77,6 +84,11 @@ func buildSim(req SimRequest) (workloads.Spec, sim.Config, int, error) {
 		cfg.TLB.Entries = req.TLBEntries
 	}
 	cfg.InjectBadPrefetches = req.Inject
+	if req.CheckpointEveryOps != 0 {
+		// Negative values flow through so Validate rejects them with a
+		// proper 400 instead of being silently dropped.
+		cfg.CheckpointEveryOps = req.CheckpointEveryOps
+	}
 	if req.CDP {
 		cc := core.DefaultConfig
 		if req.Depth > 0 {

@@ -264,3 +264,24 @@ func (b *Bus) Grant(now int64) (start, arrive int64) {
 
 // Stats returns the number of transfers granted and total occupied cycles.
 func (b *Bus) Stats() (transfers, busyCycles uint64) { return b.transfers, b.busyCycle }
+
+// State is a checkpointable copy of the bus clock and lifetime counters.
+// Arbiter queues are intentionally absent: checkpoints are taken at
+// quiesce points, where both arbiters are empty.
+type State struct {
+	FreeAt     int64
+	Transfers  uint64
+	BusyCycles uint64
+}
+
+// State snapshots the bus.
+func (b *Bus) State() State {
+	return State{FreeAt: b.freeAt, Transfers: b.transfers, BusyCycles: b.busyCycle}
+}
+
+// Restore overwrites the bus clock and counters.
+func (b *Bus) Restore(st State) {
+	b.freeAt = st.FreeAt
+	b.transfers = st.Transfers
+	b.busyCycle = st.BusyCycles
+}

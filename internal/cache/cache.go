@@ -208,3 +208,50 @@ func (c *Cache) String() string {
 	return fmt.Sprintf("cache{%dKB %d-way %dB lines, %d sets}",
 		c.cfg.SizeBytes/1024, c.cfg.Ways, c.cfg.LineSize, c.cfg.Sets())
 }
+
+// LineState is one resident line in a State, with its replacement stamp and
+// its position in the flattened set array made explicit so a restored cache
+// replays evictions identically.
+type LineState struct {
+	Index int // position in the flattened sets array
+	LRU   uint64
+	Line  Line
+}
+
+// State is a checkpointable deep copy of a cache's mutable contents. Only
+// valid lines are recorded; geometry is not part of the state and must
+// match at Restore.
+type State struct {
+	Clock uint64
+	Lines []LineState
+}
+
+// State snapshots the cache. The copy shares nothing with the cache, so it
+// stays stable while simulation continues.
+func (c *Cache) State() State {
+	st := State{Clock: c.clock}
+	for i := range c.sets {
+		if c.sets[i].Valid {
+			st.Lines = append(st.Lines, LineState{Index: i, LRU: c.sets[i].lru, Line: c.sets[i]})
+		}
+	}
+	return st
+}
+
+// Restore overwrites the cache's contents with a previously captured State.
+// The cache must have the same geometry the state was captured from.
+func (c *Cache) Restore(st State) error {
+	for i := range c.sets {
+		c.sets[i] = Line{}
+	}
+	for _, ls := range st.Lines {
+		if ls.Index < 0 || ls.Index >= len(c.sets) {
+			return fmt.Errorf("cache: state index %d outside %d lines (geometry mismatch)", ls.Index, len(c.sets))
+		}
+		l := ls.Line
+		l.lru = ls.LRU
+		c.sets[ls.Index] = l
+	}
+	c.clock = st.Clock
+	return nil
+}

@@ -241,3 +241,84 @@ func (p *Prefetcher) String() string {
 	return fmt.Sprintf("cdp{%s d%d p%d.n%d %s}", p.cfg.Match, p.cfg.DepthThreshold,
 		p.cfg.PrevLines, p.cfg.NextLines, r)
 }
+
+// AdaptiveState is the checkpointable part of the Adaptive controller.
+type AdaptiveState struct {
+	Match    MatchConfig
+	Useful   uint64
+	Total    uint64
+	Steps    uint64
+	Tightens uint64
+	Loosens  uint64
+}
+
+// State snapshots the controller.
+func (a *Adaptive) State() AdaptiveState {
+	return AdaptiveState{
+		Match: a.match, Useful: a.useful, Total: a.total,
+		Steps: a.steps, Tightens: a.tightens, Loosens: a.loosens,
+	}
+}
+
+// Restore overwrites the controller with a previously captured state.
+func (a *Adaptive) Restore(st AdaptiveState) error {
+	if err := st.Match.Validate(); err != nil {
+		return fmt.Errorf("core: adaptive state carries invalid heuristic: %v", err)
+	}
+	a.match = st.Match
+	a.useful, a.total = st.Useful, st.Total
+	a.steps, a.tightens, a.loosens = st.Steps, st.Tightens, st.Loosens
+	return nil
+}
+
+// State is the checkpointable part of the prefetcher: the live heuristic
+// (which the adaptive controller may have moved off its configured start)
+// and the activity counters. The scratch buffers are per-fill and never
+// cross a checkpoint boundary.
+type State struct {
+	Match         MatchConfig
+	LinesScanned  uint64
+	WordsMatched  uint64
+	Rescans       uint64
+	ChainsStopped uint64
+	Adaptations   uint64
+	Adaptive      *AdaptiveState
+}
+
+// State snapshots the prefetcher.
+func (p *Prefetcher) State() State {
+	st := State{
+		Match:        p.cfg.Match,
+		LinesScanned: p.linesScanned, WordsMatched: p.wordsMatched,
+		Rescans: p.rescans, ChainsStopped: p.chainsStopped,
+		Adaptations: p.adaptations,
+	}
+	if p.adaptive != nil {
+		as := p.adaptive.State()
+		st.Adaptive = &as
+	}
+	return st
+}
+
+// Restore overwrites the prefetcher with a previously captured state. The
+// snapshot must agree with the prefetcher's static configuration on whether
+// an adaptive controller is present.
+func (p *Prefetcher) Restore(st State) error {
+	if (st.Adaptive != nil) != (p.adaptive != nil) {
+		return fmt.Errorf("core: adaptive state presence mismatch (snapshot %v, config %v)",
+			st.Adaptive != nil, p.adaptive != nil)
+	}
+	if err := st.Match.Validate(); err != nil {
+		return fmt.Errorf("core: prefetcher state carries invalid heuristic: %v", err)
+	}
+	if p.adaptive != nil {
+		if err := p.adaptive.Restore(*st.Adaptive); err != nil {
+			return err
+		}
+	}
+	p.cfg.Match = st.Match
+	p.linesScanned, p.wordsMatched = st.LinesScanned, st.WordsMatched
+	p.rescans, p.chainsStopped = st.Rescans, st.ChainsStopped
+	p.adaptations = st.Adaptations
+	return nil
+}

@@ -11,6 +11,8 @@
 // property that makes memory latency visible and prefetching valuable.
 package cpu
 
+import "fmt"
+
 // Gshare is the classic global-history XOR-indexed predictor with 2-bit
 // saturating counters ("16K entry gshare" in Table 1 is bits=14).
 type Gshare struct {
@@ -56,4 +58,27 @@ func b2u(b bool) uint32 {
 		return 1
 	}
 	return 0
+}
+
+// GshareState is a checkpointable copy of the predictor's counters and
+// global history.
+type GshareState struct {
+	Table []uint8
+	Hist  uint32
+}
+
+// State snapshots the predictor.
+func (g *Gshare) State() GshareState {
+	return GshareState{Table: append([]uint8(nil), g.table...), Hist: g.hist}
+}
+
+// Restore overwrites the predictor with a previously captured state. The
+// table size must match the predictor's geometry.
+func (g *Gshare) Restore(st GshareState) error {
+	if len(st.Table) != len(g.table) {
+		return fmt.Errorf("cpu: gshare state has %d counters, predictor has %d", len(st.Table), len(g.table))
+	}
+	copy(g.table, st.Table)
+	g.hist = st.Hist
+	return nil
 }

@@ -1,0 +1,195 @@
+// Chaos suite: the jobq + simcache stack under a randomized (but seeded,
+// hence reproducible) fault plan. The external test package breaks the
+// import cycle — jobq and simcache import faultinject, so these tests
+// cannot live inside it.
+//
+// Invariants, checked after every storm:
+//
+//   - no lost jobs: every submission reaches a terminal state
+//   - no double completions: terminal counters sum to exactly the number
+//     of submissions and each subscriber sees exactly one terminal update
+//   - occupancy returns to zero: no leaked running slots or queue depth
+//   - cache coherence: once faults clear, every key serves its canonical
+//     value and the byte accounting matches the resident entries
+package faultinject_test
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/faultinject"
+	"repro/internal/jobq"
+	"repro/internal/simcache"
+)
+
+const (
+	chaosJobs = 120
+	chaosKeys = 20
+	valueLen  = 8 // every canonical value is "value-NN"
+)
+
+func chaosKey(i int) simcache.Key {
+	var k simcache.Key
+	k[0] = byte(i)
+	return k
+}
+
+func chaosValue(i int) []byte {
+	return []byte(fmt.Sprintf("value-%02d", i))
+}
+
+// TestChaosJobqSimcache runs the storm under several seeds so CI explores
+// different interleavings of the same fault plan deterministically.
+func TestChaosJobqSimcache(t *testing.T) {
+	for _, seed := range []int64{1, 7, 1979} {
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) { runChaos(t, seed) })
+	}
+}
+
+func runChaos(t *testing.T, seed int64) {
+	plan := faultinject.MustParse(seed,
+		"jobq.worker.crash:p=0.08,"+
+			"jobq.job.panic:p=0.12,"+
+			"jobq.worker.stall:p=0.2:delay=2ms,"+
+			"simcache.compute.error:p=0.2,"+
+			"simcache.evict.storm:p=0.05")
+	prev := faultinject.Enable(plan)
+	defer faultinject.Enable(prev)
+
+	q := jobq.New(jobq.Config{Workers: 4, Capacity: chaosJobs})
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = q.Shutdown(ctx)
+	}()
+	c := simcache.New(1 << 16)
+
+	type tracked struct {
+		job      *jobq.Job
+		terminal atomic.Int32 // terminal updates observed by the subscriber
+	}
+	jobs := make([]*tracked, 0, chaosJobs)
+	var subs sync.WaitGroup
+	canceled := 0
+	for i := 0; i < chaosJobs; i++ {
+		keyIdx := i % chaosKeys
+		id := fmt.Sprintf("chaos-%03d", i)
+		j, err := q.Submit(id, i%5-2, func(ctx context.Context, _ *jobq.Job) (any, error) {
+			data, _, err := c.GetOrCompute(chaosKey(keyIdx), func() ([]byte, error) {
+				time.Sleep(100 * time.Microsecond) // widen the race window
+				return chaosValue(keyIdx), nil
+			})
+			if err != nil {
+				return nil, err
+			}
+			return data, nil
+		})
+		if err != nil {
+			t.Fatalf("submit %s: %v", id, err)
+		}
+		tr := &tracked{job: j}
+		jobs = append(jobs, tr)
+		updates, cancelSub := j.Subscribe()
+		subs.Add(1)
+		go func() {
+			defer subs.Done()
+			defer cancelSub()
+			for u := range updates {
+				if u.State.Terminal() {
+					tr.terminal.Add(1)
+				}
+			}
+		}()
+		// Cancel a slice of the population to keep that path in the storm.
+		if i%11 == 3 {
+			if q.Cancel(id) {
+				canceled++
+			}
+		}
+	}
+
+	for _, tr := range jobs {
+		select {
+		case <-tr.job.Done():
+		case <-time.After(30 * time.Second):
+			t.Fatalf("job %s lost: still %s after the storm", tr.job.ID(), tr.job.State())
+		}
+	}
+	subs.Wait()
+
+	// No lost jobs, no double completions.
+	completed, failed := 0, 0
+	for _, tr := range jobs {
+		st := tr.job.State()
+		if !st.Terminal() {
+			t.Fatalf("job %s non-terminal state %s", tr.job.ID(), st)
+		}
+		v, err := tr.job.Result()
+		switch st {
+		case jobq.StateDone:
+			completed++
+			if err != nil {
+				t.Fatalf("done job %s carries error %v", tr.job.ID(), err)
+			}
+			if string(v.([]byte)) != string(chaosValue(jobIndex(t, tr.job.ID())%chaosKeys)) {
+				t.Fatalf("job %s completed with wrong payload %q", tr.job.ID(), v)
+			}
+		case jobq.StateFailed, jobq.StateCanceled:
+			failed++
+			if err == nil {
+				t.Fatalf("failed job %s carries no error", tr.job.ID())
+			}
+		}
+		if n := tr.terminal.Load(); n != 1 {
+			t.Fatalf("job %s delivered %d terminal updates, want exactly 1", tr.job.ID(), n)
+		}
+	}
+	st := q.Stats()
+	if st.Running != 0 || st.Depth != 0 {
+		t.Fatalf("occupancy leaked: %+v", st)
+	}
+	if got := st.Completed + st.Failed + st.Canceled; got != chaosJobs {
+		t.Fatalf("terminal counters sum to %d (completed %d, failed %d, canceled %d), want %d — a job was lost or double-counted",
+			got, st.Completed, st.Failed, st.Canceled, chaosJobs)
+	}
+	if int(st.Completed) != completed || int(st.Failed+st.Canceled) != failed {
+		t.Fatalf("queue counters %+v disagree with per-job states (%d done, %d failed/canceled)", st, completed, failed)
+	}
+
+	// Cache coherence once the weather clears: every key computes (or
+	// serves) its canonical value, and the byte accounting is exact.
+	faultinject.Disable()
+	for i := 0; i < chaosKeys; i++ {
+		data, _, err := c.GetOrCompute(chaosKey(i), func() ([]byte, error) {
+			return chaosValue(i), nil
+		})
+		if err != nil {
+			t.Fatalf("post-storm compute for key %d: %v", i, err)
+		}
+		if string(data) != string(chaosValue(i)) {
+			t.Fatalf("key %d serves %q, want %q", i, data, chaosValue(i))
+		}
+	}
+	cs := c.Stats()
+	if cs.Entries != chaosKeys || cs.Bytes != int64(chaosKeys*valueLen) {
+		t.Fatalf("cache accounting drifted after the storm: %d entries / %d bytes, want %d / %d",
+			cs.Entries, cs.Bytes, chaosKeys, chaosKeys*valueLen)
+	}
+
+	t.Logf("seed %d: %d completed, %d failed/canceled (%d cancel requests), faults fired: %v",
+		seed, completed, failed, canceled, plan.Fired())
+}
+
+// jobIndex recovers the submission index from a chaos job ID.
+func jobIndex(t *testing.T, id string) int {
+	t.Helper()
+	var i int
+	if _, err := fmt.Sscanf(id, "chaos-%d", &i); err != nil {
+		t.Fatalf("unparseable job id %q", id)
+	}
+	return i
+}

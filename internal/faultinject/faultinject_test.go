@@ -1,0 +1,143 @@
+package faultinject
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestParseRejectsUnknownPointAndBadOptions(t *testing.T) {
+	cases := []string{
+		"no.such.point",
+		"jobq.worker.crash:p=1.5",
+		"jobq.worker.crash:p=nope",
+		"jobq.worker.crash:bogus=1",
+		"jobq.worker.crash:delay=-5ms",
+		"jobq.worker.crash:p",
+		"jobq.worker.crash,jobq.worker.crash",
+	}
+	for _, spec := range cases {
+		if _, err := Parse(1, spec); err == nil {
+			t.Errorf("Parse(%q) accepted, want error", spec)
+		}
+	}
+	if _, err := Parse(1, ""); err != nil {
+		t.Fatalf("empty spec: %v", err)
+	}
+}
+
+func TestDisabledHelpersAreNoOps(t *testing.T) {
+	Disable()
+	if Enabled() {
+		t.Fatal("Enabled with no plan")
+	}
+	if err := Error("simcache.compute.error"); err != nil {
+		t.Fatalf("Error fired with no plan: %v", err)
+	}
+	if Should("api.stream.drop") {
+		t.Fatal("Should fired with no plan")
+	}
+	if Sleep(context.Background(), "jobq.worker.stall") {
+		t.Fatal("Sleep fired with no plan")
+	}
+	MaybePanic("jobq.worker.crash") // must not panic
+}
+
+func TestAfterAndTimesGates(t *testing.T) {
+	defer Enable(Enable(MustParse(7, "simcache.compute.error:after=2:times=3")))
+	fired := 0
+	for i := 0; i < 10; i++ {
+		if err := Error("simcache.compute.error"); err != nil {
+			var inj *InjectedError
+			if !errors.As(err, &inj) || inj.Point != "simcache.compute.error" {
+				t.Fatalf("wrong error %v", err)
+			}
+			if i < 2 {
+				t.Fatalf("fired on hit %d, before after=2", i)
+			}
+			fired++
+		}
+	}
+	if fired != 3 {
+		t.Fatalf("fired %d times, want exactly 3", fired)
+	}
+}
+
+func TestProbabilityScheduleIsSeedDeterministic(t *testing.T) {
+	run := func(seed int64) []bool {
+		defer Enable(Enable(MustParse(seed, "api.stream.drop:p=0.5")))
+		out := make([]bool, 64)
+		for i := range out {
+			out[i] = Should("api.stream.drop")
+		}
+		return out
+	}
+	a, b := run(42), run(42)
+	c := run(43)
+	same, diff := true, true
+	for i := range a {
+		if a[i] != b[i] {
+			same = false
+		}
+		if a[i] != c[i] {
+			diff = false
+		}
+	}
+	if !same {
+		t.Fatal("same seed produced different schedules")
+	}
+	if diff {
+		t.Fatal("different seeds produced identical 64-hit schedules")
+	}
+	n := 0
+	for _, f := range a {
+		if f {
+			n++
+		}
+	}
+	if n == 0 || n == len(a) {
+		t.Fatalf("p=0.5 fired %d/%d hits — generator looks degenerate", n, len(a))
+	}
+}
+
+func TestSleepHonorsContext(t *testing.T) {
+	defer Enable(Enable(MustParse(1, "jobq.worker.stall:delay=10s")))
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	start := time.Now()
+	if !Sleep(ctx, "jobq.worker.stall") {
+		t.Fatal("Sleep did not fire")
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("Sleep ignored canceled context (%v)", elapsed)
+	}
+}
+
+func TestMaybePanicValue(t *testing.T) {
+	defer Enable(Enable(MustParse(1, "jobq.worker.crash")))
+	defer func() {
+		r := recover()
+		v, ok := r.(PanicValue)
+		if !ok || v.Point != "jobq.worker.crash" {
+			t.Fatalf("recovered %v, want PanicValue", r)
+		}
+	}()
+	MaybePanic("jobq.worker.crash")
+	t.Fatal("MaybePanic did not panic")
+}
+
+func TestPointsCatalogCoversParsedNames(t *testing.T) {
+	pts := Points()
+	if len(pts) == 0 {
+		t.Fatal("empty catalog")
+	}
+	for _, p := range pts {
+		if p.Effect == "" {
+			t.Errorf("point %s has no effect description", p.Name)
+		}
+		if _, err := Parse(1, p.Name); err != nil {
+			t.Errorf("catalog point %s rejected by Parse: %v", p.Name, err)
+		}
+	}
+}

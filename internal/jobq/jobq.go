@@ -11,8 +11,11 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"time"
+
+	"repro/internal/faultinject"
 )
 
 // State is a job's lifecycle position. Terminal states are StateDone,
@@ -45,6 +48,20 @@ var (
 	ErrDuplicateID = errors.New("jobq: duplicate job id")
 )
 
+// PanicError is the failure a panicking job (or a crashed worker) leaves
+// behind: the recovered value plus the goroutine stack captured at the
+// recovery site, so the panic is debuggable from the job's error detail
+// instead of only from daemon stderr.
+type PanicError struct {
+	JobID string
+	Value any
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("jobq: job %s panicked: %v\n%s", e.JobID, e.Value, e.Stack)
+}
+
 // Func is the work a job performs. ctx is canceled when the job is
 // canceled, times out, or the queue force-drains; cooperative functions
 // return promptly once it is. The job handle lets the function publish
@@ -66,7 +83,8 @@ type Job struct {
 	id       string
 	priority int
 	seq      uint64
-	index    int // heap position; -1 once popped or removed
+	index    int           // heap position; -1 once popped or removed
+	timeout  time.Duration // per-job override of Config.JobTimeout (0 = inherit)
 	fn       Func
 
 	mu       sync.Mutex
@@ -315,6 +333,13 @@ func New(cfg Config) *Queue {
 // priority. It fails fast with ErrQueueFull when the queue is at capacity
 // and ErrShuttingDown once Shutdown has begun.
 func (q *Queue) Submit(id string, priority int, fn Func) (*Job, error) {
+	return q.SubmitTimeout(id, priority, 0, fn)
+}
+
+// SubmitTimeout is Submit with a per-job execution timeout overriding the
+// queue-wide Config.JobTimeout (0 = inherit). The API layer uses it for
+// adaptive deadlines sized from observed simulation throughput.
+func (q *Queue) SubmitTimeout(id string, priority int, timeout time.Duration, fn Func) (*Job, error) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	if q.closed {
@@ -334,6 +359,7 @@ func (q *Queue) Submit(id string, priority int, fn Func) (*Job, error) {
 		id:       id,
 		priority: priority,
 		seq:      q.seqNext,
+		timeout:  timeout,
 		fn:       fn,
 		state:    StateQueued,
 		subs:     map[chan Update]bool{},
@@ -462,12 +488,40 @@ func (q *Queue) worker() {
 		q.running++
 		q.mu.Unlock()
 
-		q.run(j)
+		q.runGuarded(j)
+	}
+}
 
+// runGuarded runs one popped job and guarantees — even if the worker
+// goroutine itself crashes outside the job function — that the job reaches
+// a terminal state, the failure counter moves, and the occupancy count is
+// decremented exactly once. A crash is swallowed after recovery so the
+// worker keeps draining the queue instead of silently shrinking the pool.
+func (q *Queue) runGuarded(j *Job) {
+	defer func() {
+		r := recover()
+		if r != nil {
+			j.mu.Lock()
+			already := j.state.Terminal() // finishLocked is a no-op then, and run() already counted it
+			j.finishLocked(StateFailed, nil, &PanicError{JobID: j.id, Value: r, Stack: debug.Stack()})
+			j.mu.Unlock()
+			q.mu.Lock()
+			if !already {
+				q.failed++
+			}
+			q.running--
+			q.mu.Unlock()
+			return
+		}
 		q.mu.Lock()
 		q.running--
 		q.mu.Unlock()
-	}
+	}()
+	// Fault points: a worker that crashes after popping a job, and a
+	// worker that stalls before starting it (queue-stall drill).
+	faultinject.MaybePanic("jobq.worker.crash")
+	faultinject.Sleep(q.baseCtx, "jobq.worker.stall")
+	q.run(j)
 }
 
 // run executes one popped job through its terminal state.
@@ -478,9 +532,13 @@ func (q *Queue) run(j *Job) {
 		j.mu.Unlock()
 		return
 	}
+	timeout := q.cfg.JobTimeout
+	if j.timeout > 0 {
+		timeout = j.timeout
+	}
 	ctx, cancel := context.WithCancel(q.baseCtx)
-	if q.cfg.JobTimeout > 0 {
-		ctx, cancel = context.WithTimeout(q.baseCtx, q.cfg.JobTimeout)
+	if timeout > 0 {
+		ctx, cancel = context.WithTimeout(q.baseCtx, timeout)
 	}
 	j.cancel = cancel
 	j.state = StateRunning
@@ -517,12 +575,14 @@ func (q *Queue) run(j *Job) {
 }
 
 // runSafely converts a panicking job function into a failed job instead of
-// taking the daemon down with it.
+// taking the daemon down with it, attaching the stack captured at recovery
+// so the panic site survives into the job's error detail.
 func runSafely(ctx context.Context, j *Job) (value any, err error) {
 	defer func() {
 		if r := recover(); r != nil {
-			err = fmt.Errorf("jobq: job %s panicked: %v", j.id, r)
+			err = &PanicError{JobID: j.id, Value: r, Stack: debug.Stack()}
 		}
 	}()
+	faultinject.MaybePanic("jobq.job.panic")
 	return j.fn(ctx, j)
 }

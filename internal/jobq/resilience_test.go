@@ -1,0 +1,140 @@
+package jobq
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/faultinject"
+)
+
+// TestPanicAttachesStack is the satellite regression: a panicking job must
+// fail with the panic value AND the goroutine stack at the panic site.
+func TestPanicAttachesStack(t *testing.T) {
+	q := New(Config{Workers: 1})
+	defer q.Shutdown(context.Background())
+
+	j, err := q.Submit("boom", 0, func(context.Context, *Job) (any, error) {
+		explodeForStackTest()
+		return nil, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-j.Done()
+	_, jerr := j.Result()
+	var pe *PanicError
+	if !errors.As(jerr, &pe) {
+		t.Fatalf("want *PanicError, got %T: %v", jerr, jerr)
+	}
+	if pe.JobID != "boom" || pe.Value != "kaboom" {
+		t.Fatalf("wrong panic detail: %+v", pe)
+	}
+	if !strings.Contains(string(pe.Stack), "explodeForStackTest") {
+		t.Fatalf("stack does not name the panic site:\n%s", pe.Stack)
+	}
+	if !strings.Contains(jerr.Error(), "explodeForStackTest") {
+		t.Fatal("Error() drops the stack")
+	}
+	if j.State() != StateFailed {
+		t.Fatalf("state %s, want failed", j.State())
+	}
+}
+
+func explodeForStackTest() { panic("kaboom") }
+
+// TestWorkerCrashRecovery drives the jobq.worker.crash fault point: the
+// worker panics after popping the job but before running it. The job must
+// fail (not vanish), occupancy must return to zero (exactly-once
+// decrement), and the pool must keep serving subsequent jobs.
+func TestWorkerCrashRecovery(t *testing.T) {
+	prev := faultinject.Enable(faultinject.MustParse(3, "jobq.worker.crash:times=1"))
+	defer faultinject.Enable(prev)
+
+	q := New(Config{Workers: 1})
+	defer q.Shutdown(context.Background())
+
+	victim, err := q.Submit("victim", 0, func(context.Context, *Job) (any, error) {
+		return "never runs", nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-victim.Done()
+	_, verr := victim.Result()
+	var pe *PanicError
+	if !errors.As(verr, &pe) {
+		t.Fatalf("crashed worker left %T (%v), want *PanicError", verr, verr)
+	}
+	if _, ok := pe.Value.(faultinject.PanicValue); !ok {
+		t.Fatalf("panic value %v is not the injected crash", pe.Value)
+	}
+
+	// The pool must still be alive and consistent.
+	survivor, err := q.Submit("survivor", 0, func(context.Context, *Job) (any, error) {
+		return 42, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-survivor.Done()
+	if v, err := survivor.Result(); err != nil || v != 42 {
+		t.Fatalf("survivor got (%v, %v)", v, err)
+	}
+	st := q.Stats()
+	if st.Running != 0 {
+		t.Fatalf("occupancy leaked: %d running after both jobs finished", st.Running)
+	}
+	if st.Failed != 1 || st.Completed != 1 {
+		t.Fatalf("counters: %+v, want 1 failed / 1 completed", st)
+	}
+}
+
+// TestSubmitTimeoutOverridesQueueDefault checks the per-job deadline: a
+// job with its own short timeout dies while the queue-wide default (none)
+// would have let it run forever.
+func TestSubmitTimeoutOverridesQueueDefault(t *testing.T) {
+	q := New(Config{Workers: 1})
+	defer q.Shutdown(context.Background())
+
+	j, err := q.SubmitTimeout("deadline", 0, 20*time.Millisecond, func(ctx context.Context, _ *Job) (any, error) {
+		<-ctx.Done()
+		return nil, ctx.Err()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-j.Done():
+	case <-time.After(5 * time.Second):
+		t.Fatal("per-job timeout never fired")
+	}
+	if _, jerr := j.Result(); !errors.Is(jerr, context.DeadlineExceeded) {
+		t.Fatalf("want deadline error, got %v", jerr)
+	}
+}
+
+// TestWorkerStallFaultDelaysButCompletes exercises jobq.worker.stall: the
+// job is delayed, not lost.
+func TestWorkerStallFaultDelaysButCompletes(t *testing.T) {
+	prev := faultinject.Enable(faultinject.MustParse(4, "jobq.worker.stall:times=1:delay=30ms"))
+	defer faultinject.Enable(prev)
+
+	q := New(Config{Workers: 1})
+	defer q.Shutdown(context.Background())
+
+	start := time.Now()
+	j, err := q.Submit("stalled", 0, func(context.Context, *Job) (any, error) { return "ok", nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-j.Done()
+	if v, jerr := j.Result(); jerr != nil || v != "ok" {
+		t.Fatalf("stalled job got (%v, %v)", v, jerr)
+	}
+	if time.Since(start) < 25*time.Millisecond {
+		t.Fatal("stall fault did not delay the job")
+	}
+}

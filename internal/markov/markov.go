@@ -158,3 +158,57 @@ func (m *Markov) String() string {
 	}
 	return fmt.Sprintf("markov{STAB %s, fanout %d}", bound, Fanout)
 }
+
+// EntryState is one STAB entry in a State, MRU-first in the State's Entries
+// slice so the cross-entry LRU order restores exactly.
+type EntryState struct {
+	Line uint32
+	Succ []uint32
+}
+
+// State is a checkpointable deep copy of the STAB.
+type State struct {
+	Entries     []EntryState // MRU-first
+	LastMiss    uint32
+	HaveLast    bool
+	Observed    uint64
+	Transitions uint64
+	Predicted   uint64
+}
+
+// State snapshots the STAB, preserving both the cross-entry LRU order and
+// each entry's MRU-first successor order.
+func (m *Markov) State() State {
+	st := State{
+		LastMiss: m.lastMiss, HaveLast: m.haveLast,
+		Observed: m.observed, Transitions: m.transition, Predicted: m.predicted,
+	}
+	for el := m.lru.Front(); el != nil; el = el.Next() {
+		e := el.Value.(*entry)
+		st.Entries = append(st.Entries, EntryState{Line: e.line, Succ: append([]uint32(nil), e.succ...)})
+	}
+	return st
+}
+
+// Restore overwrites the STAB with a previously captured State.
+func (m *Markov) Restore(st State) error {
+	if m.cfg.MaxEntries > 0 && len(st.Entries) > m.cfg.MaxEntries {
+		return fmt.Errorf("markov: state has %d entries, table bound is %d", len(st.Entries), m.cfg.MaxEntries)
+	}
+	m.table = make(map[uint32]*entry, len(st.Entries))
+	m.lru = list.New()
+	for _, es := range st.Entries {
+		if len(es.Succ) > Fanout {
+			return fmt.Errorf("markov: entry %#x has %d successors, fanout is %d", es.Line, len(es.Succ), Fanout)
+		}
+		if _, dup := m.table[es.Line]; dup {
+			return fmt.Errorf("markov: duplicate entry %#x in state", es.Line)
+		}
+		e := &entry{line: es.Line, succ: append([]uint32(nil), es.Succ...)}
+		e.elem = m.lru.PushBack(e) // Entries is MRU-first; appending keeps the order
+		m.table[es.Line] = e
+	}
+	m.lastMiss, m.haveLast = st.LastMiss, st.HaveLast
+	m.observed, m.transition, m.predicted = st.Observed, st.Transitions, st.Predicted
+	return nil
+}

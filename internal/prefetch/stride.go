@@ -132,3 +132,56 @@ func (s *Stride) Stats() (observed, predicted uint64) { return s.observed, s.pre
 func (s *Stride) String() string {
 	return fmt.Sprintf("stride{%d entries, degree %d}", s.cfg.TableEntries, s.cfg.Degree)
 }
+
+// EntryState is one valid reference-prediction-table entry in a State.
+type EntryState struct {
+	Index    uint32 // direct-mapped table slot
+	PC       uint32
+	LastAddr uint32
+	Stride   int32
+	Phase    uint8 // INIT/TRANSIENT/STEADY
+}
+
+// State is a checkpointable deep copy of the stride engine's mutable
+// contents.
+type State struct {
+	Observed  uint64
+	Predicted uint64
+	Entries   []EntryState
+}
+
+// State snapshots the reference prediction table.
+func (s *Stride) State() State {
+	st := State{Observed: s.observed, Predicted: s.predicted}
+	for i := range s.table {
+		if s.table[i].valid {
+			e := &s.table[i]
+			st.Entries = append(st.Entries, EntryState{
+				Index: uint32(i), PC: e.pc, LastAddr: e.lastAddr, Stride: e.stride, Phase: e.state,
+			})
+		}
+	}
+	return st
+}
+
+// Restore overwrites the table with a previously captured State. The table
+// must have the geometry the state was captured from.
+func (s *Stride) Restore(st State) error {
+	for i := range s.table {
+		s.table[i] = strideEntry{}
+	}
+	for _, es := range st.Entries {
+		if int(es.Index) >= len(s.table) {
+			return fmt.Errorf("prefetch: state index %d outside %d entries (geometry mismatch)", es.Index, len(s.table))
+		}
+		if es.Phase > stSteady {
+			return fmt.Errorf("prefetch: bad entry phase %d", es.Phase)
+		}
+		s.table[es.Index] = strideEntry{
+			pc: es.PC, lastAddr: es.LastAddr, stride: es.Stride, state: es.Phase, valid: true,
+		}
+	}
+	s.observed = st.Observed
+	s.predicted = st.Predicted
+	return nil
+}

@@ -56,6 +56,15 @@ type Config struct {
 	// Both toggle states are valid machines. simlint:novalidate
 	InjectBadPrefetches bool
 
+	// CheckpointEveryOps, when > 0, segments execution at absolute
+	// multiples of this many fetched µops: the machine fully drains at
+	// each boundary so its state can be snapshotted (RunCheckpointed) and
+	// later resumed byte-identically (Resume). Draining perturbs timing,
+	// so the interval is part of the configuration — and therefore of the
+	// result-cache content hash — rather than a runtime side channel.
+	// 0 disables segmentation and reproduces Run exactly.
+	CheckpointEveryOps int
+
 	// WarmupOps is the retired-µop count after which measurement
 	// counters reset (Section 2.2's warm-up boundary).
 	WarmupOps uint64
@@ -164,6 +173,9 @@ func (c Config) Validate() error {
 	}
 	if c.MaxOps < 0 {
 		return fmt.Errorf("sim: negative µop bound %d", c.MaxOps)
+	}
+	if c.CheckpointEveryOps < 0 {
+		return fmt.Errorf("sim: negative checkpoint interval %d", c.CheckpointEveryOps)
 	}
 	if c.MaxOps > 0 && c.WarmupOps >= uint64(c.MaxOps) {
 		return fmt.Errorf("sim: warm-up of %d µops swallows the whole %d-µop run", c.WarmupOps, c.MaxOps)

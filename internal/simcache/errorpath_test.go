@@ -1,0 +1,157 @@
+package simcache
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/faultinject"
+)
+
+// TestErrorNotCached is the satellite coverage: a failed compute leaves no
+// residue — the next lookup computes again and a later success is cached.
+func TestErrorNotCached(t *testing.T) {
+	c := New(1 << 20)
+	k := key(9)
+	boom := errors.New("transient failure")
+
+	calls := 0
+	fn := func() ([]byte, error) {
+		calls++
+		if calls == 1 {
+			return nil, boom
+		}
+		return []byte("payload"), nil
+	}
+
+	if _, _, err := c.GetOrCompute(k, fn); !errors.Is(err, boom) {
+		t.Fatalf("first call: %v, want the compute error", err)
+	}
+	if _, ok := c.Get(k); ok {
+		t.Fatal("failed compute was cached")
+	}
+	v, hit, err := c.GetOrCompute(k, fn)
+	if err != nil || hit || string(v) != "payload" {
+		t.Fatalf("second call got (%q, hit=%v, %v), want a fresh compute", v, hit, err)
+	}
+	if calls != 2 {
+		t.Fatalf("compute ran %d times, want 2", calls)
+	}
+	if _, ok := c.Get(k); !ok {
+		t.Fatal("successful compute not cached")
+	}
+}
+
+// TestWaiterRetriesRatherThanStaleError is the second satellite invariant:
+// a collapsed waiter whose leader fails must not inherit the leader's
+// error — it retries, becomes the next leader, and computes for itself.
+func TestWaiterRetriesRatherThanStaleError(t *testing.T) {
+	c := New(1 << 20)
+	k := key(10)
+	leaderEntered := make(chan struct{})
+	release := make(chan struct{})
+	leaderErr := errors.New("leader-specific failure")
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_, _, err := c.GetOrCompute(k, func() ([]byte, error) {
+			close(leaderEntered)
+			<-release
+			return nil, leaderErr
+		})
+		if !errors.Is(err, leaderErr) {
+			t.Errorf("leader got %v, want its own error", err)
+		}
+	}()
+	<-leaderEntered
+
+	waiterDone := make(chan struct{})
+	var waiterVal []byte
+	var waiterHit bool
+	var waiterErr error
+	go func() {
+		defer close(waiterDone)
+		waiterVal, waiterHit, waiterErr = c.GetOrCompute(k, func() ([]byte, error) {
+			return []byte("fresh"), nil
+		})
+	}()
+
+	// Wait until the waiter has actually collapsed onto the leader's
+	// flight before letting the leader fail.
+	deadline := time.Now().Add(5 * time.Second)
+	for c.Stats().Collapsed == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("waiter never collapsed onto the in-flight compute")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(release)
+	wg.Wait()
+	<-waiterDone
+
+	if waiterErr != nil {
+		t.Fatalf("waiter inherited an error: %v", waiterErr)
+	}
+	if waiterHit || string(waiterVal) != "fresh" {
+		t.Fatalf("waiter got (%q, hit=%v), want its own fresh compute", waiterVal, waiterHit)
+	}
+	st := c.Stats()
+	if st.Misses != 2 || st.Collapsed != 1 {
+		t.Fatalf("stats %+v, want 2 misses (leader + retried waiter) and 1 collapse", st)
+	}
+}
+
+// TestComputeErrorFault drives the simcache.compute.error fault point: the
+// injected failure is surfaced, not cached, and a retry succeeds.
+func TestComputeErrorFault(t *testing.T) {
+	prev := faultinject.Enable(faultinject.MustParse(5, "simcache.compute.error:times=1"))
+	defer faultinject.Enable(prev)
+
+	c := New(1 << 20)
+	k := key(11)
+	fn := func() ([]byte, error) { return []byte("v"), nil }
+
+	_, _, err := c.GetOrCompute(k, fn)
+	var inj *faultinject.InjectedError
+	if !errors.As(err, &inj) {
+		t.Fatalf("want injected error, got %v", err)
+	}
+	if _, ok := c.Get(k); ok {
+		t.Fatal("injected failure was cached")
+	}
+	if _, _, err := c.GetOrCompute(k, fn); err != nil {
+		t.Fatalf("retry after injected failure: %v", err)
+	}
+}
+
+// TestEvictStormFault drives simcache.evict.storm: resident entries are
+// flushed before the new insert, the byte accounting stays exact, and the
+// cache keeps working.
+func TestEvictStormFault(t *testing.T) {
+	c := New(1 << 20)
+	for b := byte(0); b < 5; b++ {
+		kk := key(b)
+		if _, _, err := c.GetOrCompute(kk, func() ([]byte, error) { return []byte{b}, nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	prev := faultinject.Enable(faultinject.MustParse(6, "simcache.evict.storm:times=1"))
+	defer faultinject.Enable(prev)
+
+	if _, _, err := c.GetOrCompute(key(100), func() ([]byte, error) { return []byte("new"), nil }); err != nil {
+		t.Fatal(err)
+	}
+	st := c.Stats()
+	if st.Entries != 1 || st.Bytes != 3 {
+		t.Fatalf("after storm: %d entries / %d bytes, want only the fresh insert", st.Entries, st.Bytes)
+	}
+	if st.Evictions != 5 {
+		t.Fatalf("storm evicted %d, want all 5 residents", st.Evictions)
+	}
+	if _, ok := c.Get(key(100)); !ok {
+		t.Fatal("fresh entry missing after storm")
+	}
+}

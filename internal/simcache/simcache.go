@@ -3,6 +3,8 @@ package simcache
 import (
 	"container/list"
 	"sync"
+
+	"repro/internal/faultinject"
 )
 
 // Stats is a point-in-time snapshot of cache effectiveness, surfaced by
@@ -80,22 +82,33 @@ func (c *Cache) Get(k Key) ([]byte, bool) {
 // GetOrCompute returns the payload for k, computing it at most once across
 // all concurrent callers. hit reports whether the payload came from the
 // cache (true) or from a computation this call either ran or waited on
-// (false). A failed computation is not cached; its error is shared with
-// every collapsed waiter.
+// (false). A failed computation is never cached, and its error is returned
+// only to the caller whose compute produced it: collapsed waiters retry
+// the lookup (usually becoming the next leader and computing for
+// themselves) instead of inheriting an error that may have been specific
+// to the failed caller — a canceled context, an injected fault — and is
+// stale by the time they observe it.
 func (c *Cache) GetOrCompute(k Key, compute func() ([]byte, error)) (val []byte, hit bool, err error) {
 	c.mu.Lock()
-	if el, ok := c.items[k]; ok {
-		c.ll.MoveToFront(el)
-		c.hits++
-		v := el.Value.(*entry).val
-		c.mu.Unlock()
-		return v, true, nil
-	}
-	if cl, ok := c.flight[k]; ok {
+	for {
+		if el, ok := c.items[k]; ok {
+			c.ll.MoveToFront(el)
+			c.hits++
+			v := el.Value.(*entry).val
+			c.mu.Unlock()
+			return v, true, nil
+		}
+		cl, ok := c.flight[k]
+		if !ok {
+			break
+		}
 		c.collapsed++
 		c.mu.Unlock()
 		<-cl.done
-		return cl.val, false, cl.err
+		if cl.err == nil {
+			return cl.val, false, nil
+		}
+		c.mu.Lock()
 	}
 	cl := &call{done: make(chan struct{})}
 	c.flight[k] = cl
@@ -103,15 +116,42 @@ func (c *Cache) GetOrCompute(k Key, compute func() ([]byte, error)) (val []byte,
 	c.mu.Unlock()
 
 	cl.val, cl.err = compute()
+	if cl.err == nil {
+		// Fault point: a compute that "succeeded" upstream but fails at
+		// the cache layer (serialization, storage); the error-path
+		// invariants are the same either way.
+		if ferr := faultinject.Error("simcache.compute.error"); ferr != nil {
+			cl.val, cl.err = nil, ferr
+		}
+	}
 
 	c.mu.Lock()
 	delete(c.flight, k)
 	if cl.err == nil {
+		if faultinject.Should("simcache.evict.storm") {
+			c.evictAllLocked()
+		}
 		c.add(k, cl.val)
 	}
 	c.mu.Unlock()
 	close(cl.done)
 	return cl.val, false, cl.err
+}
+
+// evictAllLocked empties the cache (the eviction-storm fault drill).
+// Caller holds c.mu.
+func (c *Cache) evictAllLocked() {
+	for {
+		last := c.ll.Back()
+		if last == nil {
+			return
+		}
+		e := last.Value.(*entry)
+		c.ll.Remove(last)
+		delete(c.items, e.key)
+		c.bytes -= int64(len(e.val))
+		c.evictions++
+	}
 }
 
 // add inserts a computed payload and evicts from the cold end until the

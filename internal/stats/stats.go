@@ -268,3 +268,23 @@ func (s *MPTUSeries) SteadyStateAfter(tol float64) int {
 	}
 	return last + 1
 }
+
+// SeriesState is a checkpointable copy of an MPTUSeries.
+type SeriesState struct {
+	BucketOps uint64
+	Buckets   []uint64
+}
+
+// State snapshots the series.
+func (s *MPTUSeries) State() SeriesState {
+	return SeriesState{BucketOps: s.BucketOps, Buckets: append([]uint64(nil), s.buckets...)}
+}
+
+// Restore overwrites the series. The bucket width must match.
+func (s *MPTUSeries) Restore(st SeriesState) error {
+	if st.BucketOps != s.BucketOps {
+		return fmt.Errorf("stats: series state bucket width %d, series has %d", st.BucketOps, s.BucketOps)
+	}
+	s.buckets = append(s.buckets[:0], st.Buckets...)
+	return nil
+}

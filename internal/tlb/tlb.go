@@ -158,3 +158,55 @@ func (t *TLB) Stats() (hits, misses uint64) { return t.hits, t.misses }
 func (t *TLB) String() string {
 	return fmt.Sprintf("tlb{%d-entry %d-way}", t.cfg.Entries, t.cfg.Ways)
 }
+
+// EntryState is one valid translation in a State.
+type EntryState struct {
+	Index uint32 // position in the flattened entry array
+	VPage uint32
+	Frame uint32
+	LRU   uint64
+}
+
+// State is a checkpointable deep copy of a TLB's mutable contents,
+// including the lifetime hit/miss counters (which feed the simulation's
+// reported Counters).
+type State struct {
+	Clock   uint64
+	Hits    uint64
+	Misses  uint64
+	Entries []EntryState
+}
+
+// State snapshots the TLB.
+func (t *TLB) State() State {
+	st := State{Clock: t.clock, Hits: t.hits, Misses: t.misses}
+	for i := range t.entries {
+		if t.entries[i].valid {
+			st.Entries = append(st.Entries, EntryState{
+				Index: uint32(i),
+				VPage: t.entries[i].vpage,
+				Frame: t.entries[i].frame,
+				LRU:   t.entries[i].lru,
+			})
+		}
+	}
+	return st
+}
+
+// Restore overwrites the TLB with a previously captured State. The TLB must
+// have the geometry the state was captured from.
+func (t *TLB) Restore(st State) error {
+	for i := range t.entries {
+		t.entries[i] = entry{}
+	}
+	for _, es := range st.Entries {
+		if int(es.Index) >= len(t.entries) {
+			return fmt.Errorf("tlb: state index %d outside %d entries (geometry mismatch)", es.Index, len(t.entries))
+		}
+		t.entries[es.Index] = entry{vpage: es.VPage, frame: es.Frame, valid: true, lru: es.LRU}
+	}
+	t.clock = st.Clock
+	t.hits = st.Hits
+	t.misses = st.Misses
+	return nil
+}
