@@ -20,10 +20,13 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on the default mux, served only at -debug-addr
 	"os"
 	"os/signal"
 	"path/filepath"
+	"strings"
 	"syscall"
 	"time"
 
@@ -51,6 +54,25 @@ type options struct {
 
 	faults    string
 	faultSeed int64
+
+	debugAddr string
+	logLevel  string
+}
+
+// parseLogLevel maps the -log-level flag to a slog level; empty means the
+// default (info), so a zero options value stays valid.
+func parseLogLevel(s string) (slog.Level, error) {
+	switch strings.ToLower(s) {
+	case "", "info":
+		return slog.LevelInfo, nil
+	case "debug":
+		return slog.LevelDebug, nil
+	case "warn":
+		return slog.LevelWarn, nil
+	case "error":
+		return slog.LevelError, nil
+	}
+	return 0, fmt.Errorf("-log-level must be debug, info, warn, or error; got %q", s)
 }
 
 // validate rejects configurations that cannot work, each with a one-line
@@ -103,6 +125,12 @@ func validate(o options) error {
 			return fmt.Errorf("-faults spec rejected: %v", err)
 		}
 	}
+	if o.debugAddr != "" && o.debugAddr == o.addr {
+		return fmt.Errorf("-debug-addr must differ from -addr (%q); pprof gets its own listener", o.addr)
+	}
+	if _, err := parseLogLevel(o.logLevel); err != nil {
+		return err
+	}
 	return nil
 }
 
@@ -121,6 +149,8 @@ func main() {
 	flag.BoolVar(&o.adaptiveTimeout, "adaptive-timeout", false, "derive per-job deadlines from observed simulation throughput")
 	flag.StringVar(&o.faults, "faults", os.Getenv("CDPD_FAULTS"), "fault-injection plan, e.g. 'jobq.worker.crash:p=0.1' (testing only; also CDPD_FAULTS)")
 	flag.Int64Var(&o.faultSeed, "fault-seed", 1, "seed for the fault plan's deterministic randomness")
+	flag.StringVar(&o.debugAddr, "debug-addr", "", "serve net/http/pprof at this address (empty = off)")
+	flag.StringVar(&o.logLevel, "log-level", "info", "structured log threshold: debug, info, warn, or error")
 	flag.Parse()
 
 	if err := validate(o); err != nil {
@@ -138,6 +168,13 @@ func main() {
 		fmt.Fprintf(os.Stderr, "cdpd: WARNING fault injection armed (seed %d): %s\n", o.faultSeed, o.faults)
 	}
 
+	level, err := parseLogLevel(o.logLevel)
+	if err != nil { // unreachable: validate parsed the same level
+		fmt.Fprintf(os.Stderr, "cdpd: %v\n", err)
+		os.Exit(2)
+	}
+	logger := slog.New(slog.NewJSONHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
+
 	queue := jobq.New(jobq.Config{
 		Workers:    o.workers,
 		Capacity:   o.queueCap,
@@ -150,6 +187,7 @@ func main() {
 		ShedWatermark:      o.shedWatermark,
 		OverloadWatermark:  o.overloadWM,
 		AdaptiveTimeout:    o.adaptiveTimeout,
+		Logger:             logger,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "cdpd: %v\n", err)
@@ -165,6 +203,23 @@ func main() {
 		Addr:              o.addr,
 		Handler:           server,
 		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	if o.debugAddr != "" {
+		// The pprof handlers live on the default mux (the blank
+		// net/http/pprof import) and get their own listener so profiling
+		// endpoints are never exposed on the service address.
+		dbgSrv := &http.Server{
+			Addr:              o.debugAddr,
+			Handler:           http.DefaultServeMux,
+			ReadHeaderTimeout: 10 * time.Second,
+		}
+		go func() {
+			fmt.Fprintf(os.Stderr, "cdpd: pprof on http://%s/debug/pprof/\n", o.debugAddr)
+			if err := dbgSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				fmt.Fprintf(os.Stderr, "cdpd: debug server: %v\n", err)
+			}
+		}()
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)

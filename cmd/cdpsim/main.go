@@ -4,8 +4,13 @@
 //
 // Usage:
 //
-//	cdpsim [-ops N] [-cdp] [-markov stab-kb] [-l2 kb] [-tlb entries] [-inject] <benchmark>
+//	cdpsim [-ops N] [-cdp] [-markov stab-kb] [-l2 kb] [-tlb entries] [-inject] [-trace out.json] <benchmark>
 //	cdpsim list
+//
+// With -trace, the run is instrumented with the internal/simtrace event
+// tracer: the Chrome trace_event JSON written to the given path loads in
+// Perfetto (one track per component), and a per-chain summary table is
+// printed after the counters.
 package main
 
 import (
@@ -15,7 +20,9 @@ import (
 
 	"repro/internal/cache"
 	"repro/internal/core"
+	"repro/internal/report"
 	"repro/internal/sim"
+	"repro/internal/simtrace"
 	"repro/internal/workloads"
 )
 
@@ -32,6 +39,8 @@ func main() {
 	tlbEntries := flag.Int("tlb", 64, "DTLB entries")
 	inject := flag.Bool("inject", false, "inject bad prefetches on idle bus cycles")
 	baseline := flag.Bool("baseline", false, "also run the stride baseline and report speedup")
+	tracePath := flag.String("trace", "", "write a Perfetto-loadable Chrome trace_event JSON here")
+	traceCap := flag.Int("trace-cap", 1<<20, "trace ring capacity in events (oldest overwritten)")
 	flag.Parse()
 
 	if flag.NArg() != 1 {
@@ -77,8 +86,23 @@ func main() {
 		cfg = cfg.WithMarkov(budget, cfg.L2)
 	}
 
-	res := sim.Run(ck, cfg)
+	var tr *simtrace.Tracer
+	if *tracePath != "" {
+		tr = simtrace.New(*traceCap)
+	}
+	res := sim.RunTraced(ck, cfg, tr)
 	printResult(ck.Name, res)
+	if tr != nil {
+		if err := writeTrace(*tracePath, tr); err != nil {
+			fmt.Fprintf(os.Stderr, "cdpsim: %v\n", err)
+			os.Exit(1)
+		}
+		chains := tr.Chains()
+		fmt.Println()
+		fmt.Print(report.ChainTable(chains).Render())
+		fmt.Printf("trace            %d events to %s (%d dropped by the ring)\n",
+			tr.Len(), *tracePath, tr.Dropped())
+	}
 
 	if *baseline {
 		base := sim.Default()
@@ -88,6 +112,18 @@ func main() {
 		fmt.Printf("\nStride-baseline cycles: %d\nSpeedup over baseline:  %.4f\n",
 			b.MeasuredCycles, res.SpeedupOver(b))
 	}
+}
+
+func writeTrace(path string, tr *simtrace.Tracer) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := tr.WriteChromeTrace(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func printResult(name string, r *sim.Result) {

@@ -17,10 +17,12 @@
 package api
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"strconv"
 	"sync/atomic"
@@ -30,8 +32,17 @@ import (
 	"repro/internal/jobq"
 	"repro/internal/sim"
 	"repro/internal/simcache"
+	"repro/internal/simtrace"
 	"repro/internal/trace"
 	"repro/internal/workloads"
+)
+
+const (
+	// traceRingCap bounds the event ring of a traced job; overflow drops
+	// the oldest events and is recorded in the exported trace metadata.
+	traceRingCap = 1 << 18
+	// maxStoredTraces bounds how many finished traces the daemon retains.
+	maxStoredTraces = 16
 )
 
 // Server wires the handlers to a queue and a cache. Construct with New or
@@ -44,6 +55,14 @@ type Server struct {
 	opts     Options
 	store    *ckptStore // nil unless Options.CheckpointDir is set
 	counters
+
+	logger *slog.Logger
+	traces *traceStore
+
+	// Request-path latency histograms exported by /metrics.
+	queueWait   *histogram // submit accepted -> job function starts
+	runDur      *histogram // one simulation, checkpoint generation included
+	cacheLookup *histogram // result-cache probe on the submit path
 
 	started   time.Time
 	startSims uint64
@@ -65,12 +84,20 @@ func New(q *jobq.Queue, c *simcache.Cache) *Server {
 // created.
 func NewWithOptions(q *jobq.Queue, c *simcache.Cache, opts Options) (*Server, error) {
 	s := &Server{
-		queue:     q,
-		cache:     c,
-		mux:       http.NewServeMux(),
-		opts:      opts,
-		started:   time.Now(),
-		startSims: sim.Runs(),
+		queue:       q,
+		cache:       c,
+		mux:         http.NewServeMux(),
+		opts:        opts,
+		logger:      opts.Logger,
+		traces:      newTraceStore(maxStoredTraces),
+		queueWait:   newHistogram(latencyBuckets),
+		runDur:      newHistogram(latencyBuckets),
+		cacheLookup: newHistogram(latencyBuckets),
+		started:     time.Now(),
+		startSims:   sim.Runs(),
+	}
+	if s.logger == nil {
+		s.logger = slog.New(slog.DiscardHandler)
 	}
 	if opts.CheckpointDir != "" {
 		store, err := newCkptStore(opts.CheckpointDir)
@@ -82,6 +109,7 @@ func NewWithOptions(q *jobq.Queue, c *simcache.Cache, opts Options) (*Server, er
 	s.mux.HandleFunc("POST /v1/sim", s.handleSubmitSim)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobGet)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/stream", s.handleJobStream)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleJobTrace)
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobCancel)
 	s.mux.HandleFunc("GET /v1/experiments/{id}", s.handleExperiment)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
@@ -159,7 +187,12 @@ func (s *Server) handleSubmitSim(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	key := simcache.KeyFor(spec, cfg, ops)
-	if data, ok := s.cache.Get(key); ok {
+	lookupStart := time.Now()
+	data, hit := s.cache.Get(key)
+	s.cacheLookup.Observe(time.Since(lookupStart))
+	if hit {
+		s.logger.Info("sim served from cache",
+			"content_key", key.String(), "benchmark", req.Benchmark)
 		injectRespondFaults(w, r)
 		writeJSON(w, http.StatusOK, envelope{Cached: true, Result: data})
 		return
@@ -171,7 +204,7 @@ func (s *Server) handleSubmitSim(w http.ResponseWriter, r *http.Request) {
 
 	id := "sim-" + key.String()
 	job, err := s.queue.SubmitTimeout(id, req.Priority, s.adaptiveTimeout(ops),
-		s.simJob(id, spec, cfg, ops, key, nil))
+		s.simJob(id, spec, cfg, ops, key, nil, time.Now(), req.Trace))
 	if errors.Is(err, jobq.ErrDuplicateID) {
 		// The same request is already queued or running; attach to it
 		// instead of spending another slot.
@@ -201,18 +234,41 @@ func (s *Server) handleSubmitSim(w http.ResponseWriter, r *http.Request) {
 // segmented, persisting each boundary snapshot (when a store is
 // configured); resume picks the run up from a snapshot recovered at
 // startup instead of µop zero.
-func (s *Server) simJob(id string, spec workloads.Spec, cfg sim.Config, ops int, key simcache.Key, resume *sim.Snapshot) jobq.Func {
+//
+// submitted is when the request was accepted; the gap to the job function
+// starting is the queue wait. With traced set, the run carries a simtrace
+// ring and the rendered Chrome trace is retained for GET
+// /v1/jobs/{id}/trace — only when this job actually computes: a cache hit
+// or collapsed computation runs no simulation, so there is nothing to
+// trace.
+func (s *Server) simJob(id string, spec workloads.Spec, cfg sim.Config, ops int, key simcache.Key, resume *sim.Snapshot, submitted time.Time, traced bool) jobq.Func {
 	return func(ctx context.Context, j *jobq.Job) (any, error) {
+		wait := time.Since(submitted)
+		s.queueWait.Observe(wait)
+		log := s.logger.With("job_id", id, "content_key", key.String(), "benchmark", spec.Name)
+		log.Info("job started", "queue_wait", wait, "ops", ops, "traced", traced)
 		data, hit, err := s.cache.GetOrCompute(key, func() ([]byte, error) {
 			j.SetProgress("generating checkpoint", 0, 2)
 			ck := workloads.Checkpoint(spec, ops)
 			j.SetProgress("simulating", 1, 2)
+			var tr *simtrace.Tracer
+			if traced {
+				tr = simtrace.New(traceRingCap)
+			}
 			start := time.Now()
-			res, err := s.runSim(ctx, j, id, ck, cfg, resume)
+			res, err := s.runSim(ctx, j, id, ck, cfg, resume, tr)
+			dur := time.Since(start)
 			if err != nil {
+				log.Warn("simulation failed", "sim_duration", dur, "error", err)
 				return nil, err
 			}
-			s.observeSimRate(time.Since(start), ops)
+			s.runDur.Observe(dur)
+			s.observeSimRate(dur, ops)
+			log.Info("simulation finished", "sim_duration", dur,
+				"cycles", res.Core.Cycles, "ipc", res.IPC())
+			if tr != nil {
+				s.storeTrace(id, tr, log)
+			}
 			return renderResult(spec.Name, ops, res)
 		})
 		if err != nil {
@@ -226,14 +282,32 @@ func (s *Server) simJob(id string, spec workloads.Spec, cfg sim.Config, ops int,
 	}
 }
 
+// storeTrace renders the ring as Chrome trace_event JSON and retains it
+// for the trace endpoint. Rendering failures only cost the trace, never
+// the job.
+func (s *Server) storeTrace(id string, tr *simtrace.Tracer, log *slog.Logger) {
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		log.Warn("trace render failed", "error", err)
+		return
+	}
+	s.traces.put(id, buf.Bytes())
+	log.Info("trace captured", "events", tr.Len(), "dropped", tr.Dropped(), "bytes", buf.Len())
+}
+
 // runSim executes one simulation, segmented when the configuration asks
 // for checkpoints. Boundary snapshots are persisted best-effort: a failed
 // write (disk full, injected ckpt.write.error) costs one boundary of
 // resume granularity, never the run. Cancellation is observed at
-// boundaries for segmented runs and continuously for plain ones.
-func (s *Server) runSim(ctx context.Context, j *jobq.Job, id string, ck *trace.Checkpoint, cfg sim.Config, resume *sim.Snapshot) (*sim.Result, error) {
+// boundaries for segmented runs and continuously for plain ones. A non-nil
+// tracer records the run's event stream; resumed runs are never traced
+// (the ring would only cover the tail segment).
+func (s *Server) runSim(ctx context.Context, j *jobq.Job, id string, ck *trace.Checkpoint, cfg sim.Config, resume *sim.Snapshot, tr *simtrace.Tracer) (*sim.Result, error) {
 	if cfg.CheckpointEveryOps <= 0 {
-		return sim.RunContext(ctx, ck, cfg)
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		return sim.RunTraced(ck, cfg, tr), nil
 	}
 	if err := ctx.Err(); err != nil {
 		return nil, err
@@ -255,7 +329,7 @@ func (s *Server) runSim(ctx context.Context, j *jobq.Job, id string, ck *trace.C
 	if resume != nil {
 		return sim.Resume(ck, cfg, resume, sink)
 	}
-	return sim.RunCheckpointed(ck, cfg, sink)
+	return sim.RunCheckpointedTraced(ck, cfg, tr, sink)
 }
 
 // respondJob either acknowledges the job (202) or, when wait is requested,
@@ -363,6 +437,28 @@ func (s *Server) handleJobStream(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+}
+
+// handleJobTrace is GET /v1/jobs/{id}/trace: the Chrome trace_event JSON
+// captured for a traced job, loadable in Perfetto. 404s explain the two
+// non-error absences — the job is unknown, or it never ran a traced
+// simulation (trace not requested, result served from cache, or the trace
+// was evicted by newer ones).
+func (s *Server) handleJobTrace(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	data, ok := s.traces.get(id)
+	if !ok {
+		if _, known := s.queue.Get(id); !known {
+			writeError(w, http.StatusNotFound, "no such job %q", id)
+			return
+		}
+		writeError(w, http.StatusNotFound,
+			"no trace for job %q: submit with \"trace\":true and note that cached or collapsed results run no simulation", id)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(data)
 }
 
 func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {

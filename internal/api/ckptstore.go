@@ -6,6 +6,7 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"time"
 
 	"repro/internal/faultinject"
 	"repro/internal/sim"
@@ -161,8 +162,10 @@ func (s *Server) RecoverJobs() (int, error) {
 		if snap != nil && cfg.CheckpointEveryOps <= 0 {
 			snap = nil
 		}
+		// Recovered jobs are never traced: a resume would only cover the
+		// tail segment, and the submitter who wanted the trace is gone.
 		_, err = s.queue.SubmitTimeout(p.id, p.req.Priority, s.adaptiveTimeout(ops),
-			s.simJob(p.id, spec, cfg, ops, key, snap))
+			s.simJob(p.id, spec, cfg, ops, key, snap, time.Now(), false))
 		if err != nil {
 			// Queue full or shutting down: leave the files for next time.
 			continue

@@ -1,0 +1,63 @@
+package api
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"sync/atomic"
+	"time"
+)
+
+// histogram is a fixed-bucket, lock-free latency histogram in the
+// Prometheus cumulative style. Observations and scrapes only use atomics,
+// so it can sit on the request path. The sum is kept in integer
+// nanoseconds to stay atomically addable; the exposition converts to
+// seconds.
+type histogram struct {
+	bounds []float64 // bucket upper bounds in seconds, ascending
+	counts []atomic.Uint64
+	sumNs  atomic.Int64
+	count  atomic.Uint64
+}
+
+// latencyBuckets spans sub-millisecond cache probes to multi-minute
+// simulations; the same scale serves all three cdpd latency series so
+// dashboards can overlay them.
+var latencyBuckets = []float64{0.001, 0.005, 0.025, 0.1, 0.5, 2.5, 10, 60}
+
+func newHistogram(bounds []float64) *histogram {
+	return &histogram{bounds: bounds, counts: make([]atomic.Uint64, len(bounds))}
+}
+
+// Observe records one duration.
+func (h *histogram) Observe(d time.Duration) {
+	s := d.Seconds()
+	for i, b := range h.bounds {
+		if s <= b {
+			h.counts[i].Add(1)
+			break
+		}
+	}
+	h.sumNs.Add(d.Nanoseconds())
+	h.count.Add(1)
+}
+
+// write emits the histogram in the text exposition format: cumulative
+// _bucket series with le labels (ending at +Inf), then _sum and _count.
+func (h *histogram) write(w io.Writer, name, help string) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", name, help, name)
+	var cum uint64
+	for i, b := range h.bounds {
+		cum += h.counts[i].Load()
+		fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, formatBound(b), cum)
+	}
+	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, h.count.Load())
+	fmt.Fprintf(w, "%s_sum %g\n", name, float64(h.sumNs.Load())/1e9)
+	fmt.Fprintf(w, "%s_count %d\n", name, h.count.Load())
+}
+
+// formatBound renders a bucket bound the way Prometheus does: shortest
+// representation, no exponent for these magnitudes.
+func formatBound(b float64) string {
+	return strconv.FormatFloat(b, 'g', -1, 64)
+}

@@ -73,6 +73,13 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	p("cdpd_sim_ns_per_op_ewma", "Smoothed simulation cost in ns per µop (0 until first completion).", "gauge",
 		math.Float64frombits(s.ewmaNsPerOp.Load()))
 
+	s.queueWait.write(w, "cdpd_queue_wait_seconds",
+		"Time from submission accepted to the job function starting.")
+	s.runDur.write(w, "cdpd_run_duration_seconds",
+		"One simulation end to end, checkpoint generation included.")
+	s.cacheLookup.write(w, "cdpd_cache_lookup_seconds",
+		"Result-cache probe latency on the submit path.")
+
 	p("cdpd_goroutines", "Live goroutines.", "gauge", runtime.NumGoroutine())
 	p("cdpd_heap_alloc_bytes", "Bytes of allocated heap objects.", "gauge", ms.HeapAlloc)
 	p("cdpd_heap_sys_bytes", "Heap memory obtained from the OS.", "gauge", ms.HeapSys)

@@ -1,0 +1,190 @@
+package api
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/jobq"
+)
+
+// scrapeMetrics fetches /metrics and returns the body.
+func scrapeMetrics(t *testing.T, s *Server) string {
+	t.Helper()
+	w := httptest.NewRecorder()
+	s.ServeHTTP(w, httptest.NewRequest("GET", "/metrics", nil))
+	if w.Code != http.StatusOK {
+		t.Fatalf("/metrics: %d %s", w.Code, w.Body)
+	}
+	if ct := w.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("/metrics content type %q", ct)
+	}
+	return w.Body.String()
+}
+
+// metricFamily is what the exposition parser reconstructs per series name.
+type metricFamily struct {
+	help    bool
+	typ     string
+	samples []string // full sample lines, labels included
+}
+
+// parseExposition validates the Prometheus text format line by line and
+// groups samples under their family: HELP and TYPE must precede the first
+// sample, sample names must belong to a declared family (histograms own
+// their _bucket/_sum/_count suffixes), and every value must parse as a
+// float.
+func parseExposition(t *testing.T, body string) map[string]*metricFamily {
+	t.Helper()
+	fams := map[string]*metricFamily{}
+	for ln, line := range strings.Split(strings.TrimRight(body, "\n"), "\n") {
+		if line == "" {
+			continue
+		}
+		if rest, ok := strings.CutPrefix(line, "# HELP "); ok {
+			name, help, ok := strings.Cut(rest, " ")
+			if !ok || help == "" {
+				t.Fatalf("line %d: HELP without text: %q", ln+1, line)
+			}
+			if fams[name] == nil {
+				fams[name] = &metricFamily{}
+			}
+			fams[name].help = true
+			continue
+		}
+		if rest, ok := strings.CutPrefix(line, "# TYPE "); ok {
+			name, typ, ok := strings.Cut(rest, " ")
+			if !ok {
+				t.Fatalf("line %d: TYPE without a type: %q", ln+1, line)
+			}
+			switch typ {
+			case "counter", "gauge", "histogram":
+			default:
+				t.Fatalf("line %d: invalid TYPE %q", ln+1, line)
+			}
+			if fams[name] == nil {
+				t.Fatalf("line %d: TYPE %s before its HELP", ln+1, name)
+			}
+			if len(fams[name].samples) > 0 {
+				t.Fatalf("line %d: TYPE %s after its samples", ln+1, name)
+			}
+			fams[name].typ = typ
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			t.Fatalf("line %d: unknown comment %q", ln+1, line)
+		}
+		name := line
+		if i := strings.IndexAny(line, "{ "); i >= 0 {
+			name = line[:i]
+		}
+		base := name
+		for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+			if b, ok := strings.CutSuffix(name, suffix); ok && fams[b] != nil && fams[b].typ == "histogram" {
+				base = b
+				break
+			}
+		}
+		fam := fams[base]
+		if fam == nil || !fam.help || fam.typ == "" {
+			t.Fatalf("line %d: sample %q not preceded by HELP and TYPE", ln+1, name)
+		}
+		val := line[strings.LastIndex(line, " ")+1:]
+		if _, err := strconv.ParseFloat(val, 64); err != nil {
+			t.Fatalf("line %d: value %q does not parse: %v", ln+1, val, err)
+		}
+		fam.samples = append(fam.samples, line)
+	}
+	return fams
+}
+
+// TestMetricsExpositionFormat scrapes /metrics and validates the whole
+// payload: every series carries HELP and TYPE, types are legal, and the
+// three latency histograms expose cumulative le-labelled buckets ending at
+// +Inf whose count matches _count.
+func TestMetricsExpositionFormat(t *testing.T) {
+	s, _ := newTestServer(t, jobq.Config{Workers: 1, Capacity: 4})
+
+	// One synchronous simulation so the latency histograms and job/cache
+	// counters have observations.
+	if w := postSim(t, s, `{"benchmark": "quake", "ops": 10000, "wait": true}`); w.Code != http.StatusOK {
+		t.Fatalf("warm-up sim: %d %s", w.Code, w.Body)
+	}
+
+	fams := parseExposition(t, scrapeMetrics(t, s))
+
+	for _, name := range []string{
+		"cdpd_queue_depth", "cdpd_jobs_completed_total", "cdpd_cache_hits_total",
+		"cdpd_sims_total", "cdpd_heap_alloc_bytes",
+	} {
+		if fams[name] == nil || len(fams[name].samples) == 0 {
+			t.Errorf("series %s missing from /metrics", name)
+		}
+	}
+
+	for _, name := range []string{
+		"cdpd_queue_wait_seconds", "cdpd_run_duration_seconds", "cdpd_cache_lookup_seconds",
+	} {
+		fam := fams[name]
+		if fam == nil {
+			t.Fatalf("histogram %s missing from /metrics", name)
+		}
+		if fam.typ != "histogram" {
+			t.Fatalf("%s TYPE = %q, want histogram", name, fam.typ)
+		}
+		var buckets, infCount, count int
+		var sawSum bool
+		prev := -1
+		for _, sample := range fam.samples {
+			switch {
+			case strings.HasPrefix(sample, name+"_bucket{le="):
+				buckets++
+				n, err := strconv.Atoi(sample[strings.LastIndex(sample, " ")+1:])
+				if err != nil {
+					t.Fatalf("%s bucket value: %v", name, err)
+				}
+				if n < prev {
+					t.Fatalf("%s buckets not cumulative: %d after %d", name, n, prev)
+				}
+				prev = n
+				if strings.Contains(sample, `le="+Inf"`) {
+					infCount = n
+				}
+			case strings.HasPrefix(sample, name+"_sum "):
+				sawSum = true
+			case strings.HasPrefix(sample, name+"_count "):
+				count, _ = strconv.Atoi(sample[strings.LastIndex(sample, " ")+1:])
+			default:
+				t.Fatalf("%s: unexpected sample %q", name, sample)
+			}
+		}
+		if buckets < 2 {
+			t.Fatalf("%s exposes %d buckets, want at least a finite one and +Inf", name, buckets)
+		}
+		if !sawSum {
+			t.Fatalf("%s missing _sum", name)
+		}
+		if infCount != count {
+			t.Fatalf("%s +Inf bucket %d != _count %d", name, infCount, count)
+		}
+	}
+
+	// The warm-up sim must have landed observations in the wait and run
+	// histograms (the cache probe always observes, even on miss).
+	for _, name := range []string{
+		"cdpd_queue_wait_seconds", "cdpd_run_duration_seconds", "cdpd_cache_lookup_seconds",
+	} {
+		countLine := ""
+		for _, sample := range fams[name].samples {
+			if strings.HasPrefix(sample, name+"_count ") {
+				countLine = sample
+			}
+		}
+		if countLine == fmt.Sprintf("%s_count 0", name) {
+			t.Errorf("%s observed nothing despite a completed simulation", name)
+		}
+	}
+}

@@ -2,6 +2,7 @@ package api
 
 import (
 	"io"
+	"log/slog"
 	"math"
 	"net/http"
 	"strconv"
@@ -40,6 +41,10 @@ type Options struct {
 	// hold a worker forever while leaving slow-but-honest configurations
 	// alone.
 	AdaptiveTimeout bool
+
+	// Logger receives request-scoped structured logs (job lifecycle with
+	// job ID, content key, queue wait, simulation duration). Nil discards.
+	Logger *slog.Logger
 }
 
 const (

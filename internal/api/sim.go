@@ -43,6 +43,14 @@ type SimRequest struct {
 	// perturbs timing, so it is part of the result's content key.
 	CheckpointEveryOps int `json:"checkpoint_every_ops,omitempty"`
 
+	// Trace attaches a cycle-level event tracer to the run; the captured
+	// Chrome trace is then served by GET /v1/jobs/{id}/trace. Tracing does
+	// not perturb results (traced and untraced runs are byte-identical), so
+	// it is deliberately not part of the content key — but that also means
+	// a request answered from the cache runs no simulation and captures no
+	// trace.
+	Trace bool `json:"trace,omitempty"`
+
 	// Priority orders the job against other queued work (higher first).
 	Priority int `json:"priority,omitempty"`
 	// Wait makes the submission synchronous: the response carries the

@@ -1,0 +1,90 @@
+package api
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/jobq"
+	"repro/internal/simcache"
+)
+
+// jobIDFor recomputes the deterministic job ID the submit handler derives
+// from a request body.
+func jobIDFor(t *testing.T, body string) string {
+	t.Helper()
+	var req SimRequest
+	if err := json.Unmarshal([]byte(body), &req); err != nil {
+		t.Fatal(err)
+	}
+	spec, cfg, ops, err := buildSim(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return "sim-" + simcache.KeyFor(spec, cfg, ops).String()
+}
+
+// TestJobTraceEndpoint drives a traced submission end to end: the trace
+// endpoint serves Chrome trace_event JSON for the job that computed, and
+// 404s for unknown jobs.
+func TestJobTraceEndpoint(t *testing.T) {
+	s, _ := newTestServer(t, jobq.Config{Workers: 1, Capacity: 4})
+
+	body := `{"benchmark": "b2c", "ops": 10000, "cdp": true, "wait": true, "trace": true}`
+	if w := postSim(t, s, body); w.Code != http.StatusOK {
+		t.Fatalf("traced sim: %d %s", w.Code, w.Body)
+	}
+
+	id := jobIDFor(t, body)
+	tw := httptest.NewRecorder()
+	s.ServeHTTP(tw, httptest.NewRequest("GET", "/v1/jobs/"+id+"/trace", nil))
+	if tw.Code != http.StatusOK {
+		t.Fatalf("trace fetch: %d %s", tw.Code, tw.Body)
+	}
+	if ct := tw.Header().Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("trace content type %q", ct)
+	}
+	var trace struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+		Metadata    map[string]any   `json:"metadata"`
+	}
+	if err := json.Unmarshal(tw.Body.Bytes(), &trace); err != nil {
+		t.Fatalf("trace body is not valid JSON: %v", err)
+	}
+	if len(trace.TraceEvents) == 0 {
+		t.Fatal("trace has no events")
+	}
+	if _, ok := trace.Metadata["dropped_events"]; !ok {
+		t.Fatal("trace metadata missing dropped_events")
+	}
+
+	uw := httptest.NewRecorder()
+	s.ServeHTTP(uw, httptest.NewRequest("GET", "/v1/jobs/nope/trace", nil))
+	if uw.Code != http.StatusNotFound {
+		t.Fatalf("unknown job trace: %d", uw.Code)
+	}
+}
+
+// TestUntracedJobHasNoTrace: a job submitted without the trace flag must
+// 404 on the trace endpoint with an explanation, not serve an empty body.
+func TestUntracedJobHasNoTrace(t *testing.T) {
+	s, _ := newTestServer(t, jobq.Config{Workers: 1, Capacity: 4})
+
+	body := `{"benchmark": "quake", "ops": 10000, "wait": true}`
+	if w := postSim(t, s, body); w.Code != http.StatusOK {
+		t.Fatalf("sim: %d %s", w.Code, w.Body)
+	}
+
+	tw := httptest.NewRecorder()
+	s.ServeHTTP(tw, httptest.NewRequest("GET", "/v1/jobs/"+jobIDFor(t, body)+"/trace", nil))
+	if tw.Code != http.StatusNotFound {
+		t.Fatalf("untraced job trace: %d %s", tw.Code, tw.Body)
+	}
+	var e struct {
+		Error string `json:"error"`
+	}
+	if err := json.Unmarshal(tw.Body.Bytes(), &e); err != nil || e.Error == "" {
+		t.Fatalf("404 body should explain the absence: %s", tw.Body)
+	}
+}

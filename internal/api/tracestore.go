@@ -1,0 +1,41 @@
+package api
+
+import "sync"
+
+// traceStore keeps the rendered Chrome-trace JSON of recently finished
+// traced jobs, bounded FIFO so a long-lived daemon cannot accumulate
+// unbounded trace payloads. Traces exist only for jobs that actually ran a
+// simulation: a submission answered from the result cache (or collapsed
+// into another in-flight computation) never executes, so it has nothing to
+// trace.
+type traceStore struct {
+	mu    sync.Mutex
+	max   int
+	order []string // insertion order for FIFO eviction
+	byID  map[string][]byte
+}
+
+func newTraceStore(max int) *traceStore {
+	return &traceStore{max: max, byID: make(map[string][]byte)}
+}
+
+func (t *traceStore) put(id string, data []byte) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if _, ok := t.byID[id]; !ok {
+		t.order = append(t.order, id)
+	}
+	t.byID[id] = data
+	for len(t.order) > t.max {
+		old := t.order[0]
+		t.order = t.order[1:]
+		delete(t.byID, old)
+	}
+}
+
+func (t *traceStore) get(id string) ([]byte, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	data, ok := t.byID[id]
+	return data, ok
+}

@@ -77,6 +77,11 @@ type Request struct {
 	// candidate pointers actually name, which keeps the candidate tree
 	// from exploding combinatorially (cf. the page-walk bypass).
 	Widened bool
+	// Chain is the content-prefetch chain this request belongs to (0 for
+	// demand, stride and Markov traffic). Deeper prefetches triggered by
+	// this request's fill inherit it, so a whole pointer chase shares one
+	// ID — the lineage simtrace reconstructs.
+	Chain uint64
 
 	Enqueued int64 // cycle the request entered the memory system
 	Granted  int64 // cycle the bus transfer began

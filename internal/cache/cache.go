@@ -51,6 +51,7 @@ type Line struct {
 	Depth      uint8  // stored request depth (reinforcement state)
 	VA         uint32 // virtual line base of the fill (for rescans)
 	Overlap    bool   // content prefetch whose line stride also covered
+	Chain      uint64 // content-prefetch chain the fill belonged to (0 = none)
 	lru        uint64
 }
 

@@ -1,6 +1,10 @@
 package core
 
-import "fmt"
+import (
+	"fmt"
+
+	"repro/internal/simtrace"
+)
 
 // Config assembles the full content-prefetcher policy: the matching
 // heuristic plus the chaining, width and reinforcement knobs explored in
@@ -103,7 +107,15 @@ type Prefetcher struct {
 	// OnFill returns aliases out and is valid only until the next call.
 	words []uint32
 	out   []Candidate
+
+	// tr, when non-nil, receives candidate-match events. Events are
+	// stamped by the tracer's clock (the memory system announces the
+	// cycle before running the scanner).
+	tr *simtrace.Tracer
 }
+
+// AttachTracer wires an event tracer into the scanner (nil detaches).
+func (p *Prefetcher) AttachTracer(tr *simtrace.Tracer) { p.tr = tr }
 
 // New builds a content prefetcher; it panics on invalid configuration
 // (configurations are static experiment inputs).
@@ -172,6 +184,19 @@ func (p *Prefetcher) OnFill(trigVA uint32, depth int, lineVA uint32, line []byte
 		}
 	}
 	p.out = out
+	if p.tr.Enabled() {
+		for i := range out {
+			widened := uint64(0)
+			if out[i].Widened {
+				widened = 1
+			}
+			p.tr.Emit(simtrace.Event{
+				Kind: simtrace.KindCandidate, Comp: simtrace.CompCDP,
+				Addr: out[i].VA, Addr2: out[i].Pointer,
+				Depth: int16(out[i].Depth), Arg: widened,
+			})
+		}
+	}
 	return out
 }
 

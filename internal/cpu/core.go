@@ -3,6 +3,7 @@ package cpu
 import (
 	"fmt"
 
+	"repro/internal/simtrace"
 	"repro/internal/stats"
 	"repro/internal/trace"
 )
@@ -223,7 +224,16 @@ type Core struct {
 	// what it needs; retirement accounting is batched while no observer
 	// is attached.
 	OnRetire func(retired uint64, cycle int64)
+
+	// tr, when non-nil, receives ROB-stall events; robStallStart tracks
+	// the cycle an ongoing full-ROB fetch stall began (0 = not stalled).
+	// Tracing-only state: it is not part of CoreState.
+	tr            *simtrace.Tracer
+	robStallStart int64
 }
+
+// AttachTracer wires an event tracer into the core (nil detaches).
+func (c *Core) AttachTracer(tr *simtrace.Tracer) { c.tr = tr }
 
 // New builds a core. counters may be nil.
 func New(cfg Config, st *stats.Counters) *Core {
@@ -449,6 +459,22 @@ func (c *Core) issue(mp MemPort) bool {
 // fetch brings µops into the ROB, predicting branches and halting at a
 // mispredicted one until it resolves.
 func (c *Core) fetch(ops []trace.Op) bool {
+	if c.tr.Enabled() && c.fetchIdx < len(ops) {
+		// Edge-triggered ROB-stall tracking: record when fetch first finds
+		// the ROB full, emit one event with the stall length once a slot
+		// frees up.
+		if c.count >= c.cfg.ROBSize {
+			if c.robStallStart == 0 {
+				c.robStallStart = c.cycle
+			}
+		} else if c.robStallStart != 0 {
+			c.tr.Emit(simtrace.Event{
+				Kind: simtrace.KindROBStall, Comp: simtrace.CompCore,
+				Cycle: c.cycle, Arg: uint64(c.cycle - c.robStallStart),
+			})
+			c.robStallStart = 0
+		}
+	}
 	any := false
 	for n := 0; n < c.cfg.FetchWidth; n++ {
 		if c.fetchIdx >= len(ops) || c.count >= c.cfg.ROBSize ||

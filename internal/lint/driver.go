@@ -11,7 +11,7 @@ import (
 )
 
 // Analyzers is the simlint suite, in reporting order.
-var Analyzers = []*analysis.Analyzer{Detrand, Eventmono, Statsreg, Cfgcheck}
+var Analyzers = []*analysis.Analyzer{Detrand, Eventmono, Statsreg, Cfgcheck, Tracegate}
 
 // Diagnostic is one analyzer finding with resolved position.
 type Diagnostic struct {

@@ -26,3 +26,7 @@ func TestStatsreg(t *testing.T) {
 func TestCfgcheck(t *testing.T) {
 	linttest.Run(t, linttest.TestData(), lint.Cfgcheck, "cfgcheck", "cfgcheck_noval")
 }
+
+func TestTracegate(t *testing.T) {
+	linttest.Run(t, linttest.TestData(), lint.Tracegate, "tracegate", "simtrace")
+}

@@ -1,0 +1,30 @@
+// Fixture: a minimal stand-in for repro/internal/simtrace. The package
+// name is what tracegate keys on, and the analyzer must skip this package
+// itself — the tracer's own internals call Emit on known-enabled
+// receivers.
+package simtrace
+
+// Event mirrors the real event payload shape.
+type Event struct {
+	Cycle int64
+	Kind  uint8
+}
+
+// Tracer mirrors the real ring tracer: nil means disabled.
+type Tracer struct {
+	events []Event
+}
+
+// Enabled is the fast-path gate.
+func (t *Tracer) Enabled() bool { return t != nil }
+
+// Emit records an event; inside the package unguarded calls are fine.
+func (t *Tracer) Emit(e Event) {
+	t.events = append(t.events, e)
+}
+
+// flush exercises an in-package unguarded Emit call that tracegate must
+// not flag.
+func (t *Tracer) flush() {
+	t.Emit(Event{Kind: 0xff})
+}

@@ -1,0 +1,75 @@
+// Fixture: a simulator component emitting trace events, exercising every
+// tracegate rule — guarded calls pass, unguarded ones (including an Emit
+// in the else branch of the guard) are flagged.
+package tracegate
+
+import (
+	simtrace "simtrace"
+)
+
+type component struct {
+	tr    *simtrace.Tracer
+	cycle int64
+}
+
+// guarded is the canonical call-site pattern.
+func (c *component) guarded() {
+	if c.tr.Enabled() {
+		c.tr.Emit(simtrace.Event{Cycle: c.cycle, Kind: 1})
+	}
+}
+
+// guardedCompound: the guard may be combined with other conditions.
+func (c *component) guardedCompound(hot bool) {
+	if hot && c.tr.Enabled() {
+		c.tr.Emit(simtrace.Event{Cycle: c.cycle, Kind: 2})
+	}
+}
+
+// guardedOuter: one Enabled() block may cover a whole loop of emissions.
+func (c *component) guardedOuter(n int) {
+	if c.tr.Enabled() {
+		for i := 0; i < n; i++ {
+			if i%2 == 0 {
+				c.tr.Emit(simtrace.Event{Cycle: c.cycle, Kind: 3})
+			}
+		}
+	}
+}
+
+// unguarded is the bug the analyzer exists to catch.
+func (c *component) unguarded() {
+	c.tr.Emit(simtrace.Event{Cycle: c.cycle, Kind: 4}) // want `simtrace\.Emit must be guarded`
+}
+
+// wrongGuard: an if statement that does not consult Enabled() is no guard.
+func (c *component) wrongGuard(hot bool) {
+	if hot {
+		c.tr.Emit(simtrace.Event{Cycle: c.cycle, Kind: 5}) // want `simtrace\.Emit must be guarded`
+	}
+}
+
+// elseBranch: the else branch of the guard runs exactly when tracing is
+// off — flagged.
+func (c *component) elseBranch() {
+	if c.tr.Enabled() {
+		c.cycle++
+	} else {
+		c.tr.Emit(simtrace.Event{Cycle: c.cycle, Kind: 6}) // want `simtrace\.Emit must be guarded`
+	}
+}
+
+// otherEmit: Emit methods on unrelated types are none of our business.
+type logger struct{}
+
+func (logger) Emit(s string) {}
+
+func (c *component) otherEmit() {
+	var l logger
+	l.Emit("fine")
+}
+
+// waived exercises the simlint:allow escape hatch.
+func (c *component) waived() {
+	c.tr.Emit(simtrace.Event{Cycle: c.cycle, Kind: 7}) //simlint:allow tracegate
+}

@@ -1,0 +1,98 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+)
+
+// Tracegate enforces the simtrace call-site contract: every
+// (*simtrace.Tracer).Emit call must sit inside an if statement whose
+// condition consults Enabled(). The guard is what makes tracing free when
+// disabled — an unguarded Emit would dereference a nil tracer on the
+// simulator's hot path the moment tracing is off.
+var Tracegate = &analysis.Analyzer{
+	Name: "tracegate",
+	Doc: "require every simtrace.Emit call to be guarded by an " +
+		"Enabled() fast-path check so disabled tracing stays zero-cost",
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      runTracegate,
+}
+
+func runTracegate(pass *analysis.Pass) (interface{}, error) {
+	// The tracer's own package (and its tests) legitimately calls Emit
+	// on known-enabled receivers.
+	if pass.Pkg.Name() == "simtrace" {
+		return nil, nil
+	}
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+
+	nodeFilter := []ast.Node{(*ast.CallExpr)(nil)}
+	ins.WithStack(nodeFilter, func(n ast.Node, push bool, stack []ast.Node) bool {
+		if !push {
+			return true
+		}
+		call := n.(*ast.CallExpr)
+		if !isTracerMethod(pass, call, "Emit") {
+			return true
+		}
+		if guardedByEnabled(pass, stack) {
+			return true
+		}
+		report(pass, call.Pos(), call.End(),
+			"simtrace.Emit must be guarded by `if tr.Enabled() { ... }`; the unguarded call runs (and nil-derefs) when tracing is off")
+		return true
+	})
+	return nil, nil
+}
+
+// isTracerMethod reports whether call invokes the named method on a
+// *Tracer from a package named simtrace.
+func isTracerMethod(pass *analysis.Pass, call *ast.CallExpr, name string) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != name {
+		return false
+	}
+	obj, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || obj.Pkg() == nil || obj.Pkg().Name() != "simtrace" {
+		return false
+	}
+	sig, ok := obj.Type().(*types.Signature)
+	return ok && sig.Recv() != nil
+}
+
+// guardedByEnabled reports whether any enclosing if statement's condition
+// contains an Enabled() call on a simtrace tracer. The guard may sit any
+// number of levels out (a scan loop inside one big `if tr.Enabled()` block
+// is fine) and may be combined with other conditions (&&).
+func guardedByEnabled(pass *analysis.Pass, stack []ast.Node) bool {
+	for i, n := range stack {
+		ifStmt, ok := n.(*ast.IfStmt)
+		if !ok {
+			continue
+		}
+		// Only the then-branch is guarded; an Emit in the else branch of
+		// an Enabled() check runs exactly when tracing is off.
+		if i+1 >= len(stack) || stack[i+1] != ifStmt.Body {
+			continue
+		}
+		found := false
+		ast.Inspect(ifStmt.Cond, func(n ast.Node) bool {
+			if found {
+				return false
+			}
+			if call, ok := n.(*ast.CallExpr); ok && isTracerMethod(pass, call, "Enabled") {
+				found = true
+				return false
+			}
+			return true
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,37 @@
+package report
+
+import (
+	"fmt"
+
+	"repro/internal/simtrace"
+)
+
+// ChainTable renders reconstructed content-prefetch chains (see
+// simtrace.Chains) as a per-chain summary with a classification roll-up in
+// the note line. Chains arrive sorted by ID; the table keeps that order so
+// output is deterministic.
+func ChainTable(chains []simtrace.ChainSummary) *Table {
+	t := &Table{
+		Title: "Content-prefetch chains",
+		Headers: []string{"chain", "class", "max depth", "issued", "fills",
+			"full hits", "partial", "evicted unused", "first cycle", "last cycle"},
+	}
+	var useful, late, polluting, pending int
+	for _, c := range chains {
+		switch c.Class {
+		case simtrace.ChainUseful:
+			useful++
+		case simtrace.ChainLate:
+			late++
+		case simtrace.ChainPolluting:
+			polluting++
+		default:
+			pending++
+		}
+		t.AddRow(c.ID, c.Class.String(), c.MaxDepth, c.Issued, c.Fills,
+			c.FullHits, c.PartialHits, c.EvictedUnused, c.FirstCycle, c.LastCycle)
+	}
+	t.Note = fmt.Sprintf("%d chains: %d useful, %d late, %d polluting, %d pending",
+		len(chains), useful, late, polluting, pending)
+	return t
+}

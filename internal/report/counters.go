@@ -51,6 +51,18 @@ func CountersTable(c *stats.Counters) *Table {
 	add("content prefetches overlapping stride", c.CDPOverlapIssued)
 	add("useful overlapping prefetches", c.CDPOverlapUseful)
 	add("injected bad prefetches", c.InjectedPrefetches)
+
+	add("content chains started", c.CDPChains)
+	for d, n := range c.CDPIssuedAtDepth {
+		if n == 0 {
+			continue
+		}
+		label := fmt.Sprintf("content issued at depth %d", d)
+		if d == stats.MaxChainDepth-1 {
+			label = fmt.Sprintf("content issued at depth >= %d", d)
+		}
+		add(label, n)
+	}
 	return t
 }
 

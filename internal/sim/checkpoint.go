@@ -22,6 +22,7 @@ import (
 	"repro/internal/faultinject"
 	"repro/internal/markov"
 	"repro/internal/prefetch"
+	"repro/internal/simtrace"
 	"repro/internal/stats"
 	"repro/internal/tlb"
 	"repro/internal/trace"
@@ -43,6 +44,7 @@ func (ms *MemSystem) Quiesced() bool {
 type MemState struct {
 	Now        int64
 	ReqID      uint64
+	ChainSeq   uint64
 	L2PortFree int64
 	InjLCG     uint32
 	LastInject int64
@@ -63,7 +65,7 @@ func (ms *MemSystem) state() (MemState, error) {
 			ms.sched.next(), len(ms.inflight), ms.l2q.Len(), ms.busq.Len())
 	}
 	st := MemState{
-		Now: ms.now, ReqID: ms.reqID, L2PortFree: ms.l2PortFree,
+		Now: ms.now, ReqID: ms.reqID, ChainSeq: ms.chainSeq, L2PortFree: ms.l2PortFree,
 		InjLCG: ms.injLCG, LastInject: ms.lastInject,
 		StrideFIFO: append([]uint32(nil), ms.strideFIFO...),
 		Bus:        ms.fsb.State(),
@@ -120,6 +122,7 @@ func (ms *MemSystem) restore(st MemState) error {
 	}
 	ms.fsb.Restore(st.Bus)
 	ms.now, ms.reqID, ms.l2PortFree = st.Now, st.ReqID, st.L2PortFree
+	ms.chainSeq = st.ChainSeq
 	ms.injLCG, ms.lastInject = st.InjLCG, st.LastInject
 	ms.sched.now = st.Now
 	ms.strideFIFO = append(ms.strideFIFO[:0], st.StrideFIFO...)
@@ -336,6 +339,13 @@ func (m *machine) run(ck *trace.Checkpoint, sink func(*Snapshot) error) (*Result
 // flows into the content hash — but are identical across uninterrupted and
 // resumed executions of the same configuration.
 func RunCheckpointed(ck *trace.Checkpoint, cfg Config, sink func(*Snapshot) error) (*Result, error) {
+	return RunCheckpointedTraced(ck, cfg, nil, sink)
+}
+
+// RunCheckpointedTraced is RunCheckpointed with an event tracer attached
+// (nil is exactly RunCheckpointed). As with RunTraced, the result is
+// byte-identical with and without the tracer.
+func RunCheckpointedTraced(ck *trace.Checkpoint, cfg Config, tr *simtrace.Tracer, sink func(*Snapshot) error) (*Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -343,6 +353,10 @@ func RunCheckpointed(ck *trace.Checkpoint, cfg Config, sink func(*Snapshot) erro
 		return nil, fmt.Errorf("sim: RunCheckpointed needs CheckpointEveryOps > 0")
 	}
 	m := newMachine(ck, cfg)
+	if tr != nil {
+		m.ms.AttachTracer(tr)
+		m.c.AttachTracer(tr)
+	}
 	m.armWarmup()
 	return m.run(ck, sink)
 }

@@ -28,10 +28,12 @@ type event struct {
 	req  *bus.Request // evFill: the arriving transaction
 
 	// evRescan arguments: the triggering access VA, the virtual base of
-	// the line to scan, and the stored request depth.
+	// the line to scan, the stored request depth, and the line's content
+	// chain (candidates issued by the rescan extend it).
 	hitVA  uint32
 	lineVA uint32
 	depth  int32
+	chain  uint64
 }
 
 // less orders events by cycle, then scheduling order. (at, seq) is a total
@@ -139,12 +141,15 @@ func (s *scheduler) pop() event {
 
 // fire dispatches one due event.
 func (ms *MemSystem) fire(e event) {
+	if ms.tr.Enabled() {
+		ms.tr.SetNow(e.at)
+	}
 	switch e.kind {
 	case evPump:
 		ms.pump(e.at)
 	case evFill:
 		ms.fillArrive(e.at, e.req)
 	case evRescan:
-		ms.scanAndIssue(e.at, e.hitVA, int(e.depth), e.lineVA)
+		ms.scanAndIssue(e.at, e.hitVA, int(e.depth), e.lineVA, e.chain)
 	}
 }

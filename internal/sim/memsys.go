@@ -9,6 +9,7 @@ import (
 	"repro/internal/markov"
 	"repro/internal/mem"
 	"repro/internal/prefetch"
+	"repro/internal/simtrace"
 	"repro/internal/stats"
 	"repro/internal/tlb"
 )
@@ -68,6 +69,28 @@ type MemSystem struct {
 
 	st   *stats.Counters
 	mptu *stats.MPTUSeries
+
+	// chainSeq numbers content-prefetch chains. It is maintained
+	// unconditionally — the counter is cheap, deterministic, and feeds
+	// stats.CDPChains whether or not a tracer is attached.
+	chainSeq uint64
+
+	// tr, when non-nil, receives structured events (see internal/simtrace).
+	// Every emission is guarded by tr.Enabled() so the disabled (nil) path
+	// costs one comparison and zero allocations.
+	tr *simtrace.Tracer
+}
+
+// AttachTracer wires an event tracer into the memory system and its
+// subcomponents (nil detaches). Attach before the first cycle; attaching
+// mid-run yields a trace with a truncated prefix but does not perturb the
+// simulation.
+func (ms *MemSystem) AttachTracer(tr *simtrace.Tracer) {
+	ms.tr = tr
+	ms.dtlb.AttachTracer(tr)
+	if ms.cdp != nil {
+		ms.cdp.AttachTracer(tr)
+	}
 }
 
 // NewMemSystem builds the memory hierarchy for cfg over the given address
@@ -182,6 +205,9 @@ func srcOf(c bus.Class) cache.Source {
 
 // Load implements cpu.MemPort.
 func (ms *MemSystem) Load(cycle int64, va, pc uint32, done func(int64)) {
+	if ms.tr.Enabled() {
+		ms.tr.SetNow(cycle)
+	}
 	ms.st.DemandLoads++
 	if l := ms.l1.Lookup(va, true); l != nil {
 		ms.st.L1Hits++
@@ -211,6 +237,9 @@ func (ms *MemSystem) Load(cycle int64, va, pc uint32, done func(int64)) {
 // Store implements cpu.MemPort. Stores are committed (post-retirement), so
 // nothing waits on them except the store-buffer slot.
 func (ms *MemSystem) Store(cycle int64, va, pc uint32, done func(int64)) {
+	if ms.tr.Enabled() {
+		ms.tr.SetNow(cycle)
+	}
 	if l := ms.l1.Lookup(va, true); l != nil {
 		l.Dirty = true
 		done(cycle + ms.cfg.L1Lat)
@@ -282,6 +311,16 @@ func (ms *MemSystem) walk(cycle int64, va uint32, speculative bool, cont func(at
 		ms.st.CDPWalks++
 	} else {
 		ms.st.Walks++
+	}
+	if ms.tr.Enabled() {
+		spec := uint64(0)
+		if speculative {
+			spec = 1
+		}
+		ms.tr.Emit(simtrace.Event{
+			Kind: simtrace.KindWalk, Comp: simtrace.CompTLB,
+			Cycle: cycle, Addr: va, Arg: spec,
+		})
 	}
 	refs, frame, ok := ms.space.Walk(va)
 	// First level: page-directory entry.
@@ -360,6 +399,13 @@ func (ms *MemSystem) l2Access(at int64, pa, va uint32, done func(int64), strideI
 		if req.Class.IsPrefetch() {
 			src := srcOf(req.Class)
 			if !req.DemandWaited && !isStore {
+				if ms.tr.Enabled() {
+					ms.tr.Emit(simtrace.Event{
+						Kind: simtrace.KindPartialHit, Comp: simtrace.CompCache,
+						Cycle: slot, Addr: va, Chain: req.Chain,
+						Depth: int16(req.Depth), Class: uint8(req.Class),
+					})
+				}
 				ms.st.PartialHits[src]++
 				ms.st.PrefUseful[src]++
 				if req.Overlap {
@@ -401,6 +447,13 @@ func (ms *MemSystem) l2Access(at int64, pa, va uint32, done func(int64), strideI
 // reinforcement rules to an L2 hit.
 func (ms *MemSystem) consumeHit(l *cache.Line, va uint32, slot int64, isStore bool) {
 	if l.Prefetched {
+		if ms.tr.Enabled() {
+			ms.tr.Emit(simtrace.Event{
+				Kind: simtrace.KindDemandHit, Comp: simtrace.CompCache,
+				Cycle: slot, Addr: va, Chain: l.Chain,
+				Depth: int16(l.Depth), Class: uint8(l.Source),
+			})
+		}
 		src := l.Source
 		ms.st.PrefUseful[src]++
 		if !isStore {
@@ -423,11 +476,17 @@ func (ms *MemSystem) consumeHit(l *cache.Line, va uint32, slot int64, isStore bo
 		}
 		if rescan {
 			ms.st.Rescans++
+			if ms.tr.Enabled() {
+				ms.tr.Emit(simtrace.Event{
+					Kind: simtrace.KindRescan, Comp: simtrace.CompCDP,
+					Cycle: slot, Addr: l.VA, Chain: l.Chain, Depth: int16(nd),
+				})
+			}
 			// The rescan consumes its own L2 port slot shortly after
 			// the hit (read port pressure). The event snapshots the
-			// line's VA and promoted depth at schedule time.
+			// line's VA, promoted depth, and chain at schedule time.
 			rs := ms.reserveL2(slot + ms.cfg.L2Lat)
-			ms.sched.schedule(rs, event{kind: evRescan, hitVA: va, depth: int32(nd), lineVA: l.VA})
+			ms.sched.schedule(rs, event{kind: evRescan, hitVA: va, depth: int32(nd), lineVA: l.VA, chain: l.Chain})
 		}
 	}
 }
@@ -436,14 +495,29 @@ func (ms *MemSystem) consumeHit(l *cache.Line, va uint32, slot int64, isStore bo
 // Prefetch issue
 
 // scanAndIssue runs the content scanner over the line at lineVA and issues
-// the resulting candidates.
-func (ms *MemSystem) scanAndIssue(at int64, trigVA uint32, depth int, lineVA uint32) {
+// the resulting candidates. chain is the content chain of the fill that
+// triggered the scan (0 for demand fills: each candidate issued from a
+// non-speculative fill starts a fresh chain in enqueuePrefetch2).
+func (ms *MemSystem) scanAndIssue(at int64, trigVA uint32, depth int, lineVA uint32, chain uint64) {
 	if ms.cdp == nil {
 		return
 	}
+	if ms.tr.Enabled() {
+		// Stamp before the scan so the candidate events OnFill emits
+		// carry this cycle.
+		ms.tr.SetNow(at)
+	}
 	ms.space.Img.ReadLineInto(lineVA, ms.lineBuf[:])
-	for _, cand := range ms.cdp.OnFill(trigVA, depth, lineVA, ms.lineBuf[:]) {
-		ms.issueContentPrefetch(at, cand)
+	cands := ms.cdp.OnFill(trigVA, depth, lineVA, ms.lineBuf[:])
+	if ms.tr.Enabled() {
+		ms.tr.Emit(simtrace.Event{
+			Kind: simtrace.KindScan, Comp: simtrace.CompCDP,
+			Cycle: at, Addr: lineVA, Addr2: trigVA,
+			Chain: chain, Depth: int16(depth), Arg: uint64(len(cands)),
+		})
+	}
+	for _, cand := range cands {
+		ms.issueContentPrefetch(at, cand, chain)
 	}
 }
 
@@ -451,9 +525,9 @@ func (ms *MemSystem) scanAndIssue(at int64, trigVA uint32, depth int, lineVA uin
 // translation miss triggers a speculative page walk (the TLB-prefetching
 // side effect of Section 4.2.2); an unmapped candidate — a data value that
 // happened to look like a pointer — is dropped.
-func (ms *MemSystem) issueContentPrefetch(at int64, cand core.Candidate) {
+func (ms *MemSystem) issueContentPrefetch(at int64, cand core.Candidate, chain uint64) {
 	if pa, ok := ms.dtlb.Lookup(cand.VA); ok {
-		ms.finishContentPrefetch(at, pa, cand)
+		ms.finishContentPrefetch(at, pa, cand, chain)
 		return
 	}
 	ms.st.CDPNeedWalk++
@@ -462,15 +536,15 @@ func (ms *MemSystem) issueContentPrefetch(at int64, cand core.Candidate) {
 			ms.st.PrefDroppedUnmapped++
 			return
 		}
-		ms.finishContentPrefetch(at2, pa, cand)
+		ms.finishContentPrefetch(at2, pa, cand, chain)
 	})
 }
 
 // finishContentPrefetch enqueues a translated content candidate, tagging it
 // with the stride-overlap bit the adjusted metrics need.
-func (ms *MemSystem) finishContentPrefetch(at int64, pa uint32, cand core.Candidate) {
+func (ms *MemSystem) finishContentPrefetch(at int64, pa uint32, cand core.Candidate, chain uint64) {
 	overlap := ms.strideRecent[lineBase(pa)]
-	if ms.enqueuePrefetch2(at, pa, cand.VA, cand.Pointer, bus.ClassContent, cand.Depth, overlap, cand.Widened) && overlap {
+	if ms.enqueuePrefetch2(at, pa, cand.VA, cand.Pointer, bus.ClassContent, cand.Depth, overlap, cand.Widened, chain) && overlap {
 		ms.st.CDPOverlapIssued++
 	}
 }
@@ -491,12 +565,14 @@ func (ms *MemSystem) issueMarkovPrefetch(at int64, lineVA uint32) {
 // flight, queue full) and enqueues a prefetch. Reports whether the request
 // entered the memory system.
 func (ms *MemSystem) enqueuePrefetch(at int64, pa, va, trigVA uint32, class bus.Class, depth int, overlap bool) bool {
-	return ms.enqueuePrefetch2(at, pa, va, trigVA, class, depth, overlap, false)
+	return ms.enqueuePrefetch2(at, pa, va, trigVA, class, depth, overlap, false, 0)
 }
 
 // enqueuePrefetch2 additionally marks widened (next-/prev-line) requests,
-// whose fills are not scanned.
-func (ms *MemSystem) enqueuePrefetch2(at int64, pa, va, trigVA uint32, class bus.Class, depth int, overlap, widened bool) bool {
+// whose fills are not scanned, and threads the content chain ID: a content
+// prefetch arriving with chain 0 (issued off a non-speculative fill)
+// starts a fresh chain; deeper issues inherit their trigger's.
+func (ms *MemSystem) enqueuePrefetch2(at int64, pa, va, trigVA uint32, class bus.Class, depth int, overlap, widened bool, chain uint64) bool {
 	if ms.l2.Lookup(pa, false) != nil {
 		ms.st.PrefDroppedPresent++
 		return false
@@ -510,10 +586,35 @@ func (ms *MemSystem) enqueuePrefetch2(at int64, pa, va, trigVA uint32, class bus
 		ms.st.PrefDroppedQueue++
 		return false
 	}
+	if class == bus.ClassContent {
+		if chain == 0 {
+			ms.chainSeq++
+			chain = ms.chainSeq
+			ms.st.CDPChains++
+		}
+		b := depth
+		if b >= stats.MaxChainDepth {
+			b = stats.MaxChainDepth - 1
+		}
+		if b < 0 {
+			b = 0
+		}
+		ms.st.CDPIssuedAtDepth[b]++
+	} else {
+		chain = 0
+	}
 	ms.reqID++
 	req := ms.newRequest()
 	req.ID, req.PABase, req.VABase, req.TrigVA = ms.reqID, paBase, lineBase(va), trigVA
 	req.Class, req.Depth, req.Overlap, req.Widened, req.Enqueued = class, depth, overlap, widened, at
+	req.Chain = chain
+	if ms.tr.Enabled() {
+		ms.tr.Emit(simtrace.Event{
+			Kind: simtrace.KindIssue, Comp: simtrace.CompBus,
+			Cycle: at, Addr: req.VABase, Addr2: paBase,
+			Chain: chain, Depth: int16(depth), Class: uint8(class),
+		})
+	}
 	ms.l2q.Enqueue(req)
 	ms.inflight[paBase] = req
 	ms.st.PrefIssued[srcOf(class)]++
@@ -632,12 +733,31 @@ func (ms *MemSystem) fillArrive(at int64, req *bus.Request) {
 		VA:         req.VABase,
 		Dirty:      req.IsStore,
 		Overlap:    req.Overlap,
+		Chain:      req.Chain,
 	}
 	if req.PageWalk {
 		meta = cache.Line{Source: cache.SrcDemand, VA: req.VABase}
 	}
+	if ms.tr.Enabled() {
+		ms.tr.Emit(simtrace.Event{
+			Kind: simtrace.KindFill, Comp: simtrace.CompCache,
+			Cycle: at, Addr: req.VABase, Addr2: req.PABase,
+			Chain: req.Chain, Depth: int16(req.Depth), Class: uint8(req.Class),
+		})
+	}
 	evicted := ms.l2.Fill(req.PABase, meta)
 	if evicted.Valid {
+		if ms.tr.Enabled() {
+			unused := uint64(0)
+			if evicted.Prefetched {
+				unused = 1
+			}
+			ms.tr.Emit(simtrace.Event{
+				Kind: simtrace.KindEvict, Comp: simtrace.CompCache,
+				Cycle: at, Addr: evicted.VA, Chain: evicted.Chain,
+				Depth: int16(evicted.Depth), Class: uint8(evicted.Source), Arg: unused,
+			})
+		}
 		if evicted.Prefetched {
 			ms.st.PrefEvictedUnused[evicted.Source]++
 			if evicted.Source == cache.SrcContent && ms.cdp != nil {
@@ -657,7 +777,7 @@ func (ms *MemSystem) fillArrive(at int64, req *bus.Request) {
 		w(at)
 	}
 	if ms.cdp != nil && !req.PageWalk && !req.Injected && !req.Widened {
-		ms.scanAndIssue(at, req.TrigVA, req.Depth, req.VABase)
+		ms.scanAndIssue(at, req.TrigVA, req.Depth, req.VABase, req.Chain)
 	}
 	ms.releaseRequest(req)
 	ms.pump(at)

@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/cpu"
+	"repro/internal/simtrace"
 	"repro/internal/stats"
 	"repro/internal/trace"
 )
@@ -72,6 +73,13 @@ func RunContext(ctx context.Context, ck *trace.Checkpoint, cfg Config) (*Result,
 
 // Run simulates one checkpoint on one machine configuration.
 func Run(ck *trace.Checkpoint, cfg Config) *Result {
+	return RunTraced(ck, cfg, nil)
+}
+
+// RunTraced is Run with an event tracer attached (nil is exactly Run).
+// Tracing observes the simulation without perturbing it: the result is
+// byte-identical whether or not a tracer is attached.
+func RunTraced(ck *trace.Checkpoint, cfg Config, tr *simtrace.Tracer) *Result {
 	if err := cfg.Validate(); err != nil {
 		panic(err)
 	}
@@ -79,6 +87,10 @@ func Run(ck *trace.Checkpoint, cfg Config) *Result {
 	mptu := stats.NewMPTUSeries(cfg.MPTUBucketOps)
 	ms := NewMemSystem(&cfg, ck.Space, st, mptu)
 	c := cpu.New(cfg.Core, st)
+	if tr != nil {
+		ms.AttachTracer(tr)
+		c.AttachTracer(tr)
+	}
 
 	var warmCycle int64
 	if cfg.WarmupOps > 0 {

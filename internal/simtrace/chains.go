@@ -1,0 +1,133 @@
+package simtrace
+
+import "sort"
+
+// ChainClass is the post-hoc verdict on a content-directed prefetch chain.
+type ChainClass uint8
+
+const (
+	// ChainPending: the chain's lines were still resident and untouched
+	// when the trace ended — no verdict yet.
+	ChainPending ChainClass = iota
+	// ChainUseful: at least one demand access fully hit a line the chain
+	// prefetched.
+	ChainUseful
+	// ChainLate: no full hit, but a demand access caught one of the
+	// chain's lines still in flight — the prefetch was correct but did
+	// not arrive in time to hide the whole miss.
+	ChainLate
+	// ChainPolluting: no demand touched the chain's lines and at least
+	// one was evicted unused — the chain only displaced other data.
+	ChainPolluting
+)
+
+func (c ChainClass) String() string {
+	switch c {
+	case ChainUseful:
+		return "useful"
+	case ChainLate:
+		return "late"
+	case ChainPolluting:
+		return "polluting"
+	default:
+		return "pending"
+	}
+}
+
+// MaxChainDepth bounds the per-depth issue histogram in ChainSummary;
+// deeper issues are clamped into the last bucket. It matches
+// stats.MaxChainDepth so reconstructed traces can be checked against the
+// simulator's own counters.
+const MaxChainDepth = 8
+
+// ChainSummary aggregates every traced event that carried one chain ID.
+type ChainSummary struct {
+	ID            uint64
+	Class         ChainClass
+	MaxDepth      int // deepest depth at which the chain issued a prefetch
+	Issued        int // prefetches the chain put into the L2 queue
+	Fills         int // of those, how many arrived
+	FullHits      int // demand accesses that hit a resident chain line
+	PartialHits   int // demand accesses that caught a chain line in flight
+	EvictedUnused int // chain lines evicted before any demand touched them
+	FirstCycle    int64
+	LastCycle     int64
+	IssuedAtDepth [MaxChainDepth]int
+}
+
+// Chains reconstructs per-chain lineage from a stream of events (as
+// returned by Tracer.Events) and classifies each chain. Chains are
+// returned in ascending ID order, so output is deterministic regardless
+// of map iteration.
+func Chains(events []Event) []ChainSummary {
+	byID := make(map[uint64]*ChainSummary)
+	for _, e := range events {
+		if e.Chain == 0 {
+			continue
+		}
+		c := byID[e.Chain]
+		if c == nil {
+			c = &ChainSummary{ID: e.Chain, FirstCycle: e.Cycle}
+			byID[e.Chain] = c
+		}
+		if e.Cycle < c.FirstCycle {
+			c.FirstCycle = e.Cycle
+		}
+		if e.Cycle > c.LastCycle {
+			c.LastCycle = e.Cycle
+		}
+		d := int(e.Depth)
+		switch e.Kind {
+		case KindIssue:
+			c.Issued++
+			if d > c.MaxDepth {
+				c.MaxDepth = d
+			}
+			b := d
+			if b >= MaxChainDepth {
+				b = MaxChainDepth - 1
+			}
+			if b < 0 {
+				b = 0
+			}
+			c.IssuedAtDepth[b]++
+		case KindFill:
+			c.Fills++
+		case KindDemandHit:
+			c.FullHits++
+		case KindPartialHit:
+			c.PartialHits++
+		case KindEvict:
+			if e.Arg == 1 {
+				c.EvictedUnused++
+			}
+		}
+	}
+	out := make([]ChainSummary, 0, len(byID))
+	for _, c := range byID {
+		c.Class = classify(c)
+		out = append(out, *c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Chains reconstructs and classifies the chains resident in the ring.
+func (t *Tracer) Chains() []ChainSummary { return Chains(t.Events()) }
+
+// classify applies the chain classification rules (documented in
+// DESIGN.md §10): any full hit makes a chain useful; otherwise a partial
+// hit makes it late; otherwise an unused eviction makes it polluting;
+// otherwise the verdict is still pending.
+func classify(c *ChainSummary) ChainClass {
+	switch {
+	case c.FullHits > 0:
+		return ChainUseful
+	case c.PartialHits > 0:
+		return ChainLate
+	case c.EvictedUnused > 0:
+		return ChainPolluting
+	default:
+		return ChainPending
+	}
+}

@@ -1,0 +1,128 @@
+package simtrace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// chromeEvent is one entry in the Chrome trace_event JSON array. Perfetto
+// and chrome://tracing both load this format. Cycles are rendered as
+// microseconds (1 cycle = 1 µs) so the timeline axis reads directly in
+// cycles.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Ts   int64          `json:"ts"`
+	Dur  int64          `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	S    string         `json:"s,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+type chromeTrace struct {
+	TraceEvents []chromeEvent  `json:"traceEvents"`
+	Metadata    map[string]any `json:"metadata,omitempty"`
+}
+
+var classNames = [...]string{"demand", "stride", "content", "markov"}
+
+func className(c uint8) string {
+	if int(c) < len(classNames) {
+		return classNames[c]
+	}
+	return "unknown"
+}
+
+// WriteChromeTrace renders events as Chrome trace_event JSON with one
+// track (thread) per component. dropped is the number of events lost to
+// ring overflow; it is recorded in the trace metadata so a truncated
+// timeline is never mistaken for a complete one.
+func WriteChromeTrace(w io.Writer, events []Event, dropped uint64) error {
+	out := chromeTrace{
+		TraceEvents: make([]chromeEvent, 0, len(events)+8),
+		Metadata: map[string]any{
+			"tool":           "cdpsim",
+			"clock":          "1 cycle = 1us",
+			"dropped_events": dropped,
+		},
+	}
+	out.TraceEvents = append(out.TraceEvents, chromeEvent{
+		Name: "process_name", Ph: "M", Pid: 1,
+		Args: map[string]any{"name": "cdpsim"},
+	})
+	for comp := CompCore; comp <= CompCDP; comp++ {
+		out.TraceEvents = append(out.TraceEvents,
+			chromeEvent{
+				Name: "thread_name", Ph: "M", Pid: 1, Tid: int(comp),
+				Args: map[string]any{"name": comp.String()},
+			},
+			chromeEvent{
+				Name: "thread_sort_index", Ph: "M", Pid: 1, Tid: int(comp),
+				Args: map[string]any{"sort_index": int(comp)},
+			})
+	}
+	for _, e := range events {
+		ce := chromeEvent{
+			Name: e.Kind.String(),
+			Ph:   "i",
+			S:    "t",
+			Ts:   e.Cycle,
+			Pid:  1,
+			Tid:  int(e.Comp),
+			Args: eventArgs(e),
+		}
+		if e.Kind == KindROBStall {
+			// Stalls are emitted at stall end with the length in Arg;
+			// render them as complete events spanning the stall.
+			ce.Ph = "X"
+			ce.S = ""
+			ce.Dur = int64(e.Arg)
+			ce.Ts = e.Cycle - int64(e.Arg)
+		}
+		out.TraceEvents = append(out.TraceEvents, ce)
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}
+
+// WriteChromeTrace renders the ring's resident events (see the package
+// function for the format).
+func (t *Tracer) WriteChromeTrace(w io.Writer) error {
+	return WriteChromeTrace(w, t.Events(), t.Dropped())
+}
+
+// eventArgs builds the per-event argument map shown in the Perfetto
+// detail pane.
+func eventArgs(e Event) map[string]any {
+	a := map[string]any{}
+	if e.Addr != 0 {
+		a["va"] = fmt.Sprintf("0x%08x", e.Addr)
+	}
+	if e.Addr2 != 0 {
+		a["addr2"] = fmt.Sprintf("0x%08x", e.Addr2)
+	}
+	if e.Chain != 0 {
+		a["chain"] = e.Chain
+		a["depth"] = e.Depth
+	}
+	switch e.Kind {
+	case KindFill, KindIssue:
+		a["class"] = className(e.Class)
+	case KindEvict:
+		if e.Arg == 1 {
+			a["unused_prefetch"] = true
+		}
+	case KindScan:
+		a["candidates"] = e.Arg
+	case KindWalk:
+		if e.Arg == 1 {
+			a["speculative"] = true
+		}
+	}
+	if len(a) == 0 {
+		return nil
+	}
+	return a
+}

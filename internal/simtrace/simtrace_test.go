@@ -1,0 +1,262 @@
+package simtrace
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+func TestNilTracerIsDisabled(t *testing.T) {
+	var tr *Tracer
+	if tr.Enabled() {
+		t.Fatal("nil tracer reports enabled")
+	}
+	if tr.Len() != 0 || tr.Dropped() != 0 || tr.Events() != nil {
+		t.Fatal("nil tracer is not empty")
+	}
+	if got := tr.Chains(); len(got) != 0 {
+		t.Fatalf("nil tracer produced %d chains", len(got))
+	}
+}
+
+func TestRingWrapAndOrder(t *testing.T) {
+	tr := New(4)
+	for i := 1; i <= 7; i++ {
+		tr.Emit(Event{Cycle: int64(i), Kind: KindFill, Comp: CompCache})
+	}
+	if tr.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", tr.Len())
+	}
+	if tr.Dropped() != 3 {
+		t.Fatalf("Dropped = %d, want 3", tr.Dropped())
+	}
+	ev := tr.Events()
+	if len(ev) != 4 {
+		t.Fatalf("Events returned %d, want 4", len(ev))
+	}
+	for i, e := range ev {
+		if want := int64(i + 4); e.Cycle != want {
+			t.Fatalf("event %d has cycle %d, want %d (oldest-first)", i, e.Cycle, want)
+		}
+	}
+}
+
+func TestEmitStampsCycleFromNow(t *testing.T) {
+	tr := New(8)
+	tr.SetNow(42)
+	tr.Emit(Event{Kind: KindTLBHit, Comp: CompTLB})
+	tr.Emit(Event{Cycle: 99, Kind: KindTLBMiss, Comp: CompTLB})
+	ev := tr.Events()
+	if ev[0].Cycle != 42 {
+		t.Fatalf("unstamped event got cycle %d, want 42 (tracer now)", ev[0].Cycle)
+	}
+	if ev[1].Cycle != 99 {
+		t.Fatalf("stamped event got cycle %d, want its own 99", ev[1].Cycle)
+	}
+	if tr.Now() != 42 {
+		t.Fatalf("Now = %d, want 42", tr.Now())
+	}
+}
+
+func TestNewClampsCapacity(t *testing.T) {
+	tr := New(0)
+	tr.Emit(Event{Cycle: 1, Kind: KindFill})
+	tr.Emit(Event{Cycle: 2, Kind: KindFill})
+	if tr.Len() != 1 || tr.Dropped() != 1 {
+		t.Fatalf("Len=%d Dropped=%d, want 1/1 for capacity-1 ring", tr.Len(), tr.Dropped())
+	}
+}
+
+// TestChainsReconstruction feeds a hand-built two-chain event stream through
+// Chains and checks every aggregate, including classification.
+func TestChainsReconstruction(t *testing.T) {
+	events := []Event{
+		// Chain 1: issued at depth 0, filled, demand-hit => useful. A second
+		// issue at depth 1 goes deeper.
+		{Cycle: 10, Chain: 1, Depth: 0, Kind: KindIssue, Comp: CompBus, Class: 2},
+		{Cycle: 30, Chain: 1, Depth: 0, Kind: KindFill, Comp: CompCache, Class: 2},
+		{Cycle: 31, Chain: 1, Depth: 0, Kind: KindScan, Comp: CompCDP, Arg: 1},
+		{Cycle: 35, Chain: 1, Depth: 1, Kind: KindIssue, Comp: CompBus, Class: 2},
+		{Cycle: 60, Chain: 1, Depth: 1, Kind: KindFill, Comp: CompCache, Class: 2},
+		{Cycle: 80, Chain: 1, Depth: 1, Kind: KindDemandHit, Comp: CompCache},
+		// Chain 2: issued, caught in flight => late, later evicted unused
+		// (late wins over polluting).
+		{Cycle: 12, Chain: 2, Depth: 0, Kind: KindIssue, Comp: CompBus, Class: 2},
+		{Cycle: 20, Chain: 2, Depth: 0, Kind: KindPartialHit, Comp: CompCache},
+		{Cycle: 25, Chain: 2, Depth: 0, Kind: KindFill, Comp: CompCache, Class: 2},
+		{Cycle: 90, Chain: 2, Depth: 0, Kind: KindEvict, Comp: CompCache, Arg: 1},
+		// Chain-less demand traffic must be ignored.
+		{Cycle: 15, Kind: KindFill, Comp: CompCache},
+		{Cycle: 16, Kind: KindTLBMiss, Comp: CompTLB},
+	}
+	chains := Chains(events)
+	if len(chains) != 2 {
+		t.Fatalf("got %d chains, want 2", len(chains))
+	}
+	c1, c2 := chains[0], chains[1]
+	if c1.ID != 1 || c2.ID != 2 {
+		t.Fatalf("chains not sorted by ID: %d, %d", c1.ID, c2.ID)
+	}
+	if c1.Class != ChainUseful {
+		t.Errorf("chain 1 class = %s, want useful", c1.Class)
+	}
+	if c1.Issued != 2 || c1.Fills != 2 || c1.FullHits != 1 || c1.MaxDepth != 1 {
+		t.Errorf("chain 1 = %+v, want issued 2, fills 2, full hits 1, max depth 1", c1)
+	}
+	if c1.IssuedAtDepth[0] != 1 || c1.IssuedAtDepth[1] != 1 {
+		t.Errorf("chain 1 depth histogram = %v", c1.IssuedAtDepth)
+	}
+	if c1.FirstCycle != 10 || c1.LastCycle != 80 {
+		t.Errorf("chain 1 spans [%d,%d], want [10,80]", c1.FirstCycle, c1.LastCycle)
+	}
+	if c2.Class != ChainLate {
+		t.Errorf("chain 2 class = %s, want late (partial hit outranks unused eviction)", c2.Class)
+	}
+	if c2.PartialHits != 1 || c2.EvictedUnused != 1 {
+		t.Errorf("chain 2 = %+v, want partial 1, evicted unused 1", c2)
+	}
+}
+
+func TestChainsDepthClamp(t *testing.T) {
+	chains := Chains([]Event{
+		{Cycle: 1, Chain: 7, Depth: MaxChainDepth + 3, Kind: KindIssue},
+	})
+	if len(chains) != 1 {
+		t.Fatalf("got %d chains, want 1", len(chains))
+	}
+	if chains[0].IssuedAtDepth[MaxChainDepth-1] != 1 {
+		t.Fatalf("deep issue not clamped into last bucket: %v", chains[0].IssuedAtDepth)
+	}
+	if chains[0].MaxDepth != MaxChainDepth+3 {
+		t.Fatalf("MaxDepth = %d, want the unclamped %d", chains[0].MaxDepth, MaxChainDepth+3)
+	}
+}
+
+func TestChainClassification(t *testing.T) {
+	cases := []struct {
+		name string
+		c    ChainSummary
+		want ChainClass
+	}{
+		{"full hit wins", ChainSummary{FullHits: 1, PartialHits: 5, EvictedUnused: 5}, ChainUseful},
+		{"partial only", ChainSummary{PartialHits: 1, EvictedUnused: 2}, ChainLate},
+		{"evicted only", ChainSummary{EvictedUnused: 1}, ChainPolluting},
+		{"nothing yet", ChainSummary{Issued: 3, Fills: 3}, ChainPending},
+	}
+	for _, tc := range cases {
+		if got := classify(&tc.c); got != tc.want {
+			t.Errorf("%s: classify = %s, want %s", tc.name, got, tc.want)
+		}
+	}
+}
+
+// TestWriteChromeTrace checks the export is valid JSON in Chrome
+// trace_event shape: a traceEvents array whose entries all carry ph/pid/ts,
+// with per-component thread metadata and the drop count in the metadata.
+func TestWriteChromeTrace(t *testing.T) {
+	tr := New(16)
+	tr.Emit(Event{Cycle: 5, Chain: 1, Kind: KindIssue, Comp: CompBus, Class: 2, Addr: 0x1000, Addr2: 0x2000})
+	tr.Emit(Event{Cycle: 9, Kind: KindROBStall, Comp: CompCore, Arg: 4})
+	tr.Emit(Event{Cycle: 11, Kind: KindScan, Comp: CompCDP, Arg: 3, Addr: 0x1000})
+
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var out struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+		Metadata    map[string]any   `json:"metadata"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatalf("export is not valid JSON: %v", err)
+	}
+	if out.Metadata["dropped_events"] != float64(0) {
+		t.Errorf("metadata dropped_events = %v, want 0", out.Metadata["dropped_events"])
+	}
+
+	threads := map[string]bool{}
+	var stall map[string]any
+	var issue map[string]any
+	for _, e := range out.TraceEvents {
+		ph, _ := e["ph"].(string)
+		if ph == "" {
+			t.Fatalf("event missing ph: %v", e)
+		}
+		if name, _ := e["name"].(string); name == "thread_name" {
+			args := e["args"].(map[string]any)
+			threads[args["name"].(string)] = true
+		} else if name == "rob-stall" {
+			stall = e
+		} else if name == "issue" {
+			issue = e
+		}
+	}
+	for _, want := range []string{"core", "cache", "tlb", "bus", "cdp"} {
+		if !threads[want] {
+			t.Errorf("no thread_name metadata for %q track", want)
+		}
+	}
+	if stall == nil || stall["ph"] != "X" || stall["dur"] != float64(4) || stall["ts"] != float64(5) {
+		t.Errorf("ROB stall not rendered as a complete event spanning the stall: %v", stall)
+	}
+	if issue == nil {
+		t.Fatal("issue event missing from export")
+	}
+	args := issue["args"].(map[string]any)
+	if args["class"] != "content" || args["chain"] != float64(1) || args["va"] != "0x00001000" {
+		t.Errorf("issue args = %v", args)
+	}
+}
+
+// TestDisabledPathZeroAllocs asserts the guarded call-site pattern —
+// if tr.Enabled() { tr.Emit(...) } — allocates nothing when the tracer is
+// nil. This is the invariant that lets emission sites live on the
+// simulator's hot path.
+func TestDisabledPathZeroAllocs(t *testing.T) {
+	var tr *Tracer
+	allocs := testing.AllocsPerRun(1000, func() {
+		if tr.Enabled() {
+			tr.Emit(Event{Cycle: 1, Kind: KindFill, Comp: CompCache})
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled emit path allocates %.1f per op, want 0", allocs)
+	}
+}
+
+// TestEnabledEmitZeroAllocs asserts Emit itself never heap-allocates: the
+// ring is preallocated and Event is a plain value.
+func TestEnabledEmitZeroAllocs(t *testing.T) {
+	tr := New(1024)
+	cycle := int64(0)
+	allocs := testing.AllocsPerRun(1000, func() {
+		cycle++
+		if tr.Enabled() {
+			tr.Emit(Event{Cycle: cycle, Chain: 3, Addr: 0xdead, Kind: KindFill, Comp: CompCache})
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("enabled emit allocates %.1f per op, want 0", allocs)
+	}
+}
+
+func BenchmarkEmitDisabled(b *testing.B) {
+	var tr *Tracer
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if tr.Enabled() {
+			tr.Emit(Event{Cycle: int64(i), Kind: KindFill})
+		}
+	}
+}
+
+func BenchmarkEmitEnabled(b *testing.B) {
+	tr := New(1 << 16)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if tr.Enabled() {
+			tr.Emit(Event{Cycle: int64(i), Kind: KindFill, Comp: CompCache})
+		}
+	}
+}

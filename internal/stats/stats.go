@@ -15,6 +15,12 @@ import (
 // markov — indexed by cache.Source).
 const NumSources = 4
 
+// MaxChainDepth sizes the per-depth content-issue histogram; issues at
+// depths beyond it are clamped into the last bucket. It matches
+// simtrace.MaxChainDepth so reconstructed chain lineage can be checked
+// against these counters exactly.
+const MaxChainDepth = 8
+
 // Counters aggregates event counts from one simulation. The simulator
 // resets them at the warm-up boundary so reported numbers cover only the
 // measured region, as in the paper (Section 2.2).
@@ -69,6 +75,16 @@ type Counters struct {
 
 	// Injection (limit study).
 	InjectedPrefetches uint64
+
+	// Chain lineage: every content prefetch belongs to a chain (a fresh
+	// chain starts when a scan of a non-speculative fill issues, and the
+	// chain ID is inherited by the deeper prefetches its fills trigger).
+	// CDPChains counts chains started; CDPIssuedAtDepth histograms
+	// content issues by request depth (clamped to MaxChainDepth buckets).
+	// Both are maintained unconditionally so traced and untraced runs
+	// stay byte-identical.
+	CDPChains        uint64
+	CDPIssuedAtDepth [MaxChainDepth]uint64
 
 	// MaskBuckets histograms how much of each useful content prefetch's
 	// memory latency was hidden: bucket i covers [i*10%, (i+1)*10%) of

@@ -15,6 +15,7 @@ import (
 	"fmt"
 
 	"repro/internal/mem"
+	"repro/internal/simtrace"
 )
 
 // Config sizes a TLB.
@@ -54,7 +55,15 @@ type TLB struct {
 
 	hits   uint64
 	misses uint64
+
+	// tr, when non-nil, receives hit/miss events. The TLB does not carry
+	// the simulation clock; the tracer stamps events with the cycle the
+	// memory system last announced via SetNow.
+	tr *simtrace.Tracer
 }
+
+// AttachTracer wires an event tracer into the TLB (nil detaches).
+func (t *TLB) AttachTracer(tr *simtrace.Tracer) { t.tr = tr }
 
 // New builds a TLB. It panics on invalid geometry (static configuration).
 func New(cfg Config) *TLB {
@@ -88,10 +97,16 @@ func (t *TLB) Lookup(va uint32) (pa uint32, ok bool) {
 			t.clock++
 			set[i].lru = t.clock
 			t.hits++
+			if t.tr.Enabled() {
+				t.tr.Emit(simtrace.Event{Kind: simtrace.KindTLBHit, Comp: simtrace.CompTLB, Addr: va})
+			}
 			return set[i].frame<<mem.PageShift | va&mem.PageMask, true
 		}
 	}
 	t.misses++
+	if t.tr.Enabled() {
+		t.tr.Emit(simtrace.Event{Kind: simtrace.KindTLBMiss, Comp: simtrace.CompTLB, Addr: va})
+	}
 	return 0, false
 }
 
