@@ -1,0 +1,121 @@
+// Command allocheck gates the allocation behaviour of `simlint:hotpath`
+// functions on the compiler's real escape analysis, so a heap-escape
+// regression on the per-µop fast paths fails CI before a benchmark ever
+// runs:
+//
+//	go run ./cmd/allocheck            # diff against allocheck.baseline.json
+//	go run ./cmd/allocheck -update    # accept the current escapes
+//
+// It locates hotpath functions with the hotalloc analyzer, compiles the
+// repository with `go build -gcflags=-m`, attributes each "escapes to heap"
+// / "moved to heap" diagnostic falling inside a hotpath body to its
+// function, and ratchets the set against the checked-in baseline. New
+// escapes fail; vanished escapes also fail (with instructions to -update)
+// so the baseline stays an honest inventory of accepted slow-path
+// allocations. Exit status 0 means the ratchet holds, 1 means it moved,
+// 2 means the build or load failed.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+
+	"golang.org/x/tools/go/analysis"
+
+	"repro/internal/lint"
+)
+
+const baselinePath = "allocheck.baseline.json"
+
+func main() {
+	update := flag.Bool("update", false, "rewrite "+baselinePath+" from the current compiler output")
+	flag.Parse()
+	os.Exit(run(*update))
+}
+
+func run(update bool) int {
+	dir, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "allocheck: %v\n", err)
+		return 2
+	}
+
+	funcs, err := hotpathFuncs(dir)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "allocheck: %v\n", err)
+		return 2
+	}
+	if len(funcs) == 0 {
+		fmt.Fprintln(os.Stderr, "allocheck: no simlint:hotpath functions found; nothing to check")
+		return 2
+	}
+
+	// -gcflags=-m replays from the build cache, so repeated runs are cheap
+	// and no -a rebuild is needed. The diagnostics go to stderr.
+	cmd := exec.Command("go", "build", "-gcflags=-m", "./...")
+	cmd.Dir = dir
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "allocheck: go build -gcflags=-m failed: %v\n%s", err, out)
+		return 2
+	}
+	got := lint.ParseEscapes(dir, out, funcs)
+
+	if update {
+		if err := lint.WriteAllocBaseline(baselinePath, got); err != nil {
+			fmt.Fprintf(os.Stderr, "allocheck: %v\n", err)
+			return 2
+		}
+		fmt.Printf("allocheck: wrote %d escapes for %d hotpath functions to %s\n", total(got), len(funcs), baselinePath)
+		return 0
+	}
+
+	baseline, err := lint.ReadAllocBaseline(baselinePath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "allocheck: %v (run with -update to create it)\n", err)
+		return 2
+	}
+	gained, lost := lint.DiffEscapes(baseline.Escapes, got)
+	for _, e := range gained {
+		fmt.Printf("allocheck: REGRESSION: %s gained %d× %q not in %s\n", e.Func, e.Count, e.Message, baselinePath)
+	}
+	for _, e := range lost {
+		fmt.Printf("allocheck: stale baseline: %s no longer reports %d× %q; run `go run ./cmd/allocheck -update`\n",
+			e.Func, e.Count, e.Message)
+	}
+	if len(gained)+len(lost) > 0 {
+		return 1
+	}
+	fmt.Printf("allocheck: ok — %d hotpath functions, %d accepted escapes, ratchet holds\n", len(funcs), total(got))
+	return 0
+}
+
+// hotpathFuncs runs the hotalloc analyzer over the repository and collects
+// every simlint:hotpath function's file/line range.
+func hotpathFuncs(dir string) ([]lint.HotFunc, error) {
+	pkgs, err := lint.Load(dir, []string{"./..."})
+	if err != nil {
+		return nil, err
+	}
+	var funcs []lint.HotFunc
+	for _, pkg := range pkgs {
+		_, results, err := lint.RunPackageResults(pkg, []*analysis.Analyzer{lint.Hotalloc})
+		if err != nil {
+			return nil, err
+		}
+		if res, ok := results[lint.Hotalloc].(*lint.HotallocResult); ok && res != nil {
+			funcs = append(funcs, res.Funcs...)
+		}
+	}
+	return funcs, nil
+}
+
+func total(es []lint.Escape) int {
+	n := 0
+	for _, e := range es {
+		n += e.Count
+	}
+	return n
+}

@@ -2,10 +2,12 @@
 // internal/lint over the repository:
 //
 //	go run ./cmd/simlint ./...
+//	go run ./cmd/simlint -json -baseline simlint.baseline.json ./...
 //
 // It exits 0 when clean, 1 when any analyzer reports a finding, and 2 when
 // loading or analysis fails. See internal/lint for the analyzer catalogue
-// and the `simlint:allow` / `simlint:novalidate` markers.
+// and the `simlint:allow` / `simlint:novalidate` / `simlint:guardedby` /
+// `simlint:holds` / `simlint:rootctx` / `simlint:hotpath` markers.
 package main
 
 import (
@@ -17,12 +19,18 @@ import (
 )
 
 func main() {
+	jsonOut := flag.Bool("json", false, "emit findings as a JSON array (repo-relative file paths)")
+	baseline := flag.String("baseline", "", "diff findings against this baseline file; stale entries are reported")
+	writeBaseline := flag.String("write-baseline", "", "write current findings to this baseline file and exit 0")
 	flag.Usage = func() {
-		fmt.Fprintf(flag.CommandLine.Output(), "usage: simlint [packages]\n\nAnalyzers:\n")
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: simlint [flags] [packages]\n\nFlags:\n")
+		flag.PrintDefaults()
+		fmt.Fprintf(flag.CommandLine.Output(), "\nAnalyzers:\n")
 		for _, a := range lint.Analyzers {
 			fmt.Fprintf(flag.CommandLine.Output(), "  %-10s %s\n", a.Name, a.Doc)
 		}
 	}
 	flag.Parse()
-	os.Exit(lint.Main(os.Stdout, ".", flag.Args()))
+	opts := lint.MainOptions{JSON: *jsonOut, Baseline: *baseline, WriteBaseline: *writeBaseline}
+	os.Exit(lint.Main(os.Stdout, ".", flag.Args(), opts))
 }

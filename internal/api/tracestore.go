@@ -11,8 +11,8 @@ import "sync"
 type traceStore struct {
 	mu    sync.Mutex
 	max   int
-	order []string // insertion order for FIFO eviction
-	byID  map[string][]byte
+	order []string          // simlint:guardedby mu (insertion order, FIFO eviction)
+	byID  map[string][]byte // simlint:guardedby mu
 }
 
 func newTraceStore(max int) *traceStore {

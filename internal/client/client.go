@@ -129,9 +129,9 @@ type Client struct {
 	// breaker state: consecutive transport failures, and when the circuit
 	// opened (zero when closed).
 	mu       sync.Mutex
-	failures int
-	openedAt time.Time
-	probing  bool
+	failures int       // simlint:guardedby mu
+	openedAt time.Time // simlint:guardedby mu
+	probing  bool      // simlint:guardedby mu
 }
 
 // New builds a client; cfg.BaseURL is the only required field.

@@ -44,11 +44,24 @@ type Options struct {
 	Progress func(done, total int)
 }
 
+// rootCtx is the experiments package's single ambient-context fallback: an
+// Options with no Ctx belongs to a process-lifecycle caller (cmd/repro,
+// cmd/bench) that runs the experiment to completion or dies with it, so the
+// detached context is the intended semantics, not an accident. Every other
+// path must thread Options.Ctx. Keeping the fallback in one declared root
+// means `go run ./cmd/simlint` proves no new ambient context sneaks into
+// the service layer.
+//
+// simlint:rootctx
+func rootCtx() context.Context {
+	return context.Background()
+}
+
 func (o Options) ctx() context.Context {
 	if o.Ctx != nil {
 		return o.Ctx
 	}
-	return context.Background()
+	return rootCtx()
 }
 
 func (o Options) ops() int {

@@ -88,19 +88,19 @@ type Job struct {
 	fn       Func
 
 	mu       sync.Mutex
-	state    State
-	stage    string
-	done     int
-	total    int
-	value    any
-	err      error
-	canceled bool
-	cancel   context.CancelFunc
-	subs     map[chan Update]bool
+	state    State                // simlint:guardedby mu
+	stage    string               // simlint:guardedby mu
+	done     int                  // simlint:guardedby mu
+	total    int                  // simlint:guardedby mu
+	value    any                  // simlint:guardedby mu
+	err      error                // simlint:guardedby mu
+	canceled bool                 // simlint:guardedby mu
+	cancel   context.CancelFunc   // simlint:guardedby mu
+	subs     map[chan Update]bool // simlint:guardedby mu
 	doneCh   chan struct{}
 	created  time.Time
-	started  time.Time
-	finished time.Time
+	started  time.Time // simlint:guardedby mu
+	finished time.Time // simlint:guardedby mu
 }
 
 // ID returns the job's queue-unique identifier.
@@ -301,18 +301,23 @@ type Queue struct {
 
 	mu        sync.Mutex
 	cond      *sync.Cond
-	pq        jobHeap
-	jobs      map[string]*Job
-	closed    bool
-	running   int
-	seqNext   uint64
-	completed uint64
-	failed    uint64
-	canceled  uint64
+	pq        jobHeap         // simlint:guardedby mu
+	jobs      map[string]*Job // simlint:guardedby mu
+	closed    bool            // simlint:guardedby mu
+	running   int             // simlint:guardedby mu
+	seqNext   uint64          // simlint:guardedby mu
+	completed uint64          // simlint:guardedby mu
+	failed    uint64          // simlint:guardedby mu
+	canceled  uint64          // simlint:guardedby mu
 	wg        sync.WaitGroup
 }
 
-// New builds a queue and starts its worker pool.
+// New builds a queue and starts its worker pool. The queue's base context
+// is the lifecycle root for every job it will ever run — jobs outlive any
+// single request, and Shutdown (not a caller's deadline) is what cancels
+// them.
+//
+// simlint:rootctx
 func New(cfg Config) *Queue {
 	ctx, cancel := context.WithCancel(context.Background())
 	q := &Queue{

@@ -92,6 +92,75 @@ func TestWorkerCrashRecovery(t *testing.T) {
 	}
 }
 
+// TestWorkerPanicReleasesMutexOnce pins the queue's lock discipline on the
+// panic path: runGuarded's recovery must leave q.mu released (not held — a
+// later Stats or Submit would deadlock) and must decrement the occupancy
+// count exactly once (a double decrement would drive Running negative,
+// since the crashed pop incremented it exactly once). The crash lands amid
+// a backlog so surviving workers immediately re-contend for the same
+// mutex.
+func TestWorkerPanicReleasesMutexOnce(t *testing.T) {
+	prev := faultinject.Enable(faultinject.MustParse(9, "jobq.worker.crash:times=1"))
+	defer faultinject.Enable(prev)
+
+	q := New(Config{Workers: 2, Capacity: 16})
+	defer q.Shutdown(context.Background())
+
+	const n = 6
+	jobs := make([]*Job, 0, n)
+	for i := 0; i < n; i++ {
+		j, err := q.Submit("", 0, func(context.Context, *Job) (any, error) { return "ok", nil })
+		if err != nil {
+			t.Fatal(err)
+		}
+		jobs = append(jobs, j)
+	}
+	crashed := 0
+	for _, j := range jobs {
+		<-j.Done()
+		if _, err := j.Result(); err != nil {
+			var pe *PanicError
+			if !errors.As(err, &pe) {
+				t.Fatalf("job failed with %T (%v), want *PanicError", err, err)
+			}
+			crashed++
+		}
+	}
+	if crashed != 1 {
+		t.Fatalf("%d jobs crashed, want exactly 1 (times=1 plan)", crashed)
+	}
+
+	// The mutex must be acquirable again: probe Stats off the test
+	// goroutine so a leaked lock surfaces as a test failure, not a hang.
+	statsCh := make(chan Stats, 1)
+	go func() { statsCh <- q.Stats() }()
+	var st Stats
+	select {
+	case st = <-statsCh:
+	case <-time.After(2 * time.Second):
+		t.Fatal("Stats blocked: queue mutex still held after worker panic")
+	}
+	if st.Running != 0 {
+		t.Fatalf("Running = %d after all jobs finished, want 0 (exactly-once decrement)", st.Running)
+	}
+	if st.Depth != 0 {
+		t.Fatalf("Depth = %d, want 0", st.Depth)
+	}
+	if st.Failed != 1 || st.Completed != uint64(n-1) {
+		t.Fatalf("counters %+v, want 1 failed / %d completed", st, n-1)
+	}
+
+	// And the pool still serves.
+	j, err := q.Submit("after-crash", 0, func(context.Context, *Job) (any, error) { return 1, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-j.Done()
+	if v, err := j.Result(); err != nil || v != 1 {
+		t.Fatalf("post-crash job got (%v, %v), want (1, nil)", v, err)
+	}
+}
+
 // TestSubmitTimeoutOverridesQueueDefault checks the per-job deadline: a
 // job with its own short timeout dies while the queue-wide default (none)
 // would have let it run forever.

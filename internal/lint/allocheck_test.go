@@ -1,0 +1,99 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+func writeFile(path, body string) error {
+	return os.WriteFile(path, []byte(body), 0o644)
+}
+
+func TestParseEscapes(t *testing.T) {
+	dir := "/repo"
+	funcs := []HotFunc{
+		{Name: "(*MemSystem).Load", File: "/repo/internal/sim/memsys.go", StartLine: 200, EndLine: 240},
+		{Name: "(*Tracer).Emit", File: "/repo/internal/simtrace/simtrace.go", StartLine: 150, EndLine: 160},
+	}
+	output := `# repro/internal/sim
+internal/sim/memsys.go:226:28: func literal escapes to heap
+internal/sim/memsys.go:226:28: walk does not escape
+internal/sim/memsys.go:500:3: make([]byte, n) escapes to heap
+internal/sim/other.go:226:1: escapes to heap
+# repro/internal/simtrace
+internal/simtrace/simtrace.go:155:2: moved to heap: e
+internal/simtrace/simtrace.go:149:6: can inline (*Tracer).Emit
+not a diagnostic line
+`
+	got := ParseEscapes(dir, []byte(output), funcs)
+	want := []Escape{
+		{Func: "(*MemSystem).Load", Message: "func literal escapes to heap", Count: 1},
+		{Func: "(*Tracer).Emit", Message: "moved to heap: e", Count: 1},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("ParseEscapes:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+func TestParseEscapesCountsDuplicates(t *testing.T) {
+	funcs := []HotFunc{{Name: "F", File: "/r/f.go", StartLine: 1, EndLine: 50}}
+	output := "f.go:10:1: x escapes to heap\nf.go:20:1: x escapes to heap\n"
+	got := ParseEscapes("/r", []byte(output), funcs)
+	if len(got) != 1 || got[0].Count != 2 {
+		t.Fatalf("got %+v, want one escape with count 2", got)
+	}
+}
+
+func TestDiffEscapes(t *testing.T) {
+	baseline := []Escape{
+		{Func: "F", Message: "func literal escapes to heap", Count: 1},
+		{Func: "G", Message: "moved to heap: e", Count: 1},
+	}
+	got := []Escape{
+		{Func: "F", Message: "func literal escapes to heap", Count: 2}, // one more than accepted
+		// G's escape is gone
+		{Func: "H", Message: "x escapes to heap", Count: 1}, // brand new
+	}
+	gained, lost := DiffEscapes(baseline, got)
+	wantGained := []Escape{
+		{Func: "F", Message: "func literal escapes to heap", Count: 1},
+		{Func: "H", Message: "x escapes to heap", Count: 1},
+	}
+	wantLost := []Escape{{Func: "G", Message: "moved to heap: e", Count: 1}}
+	if !reflect.DeepEqual(gained, wantGained) {
+		t.Errorf("gained:\n got %+v\nwant %+v", gained, wantGained)
+	}
+	if !reflect.DeepEqual(lost, wantLost) {
+		t.Errorf("lost:\n got %+v\nwant %+v", lost, wantLost)
+	}
+	if g, l := DiffEscapes(baseline, baseline); g != nil || l != nil {
+		t.Errorf("self-diff moved the ratchet: gained %v, lost %v", g, l)
+	}
+}
+
+func TestAllocBaselineRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "allocheck.baseline.json")
+	escapes := []Escape{
+		{Func: "(*MemSystem).Store", Message: "func literal escapes to heap", Count: 1},
+		{Func: "(*MemSystem).Load", Message: "func literal escapes to heap", Count: 1},
+	}
+	if err := WriteAllocBaseline(path, escapes); err != nil {
+		t.Fatal(err)
+	}
+	b, err := ReadAllocBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b.Escapes) != 2 || b.Escapes[0].Func != "(*MemSystem).Load" {
+		t.Fatalf("round-trip gave %+v, want 2 escapes sorted by func", b.Escapes)
+	}
+	if err := writeFile(path, `{"version": 42, "escapes": []}`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadAllocBaseline(path); err == nil {
+		t.Fatal("ReadAllocBaseline accepted an unsupported version")
+	}
+}

@@ -1,0 +1,142 @@
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// Baseline is the checked-in suppression file the driver diffs a run
+// against. Each entry waives a known, accepted finding; entries are keyed
+// by (analyzer, file, message) rather than line numbers so unrelated edits
+// to a file do not invalidate them. Count bounds how many identical
+// findings one entry absorbs, so a waived pattern cannot silently multiply.
+//
+// The diff is two-sided: findings not covered by the baseline are reported
+// as usual, and baseline entries no longer matched by any finding are
+// reported as stale — a fixed finding must leave the baseline, keeping the
+// file an honest inventory of accepted debt.
+type Baseline struct {
+	Version int             `json:"version"`
+	Entries []BaselineEntry `json:"entries"`
+}
+
+// BaselineEntry is one accepted finding.
+type BaselineEntry struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"` // relative to the repo root the driver runs in
+	Message  string `json:"message"`
+	Count    int    `json:"count"` // identical findings absorbed (>=1)
+}
+
+const baselineVersion = 1
+
+// ReadBaseline loads a baseline file.
+func ReadBaseline(path string) (*Baseline, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var b Baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("baseline %s: %v", path, err)
+	}
+	if b.Version != baselineVersion {
+		return nil, fmt.Errorf("baseline %s: unsupported version %d (want %d)", path, b.Version, baselineVersion)
+	}
+	for i, e := range b.Entries {
+		if e.Analyzer == "" || e.File == "" || e.Message == "" || e.Count < 1 {
+			return nil, fmt.Errorf("baseline %s: entry %d is malformed (need analyzer, file, message, count>=1)", path, i)
+		}
+	}
+	return &b, nil
+}
+
+// WriteBaseline renders the current findings as a baseline file, relative
+// to dir.
+func WriteBaseline(path, dir string, diags []Diagnostic) error {
+	counts := map[BaselineEntry]int{}
+	for _, d := range diags {
+		k := BaselineEntry{Analyzer: d.Analyzer, File: relTo(dir, d.Pos.Filename), Message: d.Message, Count: 1}
+		counts[k]++
+	}
+	b := Baseline{Version: baselineVersion}
+	for k, n := range counts {
+		k.Count = n
+		b.Entries = append(b.Entries, k)
+	}
+	sort.Slice(b.Entries, func(i, j int) bool {
+		a, c := b.Entries[i], b.Entries[j]
+		if a.File != c.File {
+			return a.File < c.File
+		}
+		if a.Analyzer != c.Analyzer {
+			return a.Analyzer < c.Analyzer
+		}
+		return a.Message < c.Message
+	})
+	data, err := json.MarshalIndent(&b, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// ApplyBaseline filters diags through the baseline: matched findings are
+// absorbed (up to each entry's count), unmatched findings pass through, and
+// stale entries come back as fresh diagnostics attributed to the baseline
+// file itself so the suppression inventory cannot rot.
+func ApplyBaseline(b *Baseline, path, dir string, diags []Diagnostic) []Diagnostic {
+	type key struct{ analyzer, file, message string }
+	remaining := map[key]int{}
+	for _, e := range b.Entries {
+		remaining[key{e.Analyzer, e.File, e.Message}] += e.Count
+	}
+	var out []Diagnostic
+	for _, d := range diags {
+		k := key{d.Analyzer, relTo(dir, d.Pos.Filename), d.Message}
+		if remaining[k] > 0 {
+			remaining[k]--
+			continue
+		}
+		out = append(out, d)
+	}
+	// Deterministic stale ordering: walk the file's own entry order.
+	for _, e := range b.Entries {
+		k := key{e.Analyzer, e.File, e.Message}
+		if remaining[k] <= 0 {
+			continue
+		}
+		n := remaining[k]
+		remaining[k] = 0
+		out = append(out, Diagnostic{
+			Analyzer: "baseline",
+			Pos:      baselinePos(path),
+			Message: fmt.Sprintf("stale baseline entry (%d unmatched): %s no longer reports %q in %s; "+
+				"remove the entry or regenerate with -write-baseline", n, e.Analyzer, e.Message, e.File),
+		})
+	}
+	return out
+}
+
+func baselinePos(path string) (p token.Position) {
+	p.Filename = path
+	return p
+}
+
+// relTo renders filename relative to dir when possible, for stable baseline
+// keys and JSON output.
+func relTo(dir, filename string) string {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return filename
+	}
+	rel, err := filepath.Rel(abs, filename)
+	if err != nil || rel == "" {
+		return filename
+	}
+	return rel
+}

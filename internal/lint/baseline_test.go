@@ -1,0 +1,109 @@
+package lint
+
+import (
+	"go/token"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func mkDiag(analyzer, file string, line int, msg string) Diagnostic {
+	return Diagnostic{
+		Analyzer: analyzer,
+		Pos:      token.Position{Filename: file, Line: line, Column: 1},
+		Message:  msg,
+	}
+}
+
+func TestBaselineRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "simlint.baseline.json")
+	diags := []Diagnostic{
+		mkDiag("ctxprop", filepath.Join(dir, "a.go"), 10, "ambient context"),
+		mkDiag("ctxprop", filepath.Join(dir, "a.go"), 40, "ambient context"),
+		mkDiag("lockcheck", filepath.Join(dir, "b.go"), 7, "unguarded access"),
+	}
+	if err := WriteBaseline(path, dir, diags); err != nil {
+		t.Fatal(err)
+	}
+	b, err := ReadBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b.Entries) != 2 {
+		t.Fatalf("entries = %d, want 2 (identical findings fold into one counted entry)", len(b.Entries))
+	}
+	if b.Entries[0].File != "a.go" || b.Entries[0].Count != 2 {
+		t.Fatalf("first entry %+v, want a.go with count 2", b.Entries[0])
+	}
+	if out := ApplyBaseline(b, path, dir, diags); len(out) != 0 {
+		t.Fatalf("self-diff left %d diagnostics, want 0: %v", len(out), out)
+	}
+}
+
+func TestBaselineCountBounds(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "base.json")
+	one := []Diagnostic{mkDiag("ctxprop", filepath.Join(dir, "a.go"), 10, "ambient context")}
+	if err := WriteBaseline(path, dir, one); err != nil {
+		t.Fatal(err)
+	}
+	b, err := ReadBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The same finding now appears twice: one is absorbed, one escapes.
+	two := append(one, mkDiag("ctxprop", filepath.Join(dir, "a.go"), 99, "ambient context"))
+	out := ApplyBaseline(b, path, dir, two)
+	if len(out) != 1 {
+		t.Fatalf("got %d diagnostics, want 1 (count bounds absorption)", len(out))
+	}
+	if out[0].Pos.Line != 99 && out[0].Pos.Line != 10 {
+		t.Fatalf("surviving diagnostic at line %d, want one of the finding lines", out[0].Pos.Line)
+	}
+}
+
+func TestBaselineStaleEntriesReported(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "base.json")
+	old := []Diagnostic{
+		mkDiag("ctxprop", filepath.Join(dir, "a.go"), 10, "ambient context"),
+		mkDiag("lockcheck", filepath.Join(dir, "b.go"), 7, "unguarded access"),
+	}
+	if err := WriteBaseline(path, dir, old); err != nil {
+		t.Fatal(err)
+	}
+	b, err := ReadBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The lockcheck finding got fixed; its entry must come back as stale.
+	out := ApplyBaseline(b, path, dir, old[:1])
+	if len(out) != 1 {
+		t.Fatalf("got %d diagnostics, want 1 stale entry: %v", len(out), out)
+	}
+	if out[0].Analyzer != "baseline" || !strings.Contains(out[0].Message, "stale baseline entry") {
+		t.Fatalf("diagnostic %+v, want a stale-baseline report", out[0])
+	}
+	if !strings.Contains(out[0].Message, "unguarded access") {
+		t.Fatalf("stale report %q does not name the fixed finding", out[0].Message)
+	}
+}
+
+func TestBaselineRejectsMalformed(t *testing.T) {
+	dir := t.TempDir()
+	for name, body := range map[string]string{
+		"bad-version": `{"version": 99, "entries": []}`,
+		"no-count":    `{"version": 1, "entries": [{"analyzer": "ctxprop", "file": "a.go", "message": "m", "count": 0}]}`,
+		"no-file":     `{"version": 1, "entries": [{"analyzer": "ctxprop", "message": "m", "count": 1}]}`,
+		"not-json":    `nope`,
+	} {
+		path := filepath.Join(dir, name+".json")
+		if err := writeFile(path, body); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := ReadBaseline(path); err == nil {
+			t.Errorf("%s: ReadBaseline accepted a malformed baseline", name)
+		}
+	}
+}

@@ -1,0 +1,41 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// directiveRest matches a comment that IS a simlint directive — the marker
+// is the first token after the comment opener — and returns the text
+// following it. Prose that merely mentions a marker does not match, so doc
+// comments can talk about the directives without triggering them — unless
+// the mention wraps onto its own line, so keep marker names mid-line in
+// prose.
+func directiveRest(comment, marker string) (rest string, ok bool) {
+	text := strings.TrimPrefix(comment, "//")
+	text = strings.TrimPrefix(text, "/*")
+	text = strings.TrimLeft(text, " \t")
+	if !strings.HasPrefix(text, marker) {
+		return "", false
+	}
+	rest = text[len(marker):]
+	rest = strings.TrimSuffix(rest, "*/")
+	if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+		return "", false // e.g. simlint:hotpathological
+	}
+	return rest, true
+}
+
+// hasDirective reports whether any comment in the group is the given
+// directive.
+func hasDirective(cg *ast.CommentGroup, marker string) bool {
+	if cg == nil {
+		return false
+	}
+	for _, c := range cg.List {
+		if _, ok := directiveRest(c.Text, marker); ok {
+			return true
+		}
+	}
+	return false
+}

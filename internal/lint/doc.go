@@ -1,12 +1,13 @@
 // Package lint implements simlint, the simulator-specific static-analysis
-// suite backing the repository's determinism and stats-hygiene contracts.
+// suite backing the repository's determinism, stats-hygiene, and
+// service-layer correctness contracts.
 //
 // The paper's results are only reproducible if two runs of the same trace
 // produce bit-identical statistics, so the determinism-critical packages
 // (internal/sim, internal/cpu, internal/bus, internal/core) are held to a
 // mechanical standard that ordinary review cannot sustain as the codebase
-// grows. Four analyzers, written against golang.org/x/tools/go/analysis,
-// enforce it:
+// grows. The first five analyzers, written against
+// golang.org/x/tools/go/analysis, enforce it:
 //
 //   - detrand forbids wall-clock reads (time.Now and friends), the global
 //     math/rand source, and ordering-sensitive map iteration inside the
@@ -20,13 +21,38 @@
 //   - cfgcheck requires every exported sim.Config field to be covered by
 //     Config.Validate (fields for which any value is valid carry an
 //     explicit `simlint:novalidate` marker).
+//   - tracegate requires every simtrace emission to be guarded by
+//     Enabled(), preserving the zero-cost-when-disabled contract.
+//
+// Four more analyzers gate the service layer (cdpd and the packages under
+// it), where the failure modes are concurrency and cancellation rather
+// than determinism:
+//
+//   - lockcheck enforces `simlint:guardedby <mutex>` field annotations: an
+//     annotated field may only be accessed after the named sibling mutex is
+//     acquired in the same function, with the ...Locked naming convention
+//     and `simlint:holds <mutex>` directives declaring caller-holds
+//     functions (see lockcheck.go for the conservative approximation).
+//   - ctxprop forbids ambient contexts (context.Background/TODO) and bare
+//     time.Sleep in the service packages and requires ctx-first signatures;
+//     process lifecycle roots are declared with `simlint:rootctx`.
+//   - faultpoint validates fault-injection call sites against the live
+//     internal/faultinject catalog and grammar, and on whole-repo runs
+//     flags cataloged points no production code can fire.
+//   - hotalloc rejects syntactic allocation sites inside functions marked
+//     `simlint:hotpath`; cmd/allocheck layers the compiler's real escape
+//     analysis on the same marker (see allocheck.go).
 //
 // A diagnostic can be suppressed at a single site with a trailing or
 // immediately preceding comment of the form
 //
-//	//simlint:allow <analyzer>
+//	//simlint:allow <analyzer>... [-- rationale]
 //
-// which keeps exceptions visible and greppable.
+// which keeps exceptions visible and greppable. Accepted pre-existing debt
+// can instead live in a checked-in baseline file (simlint.baseline.json,
+// see baseline.go): `-baseline` absorbs findings listed there and reports
+// stale entries, and `-write-baseline` regenerates the file. `-json` emits
+// findings machine-readably for CI artifacts.
 //
 // The container this repository grows in has no module proxy access, so
 // the go/analysis framework is vendored from the Go toolchain distribution

@@ -1,6 +1,7 @@
 package lint
 
 import (
+	"encoding/json"
 	"fmt"
 	"go/token"
 	"go/types"
@@ -11,7 +12,7 @@ import (
 )
 
 // Analyzers is the simlint suite, in reporting order.
-var Analyzers = []*analysis.Analyzer{Detrand, Eventmono, Statsreg, Cfgcheck, Tracegate}
+var Analyzers = []*analysis.Analyzer{Detrand, Eventmono, Statsreg, Cfgcheck, Tracegate, Lockcheck, Ctxprop, Faultpoint, Hotalloc}
 
 // Diagnostic is one analyzer finding with resolved position.
 type Diagnostic struct {
@@ -25,7 +26,11 @@ func (d Diagnostic) String() string {
 }
 
 // Run loads the packages matched by patterns under dir and applies every
-// analyzer in the suite, returning the findings sorted by position.
+// analyzer in the suite, returning the findings sorted by position. When
+// the pattern set covers the whole repository ("./...") and the faultpoint
+// analyzer is in the suite, catalog entries no loaded package references
+// are reported as orphans — a partial run cannot see every call site, so
+// the cross-package check only arms on full coverage.
 func Run(dir string, patterns []string, analyzers []*analysis.Analyzer) ([]Diagnostic, error) {
 	if err := analysis.Validate(analyzers); err != nil {
 		return nil, err
@@ -35,13 +40,58 @@ func Run(dir string, patterns []string, analyzers []*analysis.Analyzer) ([]Diagn
 		return nil, err
 	}
 	var diags []Diagnostic
+	usage := &FaultpointUsage{Used: map[string]bool{}, Catalog: map[string]token.Pos{}}
+	var catalogFset *token.FileSet
 	for _, pkg := range pkgs {
-		ds, err := RunPackage(pkg, analyzers)
+		ds, results, err := RunPackageResults(pkg, analyzers)
 		if err != nil {
 			return nil, err
 		}
 		diags = append(diags, ds...)
+		if u, ok := results[Faultpoint].(*FaultpointUsage); ok && u != nil {
+			for p := range u.Used {
+				usage.Used[p] = true
+			}
+			for p, pos := range u.Catalog {
+				usage.Catalog[p] = pos
+				catalogFset = pkg.Fset
+			}
+		}
 	}
+	if wholeRepo(patterns) && catalogFset != nil {
+		diags = append(diags, orphanDiagnostics(catalogFset, usage)...)
+	}
+	sortDiagnostics(diags)
+	return diags, nil
+}
+
+func wholeRepo(patterns []string) bool {
+	for _, p := range patterns {
+		if p == "./..." || p == "all" {
+			return true
+		}
+	}
+	return false
+}
+
+// orphanDiagnostics flags catalog entries with no call site in the run.
+func orphanDiagnostics(fset *token.FileSet, usage *FaultpointUsage) []Diagnostic {
+	var out []Diagnostic
+	for name, pos := range usage.Catalog {
+		if usage.Used[name] {
+			continue
+		}
+		out = append(out, Diagnostic{
+			Analyzer: "faultpoint",
+			Pos:      fset.Position(pos),
+			Message: fmt.Sprintf("orphaned catalog entry: fault point %q is declared but no non-test code can fire it; "+
+				"remove the entry or wire the point in", name),
+		})
+	}
+	return out
+}
+
+func sortDiagnostics(diags []Diagnostic) {
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i], diags[j]
 		if a.Pos.Filename != b.Pos.Filename {
@@ -55,12 +105,19 @@ func Run(dir string, patterns []string, analyzers []*analysis.Analyzer) ([]Diagn
 		}
 		return a.Analyzer < b.Analyzer
 	})
-	return diags, nil
 }
 
 // RunPackage applies the analyzers (and their requirements, in dependency
 // order) to one loaded package.
 func RunPackage(pkg *Package, analyzers []*analysis.Analyzer) ([]Diagnostic, error) {
+	diags, _, err := RunPackageResults(pkg, analyzers)
+	return diags, err
+}
+
+// RunPackageResults is RunPackage, additionally returning each analyzer's
+// result value so suite-level checks (faultpoint orphans) and layered tools
+// (cmd/allocheck over hotalloc's ranges) can consume them.
+func RunPackageResults(pkg *Package, analyzers []*analysis.Analyzer) ([]Diagnostic, map[*analysis.Analyzer]interface{}, error) {
 	var diags []Diagnostic
 	results := map[*analysis.Analyzer]interface{}{}
 	ran := map[*analysis.Analyzer]bool{}
@@ -86,10 +143,10 @@ func RunPackage(pkg *Package, analyzers []*analysis.Analyzer) ([]Diagnostic, err
 	}
 	for _, a := range analyzers {
 		if err := exec(a); err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 	}
-	return diags, nil
+	return diags, results, nil
 }
 
 // newPass assembles the analysis.Pass for one (analyzer, package) pair.
@@ -127,10 +184,28 @@ func newPass(a *analysis.Analyzer, pkg *Package, results map[*analysis.Analyzer]
 	return pass
 }
 
+// MainOptions configures a driver invocation (the cmd/simlint flags).
+type MainOptions struct {
+	JSON          bool   // emit findings as a JSON array instead of text lines
+	Baseline      string // path to a baseline file to diff against ("" = none)
+	WriteBaseline string // regenerate this baseline file from the run and exit 0
+}
+
+// jsonDiagnostic is the machine-readable finding shape (-json). File is
+// repo-relative so CI artifacts are stable across checkouts.
+type jsonDiagnostic struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Message  string `json:"message"`
+}
+
 // Main is the cmd/simlint entry point: run the suite over the patterns
-// (default "./...") and print findings. Exit status 0 means clean, 1 means
-// findings, 2 means the load or an analyzer failed.
-func Main(w io.Writer, dir string, args []string) int {
+// (default "./..."), apply the baseline if configured, and print findings.
+// Exit status 0 means clean, 1 means findings, 2 means the load or an
+// analyzer failed.
+func Main(w io.Writer, dir string, args []string, opts MainOptions) int {
 	patterns := args
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
@@ -140,8 +215,43 @@ func Main(w io.Writer, dir string, args []string) int {
 		fmt.Fprintf(w, "simlint: %v\n", err)
 		return 2
 	}
-	for _, d := range diags {
-		fmt.Fprintln(w, d)
+	if opts.WriteBaseline != "" {
+		if err := WriteBaseline(opts.WriteBaseline, dir, diags); err != nil {
+			fmt.Fprintf(w, "simlint: %v\n", err)
+			return 2
+		}
+		fmt.Fprintf(w, "simlint: wrote %d baseline entries to %s\n", len(diags), opts.WriteBaseline)
+		return 0
+	}
+	if opts.Baseline != "" {
+		b, err := ReadBaseline(opts.Baseline)
+		if err != nil {
+			fmt.Fprintf(w, "simlint: %v\n", err)
+			return 2
+		}
+		diags = ApplyBaseline(b, opts.Baseline, dir, diags)
+	}
+	if opts.JSON {
+		out := make([]jsonDiagnostic, 0, len(diags))
+		for _, d := range diags {
+			out = append(out, jsonDiagnostic{
+				Analyzer: d.Analyzer,
+				File:     relTo(dir, d.Pos.Filename),
+				Line:     d.Pos.Line,
+				Column:   d.Pos.Column,
+				Message:  d.Message,
+			})
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintf(w, "simlint: %v\n", err)
+			return 2
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Fprintln(w, d)
+		}
 	}
 	if len(diags) > 0 {
 		return 1

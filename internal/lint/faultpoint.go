@@ -1,0 +1,200 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"reflect"
+	"sort"
+	"strconv"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+
+	"repro/internal/faultinject"
+)
+
+// FaultpointUsage is the faultpoint analyzer's per-package result: which
+// cataloged points the package's call sites reference, and — only for the
+// package that declares the catalog — where each catalog entry is declared.
+// The driver aggregates usage across a whole-repo run to flag orphaned
+// catalog entries (declared points no production code can ever fire).
+type FaultpointUsage struct {
+	Used    map[string]bool
+	Catalog map[string]token.Pos
+}
+
+// faultPointArg maps the faultinject helpers to the index of their point
+// argument.
+var faultPointArg = map[string]int{
+	"Should":     0,
+	"Error":      0,
+	"MaybePanic": 0,
+	"Sleep":      1,
+}
+
+// faultSpecArg maps the schedule-parsing entry points to the index of their
+// spec argument.
+var faultSpecArg = map[string]int{
+	"Parse":     1,
+	"MustParse": 1,
+}
+
+// Faultpoint validates fault-injection call sites against the real
+// catalog and grammar of internal/faultinject:
+//
+//   - The point argument of Should/Error/MaybePanic/Sleep must be a
+//     constant string naming a cataloged point. The catalog and the check
+//     share one source of truth — the analyzer consults
+//     faultinject.Points() directly — so adding a point to the catalog is
+//     all it takes to bless its call sites.
+//   - Constant schedule strings handed to Parse/MustParse must parse under
+//     the `point[:p=P][:after=N][:times=M][:delay=D]` grammar; a typo'd
+//     spec in a test or a default flag value fails at lint time instead of
+//     at daemon startup.
+//   - On whole-repo runs the driver cross-references the catalog against
+//     every call site and flags orphaned entries, keeping the DESIGN.md §9
+//     fault table honest.
+var Faultpoint = &analysis.Analyzer{
+	Name: "faultpoint",
+	Doc: "require fault-injection call sites to name cataloged points and " +
+		"constant fault specs to parse; flag orphaned catalog entries",
+	Requires:   []*analysis.Analyzer{inspect.Analyzer},
+	ResultType: reflect.TypeOf((*FaultpointUsage)(nil)),
+	Run:        runFaultpoint,
+}
+
+// knownFaultPoints is the authoritative point set, read once from the live
+// catalog.
+var knownFaultPoints = func() map[string]bool {
+	out := map[string]bool{}
+	for _, p := range faultinject.Points() {
+		out[p.Name] = true
+	}
+	return out
+}()
+
+func runFaultpoint(pass *analysis.Pass) (interface{}, error) {
+	usage := &FaultpointUsage{Used: map[string]bool{}, Catalog: map[string]token.Pos{}}
+	if pass.Pkg.Name() == "faultinject" {
+		collectFaultCatalog(pass, usage)
+		return usage, nil
+	}
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+
+	nodeFilter := []ast.Node{(*ast.CallExpr)(nil)}
+	ins.Preorder(nodeFilter, func(n ast.Node) {
+		checkFaultCall(pass, n.(*ast.CallExpr), usage)
+	})
+	return usage, nil
+}
+
+// checkFaultCall validates one call into the faultinject package.
+func checkFaultCall(pass *analysis.Pass, call *ast.CallExpr, usage *FaultpointUsage) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	obj, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || obj.Pkg() == nil || obj.Pkg().Name() != "faultinject" {
+		return
+	}
+	if sig, ok := obj.Type().(*types.Signature); !ok || sig.Recv() != nil {
+		return
+	}
+	if idx, ok := faultPointArg[obj.Name()]; ok {
+		point, lit, ok := constStringArg(pass, call, idx)
+		if !ok {
+			report(pass, call.Pos(), call.End(),
+				"the fault point passed to faultinject.%s must be a constant string so simlint can check it against the catalog", obj.Name())
+			return
+		}
+		usage.Used[point] = true
+		if !knownFaultPoints[point] {
+			report(pass, lit.Pos(), lit.End(),
+				"unknown fault point %q: not in the faultinject catalog%s", point, nearestFaultPoint(point))
+		}
+		return
+	}
+	if idx, ok := faultSpecArg[obj.Name()]; ok {
+		spec, lit, ok := constStringArg(pass, call, idx)
+		if !ok {
+			return // runtime specs (flags, env) are validated by Parse itself
+		}
+		if _, err := faultinject.Parse(0, spec); err != nil {
+			report(pass, lit.Pos(), lit.End(), "fault spec does not parse: %v", err)
+			return
+		}
+		for _, part := range strings.Split(spec, ",") {
+			if name := strings.TrimSpace(strings.SplitN(part, ":", 2)[0]); name != "" {
+				usage.Used[name] = true
+			}
+		}
+	}
+}
+
+// constStringArg resolves call's idx-th argument to a constant string.
+func constStringArg(pass *analysis.Pass, call *ast.CallExpr, idx int) (string, ast.Expr, bool) {
+	if idx >= len(call.Args) {
+		return "", nil, false
+	}
+	arg := call.Args[idx]
+	tv, ok := pass.TypesInfo.Types[arg]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", nil, false
+	}
+	return constant.StringVal(tv.Value), arg, true
+}
+
+// nearestFaultPoint suggests a cataloged point sharing the typo'd name's
+// prefix component (e.g. "jobq.worker.chrash" → the jobq.worker.* points).
+func nearestFaultPoint(name string) string {
+	prefix, _, ok := strings.Cut(name, ".")
+	if !ok {
+		return ""
+	}
+	var near []string
+	for _, p := range faultinject.Points() {
+		if strings.HasPrefix(p.Name, prefix+".") {
+			near = append(near, p.Name)
+		}
+	}
+	if len(near) == 0 {
+		return ""
+	}
+	sort.Strings(near)
+	return "; nearby: " + strings.Join(near, ", ")
+}
+
+// collectFaultCatalog records the declaration position of each entry of the
+// `catalog` composite literal in the faultinject package, so orphan
+// diagnostics can anchor to the stale entry itself.
+func collectFaultCatalog(pass *analysis.Pass, usage *FaultpointUsage) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			vs, ok := n.(*ast.ValueSpec)
+			if !ok || len(vs.Names) != 1 || vs.Names[0].Name != "catalog" || len(vs.Values) != 1 {
+				return true
+			}
+			cl, ok := vs.Values[0].(*ast.CompositeLit)
+			if !ok {
+				return true
+			}
+			for _, elt := range cl.Elts {
+				entry, ok := elt.(*ast.CompositeLit)
+				if !ok || len(entry.Elts) == 0 {
+					continue
+				}
+				if lit, ok := entry.Elts[0].(*ast.BasicLit); ok && lit.Kind == token.STRING {
+					if name, err := strconv.Unquote(lit.Value); err == nil {
+						usage.Catalog[name] = lit.Pos()
+					}
+				}
+			}
+			return false
+		})
+	}
+}

@@ -30,3 +30,19 @@ func TestCfgcheck(t *testing.T) {
 func TestTracegate(t *testing.T) {
 	linttest.Run(t, linttest.TestData(), lint.Tracegate, "tracegate", "simtrace")
 }
+
+func TestLockcheck(t *testing.T) {
+	linttest.Run(t, linttest.TestData(), lint.Lockcheck, "lockcheck")
+}
+
+func TestCtxprop(t *testing.T) {
+	linttest.Run(t, linttest.TestData(), lint.Ctxprop, "ctxprop_jobq", "ctxprop_other")
+}
+
+func TestFaultpoint(t *testing.T) {
+	linttest.Run(t, linttest.TestData(), lint.Faultpoint, "faultpoint", "faultinject")
+}
+
+func TestHotalloc(t *testing.T) {
+	linttest.Run(t, linttest.TestData(), lint.Hotalloc, "hotalloc")
+}

@@ -1,0 +1,286 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+)
+
+// Lockcheck enforces the `simlint:guardedby <mutex>` field annotation: a
+// struct field carrying the annotation may only be read or written in a
+// function that demonstrably acquires the named sibling mutex first.
+//
+// The check is intra-procedural and lexical, which keeps it conservative
+// and predictable:
+//
+//   - An access `x.f` (f annotated `simlint:guardedby mu`) is legal when a
+//     call `x.mu.Lock()` or `x.mu.RLock()` on the same base expression
+//     appears earlier in the same function body (function literals are
+//     separate bodies: a closure must take the lock itself, because it may
+//     run long after its enclosing function released it).
+//   - Functions whose name ends in "Locked", and functions carrying a
+//     `simlint:holds <mutex>` directive, are trusted to be called with the
+//     lock held — the repository's existing caller-holds convention.
+//   - Composite literals (`&Job{state: ...}`) are construction, not access;
+//     a value that has not been published yet needs no lock.
+//
+// The analyzer does not track unlocks: "Lock appears before the access"
+// approximates "held at the access". That misses a Lock/Unlock/access
+// sequence but never reports one falsely, and the annotation's purpose is
+// catching fields reached with no locking discipline at all. Guards must be
+// sibling fields of type sync.Mutex or sync.RWMutex; a field guarded by
+// another struct's mutex (jobq's heap-index field, owned by the queue's
+// lock) is outside the annotation grammar and stays unannotated.
+var Lockcheck = &analysis.Analyzer{
+	Name: "lockcheck",
+	Doc: "require fields annotated `simlint:guardedby mu` to be accessed " +
+		"only after the named sibling mutex is acquired in the same function",
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      runLockcheck,
+}
+
+const guardedByMarker = "simlint:guardedby"
+const holdsMarker = "simlint:holds"
+
+// guardedField records one annotated field and the sibling mutex guarding
+// it.
+type guardedField struct {
+	structName string
+	guard      string
+}
+
+func runLockcheck(pass *analysis.Pass) (interface{}, error) {
+	guarded := collectGuardedFields(pass)
+	if len(guarded) == 0 {
+		return nil, nil
+	}
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+
+	nodeFilter := []ast.Node{(*ast.FuncDecl)(nil)}
+	ins.Preorder(nodeFilter, func(n ast.Node) {
+		decl := n.(*ast.FuncDecl)
+		if decl.Body == nil {
+			return
+		}
+		checkLockBody(pass, guarded, decl.Body, funcExemptions(decl))
+	})
+	return nil, nil
+}
+
+// funcExemptions returns the guard names a function declaration is trusted
+// to hold on entry: every guard when the name follows the ...Locked
+// convention, or the guards named by `simlint:holds` directives in its doc
+// comment.
+func funcExemptions(decl *ast.FuncDecl) map[string]bool {
+	held := map[string]bool{}
+	if strings.HasSuffix(decl.Name.Name, "Locked") {
+		held["*"] = true
+		return held
+	}
+	if decl.Doc != nil {
+		for _, c := range decl.Doc.List {
+			for _, name := range directiveArgs(c.Text, holdsMarker) {
+				held[name] = true
+			}
+		}
+	}
+	return held
+}
+
+// directiveArgs extracts the whitespace-separated arguments of a `marker`
+// directive comment, or nil when the comment is not that directive.
+// The distinction between nil (no directive) and an empty, non-nil slice
+// (directive with no arguments) is meaningful to callers.
+func directiveArgs(comment, marker string) []string {
+	rest, ok := directiveRest(comment, marker)
+	if !ok {
+		return nil
+	}
+	args := strings.Fields(rest)
+	if args == nil {
+		args = []string{}
+	}
+	return args
+}
+
+// collectGuardedFields finds every `simlint:guardedby` annotation in the
+// package, validates the named guard, and maps the field object to its
+// guard name.
+func collectGuardedFields(pass *analysis.Pass) map[*types.Var]guardedField {
+	out := map[*types.Var]guardedField{}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok {
+				return true
+			}
+			st, ok := ts.Type.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			collectStructGuards(pass, ts.Name.Name, st, out)
+			return true
+		})
+	}
+	return out
+}
+
+func collectStructGuards(pass *analysis.Pass, structName string, st *ast.StructType, out map[*types.Var]guardedField) {
+	for _, field := range st.Fields.List {
+		guard, ok := fieldGuardDirective(pass, field)
+		if !ok {
+			continue
+		}
+		if !validGuard(pass, st, guard) {
+			report(pass, field.Pos(), field.End(),
+				"simlint:guardedby names %q, which is not a sibling sync.Mutex or sync.RWMutex field of %s",
+				guard, structName)
+			continue
+		}
+		for _, name := range field.Names {
+			if v, ok := pass.TypesInfo.Defs[name].(*types.Var); ok {
+				out[v] = guardedField{structName: structName, guard: guard}
+			}
+		}
+	}
+}
+
+// fieldGuardDirective extracts the guard name of a field's
+// `simlint:guardedby` annotation from its doc or trailing line comment.
+func fieldGuardDirective(pass *analysis.Pass, field *ast.Field) (guard string, ok bool) {
+	for _, cg := range []*ast.CommentGroup{field.Doc, field.Comment} {
+		if cg == nil {
+			continue
+		}
+		for _, c := range cg.List {
+			args := directiveArgs(c.Text, guardedByMarker)
+			if args == nil {
+				continue
+			}
+			if len(args) == 0 {
+				report(pass, field.Pos(), field.End(), "simlint:guardedby needs a mutex field name")
+				return "", false
+			}
+			return args[0], true
+		}
+	}
+	return "", false
+}
+
+// validGuard reports whether the struct declares a field named guard whose
+// type is sync.Mutex or sync.RWMutex.
+func validGuard(pass *analysis.Pass, st *ast.StructType, guard string) bool {
+	for _, field := range st.Fields.List {
+		for _, name := range field.Names {
+			if name.Name != guard {
+				continue
+			}
+			v, ok := pass.TypesInfo.Defs[name].(*types.Var)
+			return ok && isSyncMutex(v.Type())
+		}
+	}
+	return false
+}
+
+func isSyncMutex(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return false
+	}
+	return obj.Name() == "Mutex" || obj.Name() == "RWMutex"
+}
+
+// lockEvent is one mutex acquisition observed in a function body.
+type lockEvent struct {
+	base  string // printed base expression, e.g. "q" in q.mu.Lock()
+	guard string // mutex field name
+	pos   token.Pos
+}
+
+// checkLockBody walks one function body (descending into nested literals
+// with their own, empty lock scope) and reports guarded-field accesses with
+// no preceding acquisition of the guard on the same base.
+func checkLockBody(pass *analysis.Pass, guarded map[*types.Var]guardedField, body *ast.BlockStmt, held map[string]bool) {
+	var locks []lockEvent
+	var walk func(n ast.Node) bool
+	walk = func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			// A closure runs on its own schedule; it inherits nothing.
+			checkLockBody(pass, guarded, n.Body, map[string]bool{})
+			return false
+		case *ast.CallExpr:
+			if base, guard, ok := mutexAcquire(pass, n); ok {
+				locks = append(locks, lockEvent{base: base, guard: guard, pos: n.Pos()})
+			}
+		case *ast.SelectorExpr:
+			checkGuardedAccess(pass, guarded, n, locks, held)
+		}
+		return true
+	}
+	ast.Inspect(body, walk)
+}
+
+// mutexAcquire matches `base.guard.Lock()` / `base.guard.RLock()` and
+// returns the printed base expression and guard field name.
+func mutexAcquire(pass *analysis.Pass, call *ast.CallExpr) (base, guard string, ok bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || (sel.Sel.Name != "Lock" && sel.Sel.Name != "RLock") {
+		return "", "", false
+	}
+	recv, ok := sel.X.(*ast.SelectorExpr)
+	if !ok {
+		return "", "", false
+	}
+	v, ok := fieldVar(pass, recv)
+	if !ok || !isSyncMutex(v.Type()) {
+		return "", "", false
+	}
+	return types.ExprString(recv.X), recv.Sel.Name, true
+}
+
+// fieldVar resolves a selector to the struct field object it selects, if
+// any.
+func fieldVar(pass *analysis.Pass, sel *ast.SelectorExpr) (*types.Var, bool) {
+	if s, ok := pass.TypesInfo.Selections[sel]; ok && s.Kind() == types.FieldVal {
+		v, ok := s.Obj().(*types.Var)
+		return v, ok
+	}
+	// Package-qualified or unselected identifiers are not field accesses.
+	return nil, false
+}
+
+// checkGuardedAccess reports sel when it accesses an annotated field
+// without the guard demonstrably held.
+func checkGuardedAccess(pass *analysis.Pass, guarded map[*types.Var]guardedField, sel *ast.SelectorExpr, locks []lockEvent, held map[string]bool) {
+	v, ok := fieldVar(pass, sel)
+	if !ok {
+		return
+	}
+	gf, ok := guarded[v]
+	if !ok {
+		return
+	}
+	if held["*"] || held[gf.guard] {
+		return
+	}
+	base := types.ExprString(sel.X)
+	for _, l := range locks {
+		if l.guard == gf.guard && l.base == base && l.pos < sel.Pos() {
+			return
+		}
+	}
+	report(pass, sel.Pos(), sel.End(),
+		"%s.%s is guarded by %s.%s (simlint:guardedby) but no %s.%s.Lock() precedes this access in the function; "+
+			"acquire the mutex, use the ...Locked naming convention, or mark the function `simlint:holds %s`",
+		base, sel.Sel.Name, gf.structName, gf.guard, base, gf.guard, gf.guard)
+}

@@ -10,18 +10,19 @@ import (
 )
 
 // suppressed reports whether the diagnostic an analyzer wants to raise at
-// pos is waived by a `//simlint:allow <name>` comment on the same line or
-// the line immediately above. Exceptions stay visible and greppable.
+// pos is waived by a `//simlint:allow <name>...` comment on the same line
+// or the line immediately above. One directive may waive several analyzers
+// (`//simlint:allow lockcheck hotalloc`); everything after a `--` separator
+// is free-form rationale. Exceptions stay visible and greppable.
 func suppressed(pass *analysis.Pass, pos token.Pos, name string) bool {
 	f := fileFor(pass, pos)
 	if f == nil {
 		return false
 	}
 	line := pass.Fset.Position(pos).Line
-	marker := "simlint:allow " + name
 	for _, cg := range f.Comments {
 		for _, c := range cg.List {
-			if !strings.Contains(c.Text, marker) {
+			if !allowNames(c.Text)[name] {
 				continue
 			}
 			cl := pass.Fset.Position(c.Pos()).Line
@@ -31,6 +32,29 @@ func suppressed(pass *analysis.Pass, pos token.Pos, name string) bool {
 		}
 	}
 	return false
+}
+
+// allowNames parses the analyzer names of a simlint:allow directive in a
+// comment, stopping at a `--` rationale separator. A comment without the
+// directive yields an empty set.
+func allowNames(comment string) map[string]bool {
+	const marker = "simlint:allow"
+	idx := strings.Index(comment, marker)
+	if idx < 0 {
+		return nil
+	}
+	rest := comment[idx+len(marker):]
+	if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+		return nil // e.g. simlint:allowance
+	}
+	names := map[string]bool{}
+	for _, f := range strings.Fields(rest) {
+		if f == "--" {
+			break
+		}
+		names[strings.TrimSuffix(f, ",")] = true
+	}
+	return names
 }
 
 // fileFor returns the syntax file of the pass containing pos.

@@ -1,0 +1,106 @@
+package lint
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+func TestAllowNames(t *testing.T) {
+	cases := []struct {
+		comment string
+		name    string
+		want    bool
+	}{
+		{"//simlint:allow detrand", "detrand", true},
+		{"// simlint:allow detrand", "detrand", true},
+		{"//simlint:allow lockcheck hotalloc", "hotalloc", true},
+		{"//simlint:allow lockcheck hotalloc", "lockcheck", true},
+		{"//simlint:allow lockcheck hotalloc", "ctxprop", false},
+		{"//simlint:allow lockcheck, hotalloc", "lockcheck", true}, // trailing comma tolerated
+		{"//simlint:allow detrand -- time.Now is display-only here", "detrand", true},
+		{"//simlint:allow detrand -- mentions hotalloc in the rationale", "hotalloc", false},
+		{"//simlint:allowance detrand", "detrand", false}, // not the directive
+		{"//simlint:allow", "detrand", false},             // no names
+		{"// plain comment", "detrand", false},
+	}
+	for _, c := range cases {
+		if got := allowNames(c.comment)[c.name]; got != c.want {
+			t.Errorf("allowNames(%q)[%q] = %v, want %v", c.comment, c.name, got, c.want)
+		}
+	}
+}
+
+func TestDirectiveRest(t *testing.T) {
+	cases := []struct {
+		comment, marker string
+		rest            string
+		ok              bool
+	}{
+		{"// simlint:hotpath", "simlint:hotpath", "", true},
+		{"//simlint:hotpath", "simlint:hotpath", "", true},
+		{"// simlint:guardedby mu", "simlint:guardedby", " mu", true},
+		{"// simlint:hotpathological", "simlint:hotpath", "", false},
+		{"// collects every simlint:hotpath function", "simlint:hotpath", "", false}, // prose mention
+		{"/* simlint:rootctx */", "simlint:rootctx", " ", true},
+	}
+	for _, c := range cases {
+		rest, ok := directiveRest(c.comment, c.marker)
+		if ok != c.ok || (ok && rest != c.rest) {
+			t.Errorf("directiveRest(%q, %q) = (%q, %v), want (%q, %v)", c.comment, c.marker, rest, ok, c.rest, c.ok)
+		}
+	}
+}
+
+// suppressPass builds a minimal pass over one in-memory file, enough for
+// suppressed()'s Fset/Files needs.
+func suppressPass(t *testing.T, src string) *analysis.Pass {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "x.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &analysis.Pass{Analyzer: Detrand, Fset: fset, Files: []*ast.File{f}}
+}
+
+func TestSuppressedLinePlacement(t *testing.T) {
+	src := `package p
+
+//simlint:allow detrand
+func a() {} // suppressed: directive on the line above
+
+func gap() {}
+
+//simlint:allow detrand
+
+func b() {} // NOT suppressed: blank line between directive and site
+
+func c() {} //simlint:allow detrand
+
+func d() {} // NOT suppressed: directive is two lines up
+`
+	pass := suppressPass(t, src)
+	at := func(line int) bool {
+		file := pass.Fset.File(pass.Files[0].Pos())
+		return suppressed(pass, file.LineStart(line), "detrand")
+	}
+	if !at(4) {
+		t.Error("line 4: directive on line above must suppress")
+	}
+	if at(10) {
+		t.Error("line 10: directive two lines above (blank between) must not suppress")
+	}
+	if !at(12) {
+		t.Error("line 12: same-line directive must suppress")
+	}
+	if at(14) {
+		t.Error("line 14: unrelated line must not be suppressed")
+	}
+	if at(4) && suppressed(pass, pass.Files[0].Pos(), "hotalloc") {
+		t.Error("directive for detrand must not suppress hotalloc")
+	}
+}

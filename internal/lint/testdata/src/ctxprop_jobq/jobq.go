@@ -1,0 +1,47 @@
+// Package jobq (fixture) exercises the ctxprop contract in a service
+// package: ambient contexts, bare sleeps, and ctx-first signatures.
+package jobq
+
+import (
+	"context"
+	"time"
+)
+
+func Ambient() {
+	_ = context.Background() // want `context.Background\(\) detaches this work`
+	_ = context.TODO()       // want `context.TODO\(\) detaches this work`
+}
+
+// New owns the queue's lifecycle; its base context outlives any request.
+//
+// simlint:rootctx
+func New() context.Context {
+	ctx, cancel := context.WithCancel(context.Background()) // declared root: ok
+	go func() {
+		_ = context.Background() // literal inside a root shares the exemption
+	}()
+	_ = cancel
+	return ctx
+}
+
+func Backoff() {
+	time.Sleep(time.Second) // want `time.Sleep cannot be cancelled`
+}
+
+func CancellableBackoff(ctx context.Context) {
+	t := time.NewTimer(time.Second)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+	case <-t.C:
+	}
+}
+
+func Submit(ctx context.Context, id string) {} // ctx first: ok
+
+func Misordered(id string, ctx context.Context) {} // want `context.Context must be the first parameter of Misordered`
+
+func Waived() {
+	//simlint:allow ctxprop -- metrics flush detached by design
+	_ = context.Background()
+}

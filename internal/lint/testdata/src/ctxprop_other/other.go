@@ -1,0 +1,16 @@
+// Package other is not a service package, so ctxprop leaves its ambient
+// contexts and sleeps alone.
+package other
+
+import (
+	"context"
+	"time"
+)
+
+func Anything() {
+	_ = context.Background()
+	_ = context.TODO()
+	time.Sleep(time.Millisecond)
+}
+
+func AlsoFine(id string, ctx context.Context) { _ = ctx }

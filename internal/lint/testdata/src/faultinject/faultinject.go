@@ -1,0 +1,16 @@
+// Package faultinject is a fixture stub mirroring the signatures of
+// repro/internal/faultinject. The faultpoint analyzer matches call sites by
+// callee package name, while the known-point catalog and the spec grammar
+// come from the real package, so these stubs carry no behaviour.
+package faultinject
+
+import "context"
+
+type Plan struct{}
+
+func Should(point string) bool                     { return false }
+func Error(point string) error                     { return nil }
+func Sleep(ctx context.Context, p string) bool     { return false }
+func MaybePanic(point string)                      {}
+func Parse(seed int64, spec string) (*Plan, error) { return nil, nil }
+func MustParse(seed int64, spec string) *Plan      { return nil }

@@ -1,0 +1,39 @@
+// Package faultpoint exercises fault-point and fault-spec validation
+// against the real internal/faultinject catalog and grammar.
+package faultpoint
+
+import (
+	"context"
+
+	"faultinject"
+)
+
+func Points(ctx context.Context) {
+	_ = faultinject.Should("jobq.worker.crash")     // cataloged: ok
+	_ = faultinject.Error("simcache.compute.error") // cataloged: ok
+	faultinject.MaybePanic("jobq.job.panic")        // cataloged: ok
+	_ = faultinject.Sleep(ctx, "jobq.worker.stall") // point is arg 1: ok
+
+	_ = faultinject.Should("jobq.worker.chrash") // want `unknown fault point "jobq.worker.chrash".*nearby: jobq.job.panic, jobq.worker.crash, jobq.worker.stall`
+	_ = faultinject.Error("totally.made.up")     // want `unknown fault point "totally.made.up"`
+}
+
+func NonConstant(name string) {
+	_ = faultinject.Should(name) // want `must be a constant string`
+}
+
+func Specs() {
+	_ = faultinject.MustParse(7, "jobq.worker.crash:times=1")                   // parses: ok
+	_, _ = faultinject.Parse(7, "api.respond.latency:p=0.5:after=3:delay=10ms") // parses: ok
+	_ = faultinject.MustParse(7, "jobq.worker.crash:p=bogus")                   // want `fault spec does not parse`
+	_ = faultinject.MustParse(7, "jobq.worker.crash:frequency=2")               // want `fault spec does not parse.*unknown key`
+}
+
+func RuntimeSpec(spec string) {
+	_, _ = faultinject.Parse(0, spec) // runtime specs validated by Parse itself: ok
+}
+
+func Waived() {
+	//simlint:allow faultpoint -- fixture for the catalog-miss error path
+	_ = faultinject.Should("not.a.point")
+}

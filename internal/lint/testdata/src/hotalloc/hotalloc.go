@@ -1,0 +1,60 @@
+// Package hotalloc exercises the simlint:hotpath allocation policy:
+// syntactic allocation sites inside marked functions are rejected; value
+// composite literals and unmarked functions are not.
+package hotalloc
+
+type Event struct {
+	Cycle int64
+	Addr  uint32
+}
+
+type Ring struct {
+	buf []Event
+	n   uint64
+}
+
+// Emit is the per-µop fast path.
+//
+// simlint:hotpath
+func (r *Ring) Emit(e Event) {
+	e2 := Event{Cycle: e.Cycle, Addr: e.Addr} // value literal: ok
+	r.buf[r.n%uint64(len(r.buf))] = e2
+	r.n++
+}
+
+// Bad gathers every rejected allocation shape.
+//
+// simlint:hotpath
+func (r *Ring) Bad(e Event) {
+	f := func() {} // want `closure inside hotpath function \(\*Ring\).Bad`
+	f()
+	s := make([]Event, 4) // want `make inside hotpath function \(\*Ring\).Bad`
+	_ = s
+	p := new(Event) // want `new inside hotpath function \(\*Ring\).Bad`
+	_ = p
+	q := &Event{Cycle: 1} // want `&composite literal inside hotpath function \(\*Ring\).Bad`
+	_ = q
+	m := map[uint32]int{} // want `map/slice literal inside hotpath function \(\*Ring\).Bad`
+	_ = m
+	sl := []int{1, 2} // want `map/slice literal inside hotpath function \(\*Ring\).Bad`
+	_ = sl
+	go f()    // want `go statement inside hotpath function \(\*Ring\).Bad`
+	defer f() // want `defer inside hotpath function \(\*Ring\).Bad`
+}
+
+// Slow is unmarked: it may allocate freely.
+func (r *Ring) Slow() []Event {
+	out := make([]Event, 0, len(r.buf))
+	return append(out, r.buf...)
+}
+
+// Waived documents a deliberate slow-path closure.
+//
+// simlint:hotpath
+func (r *Ring) Waived(miss bool) {
+	if miss {
+		//simlint:allow hotalloc -- continuation only built on the miss path
+		cont := func() { r.n++ }
+		cont()
+	}
+}

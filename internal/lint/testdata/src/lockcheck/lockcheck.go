@@ -1,0 +1,95 @@
+// Package lockcheck exercises the simlint:guardedby / simlint:holds
+// annotations: fields accessed with and without the guard held, the
+// ...Locked caller-holds convention, closures that must re-acquire, and
+// malformed annotations.
+package lockcheck
+
+import "sync"
+
+type Queue struct {
+	mu      sync.Mutex
+	depth   int  // simlint:guardedby mu
+	closed  bool // simlint:guardedby mu
+	unkempt int  // no annotation: never reported
+}
+
+type Registry struct {
+	rw   sync.RWMutex
+	byID map[string]int // simlint:guardedby rw
+	// simlint:guardedby count
+	count int // want `simlint:guardedby names "count", which is not a sibling sync.Mutex or sync.RWMutex field of Registry`
+}
+
+type NoArg struct {
+	mu sync.Mutex
+	// simlint:guardedby
+	n int // want `simlint:guardedby needs a mutex field name`
+}
+
+func (q *Queue) Push() {
+	q.mu.Lock()
+	q.depth++ // locked above: ok
+	q.mu.Unlock()
+}
+
+func (q *Queue) Peek() int {
+	return q.depth // want `q.depth is guarded by Queue.mu`
+}
+
+func (q *Queue) Close() {
+	q.closed = true // want `q.closed is guarded by Queue.mu`
+}
+
+// popLocked follows the caller-holds naming convention.
+func (q *Queue) popLocked() int {
+	q.depth--
+	return q.depth
+}
+
+// drain is documented as running under the caller's lock.
+//
+// simlint:holds mu
+func (q *Queue) drain() {
+	for q.depth > 0 {
+		q.depth--
+	}
+}
+
+func (r *Registry) Lookup(id string) int {
+	r.rw.RLock()
+	defer r.rw.RUnlock()
+	return r.byID[id] // RLock counts as acquisition: ok
+}
+
+func (q *Queue) Async() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	go func() {
+		q.depth++ // want `q.depth is guarded by Queue.mu`
+	}()
+}
+
+func (q *Queue) AsyncRelock() {
+	go func() {
+		q.mu.Lock()
+		q.depth++ // closure takes the lock itself: ok
+		q.mu.Unlock()
+	}()
+}
+
+func NewQueue() *Queue {
+	// Composite literals are construction, not access.
+	return &Queue{depth: 0, closed: false}
+}
+
+func (q *Queue) Waived() int {
+	//simlint:allow lockcheck -- read is advisory; torn values acceptable
+	return q.depth
+}
+
+func TwoBases(a, b *Queue) {
+	a.mu.Lock()
+	a.depth++
+	b.depth++ // want `b.depth is guarded by Queue.mu`
+	a.mu.Unlock()
+}

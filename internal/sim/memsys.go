@@ -203,7 +203,12 @@ func srcOf(c bus.Class) cache.Source {
 // ---------------------------------------------------------------------------
 // Demand path
 
-// Load implements cpu.MemPort.
+// Load implements cpu.MemPort. It runs once per retired load µop, so its
+// allocation behaviour is policed: the hotalloc analyzer rejects obvious
+// allocation sites and cmd/allocheck ratchets the compiler's escape
+// decisions against allocheck.baseline.json.
+//
+// simlint:hotpath
 func (ms *MemSystem) Load(cycle int64, va, pc uint32, done func(int64)) {
 	if ms.tr.Enabled() {
 		ms.tr.SetNow(cycle)
@@ -223,6 +228,7 @@ func (ms *MemSystem) Load(cycle int64, va, pc uint32, done func(int64)) {
 		ms.l2Access(cycle, pa, va, done, strideIssued, false)
 		return
 	}
+	//simlint:allow hotalloc -- walk continuation only exists on a TLB miss (slow path); see allocheck.baseline.json
 	ms.walk(cycle, va, false, func(at int64, pa uint32, ok bool) {
 		if !ok {
 			// Demand access to an unmapped page: return junk after an
@@ -235,7 +241,10 @@ func (ms *MemSystem) Load(cycle int64, va, pc uint32, done func(int64)) {
 }
 
 // Store implements cpu.MemPort. Stores are committed (post-retirement), so
-// nothing waits on them except the store-buffer slot.
+// nothing waits on them except the store-buffer slot. Runs once per retired
+// store µop; allocation-policed like Load.
+//
+// simlint:hotpath
 func (ms *MemSystem) Store(cycle int64, va, pc uint32, done func(int64)) {
 	if ms.tr.Enabled() {
 		ms.tr.SetNow(cycle)
@@ -250,6 +259,7 @@ func (ms *MemSystem) Store(cycle int64, va, pc uint32, done func(int64)) {
 		ms.l2Access(cycle, pa, va, done, strideIssued, true)
 		return
 	}
+	//simlint:allow hotalloc -- walk continuation only exists on a TLB miss (slow path); see allocheck.baseline.json
 	ms.walk(cycle, va, false, func(at int64, pa uint32, ok bool) {
 		if !ok {
 			done(at + ms.cfg.L2Lat)
@@ -524,13 +534,17 @@ func (ms *MemSystem) scanAndIssue(at int64, trigVA uint32, depth int, lineVA uin
 // issueContentPrefetch translates and enqueues one content candidate. A
 // translation miss triggers a speculative page walk (the TLB-prefetching
 // side effect of Section 4.2.2); an unmapped candidate — a data value that
-// happened to look like a pointer — is dropped.
+// happened to look like a pointer — is dropped. Runs once per candidate on
+// every scanned fill, so it is allocation-policed.
+//
+// simlint:hotpath
 func (ms *MemSystem) issueContentPrefetch(at int64, cand core.Candidate, chain uint64) {
 	if pa, ok := ms.dtlb.Lookup(cand.VA); ok {
 		ms.finishContentPrefetch(at, pa, cand, chain)
 		return
 	}
 	ms.st.CDPNeedWalk++
+	//simlint:allow hotalloc -- speculative walk continuation only exists on a TLB miss (slow path); see allocheck.baseline.json
 	ms.walk(at, cand.VA, true, func(at2 int64, pa uint32, ok bool) {
 		if !ok {
 			ms.st.PrefDroppedUnmapped++

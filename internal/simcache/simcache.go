@@ -39,16 +39,18 @@ type call struct {
 // singleflight collapsing of concurrent identical misses. The zero value
 // is not usable; construct with New.
 type Cache struct {
-	mu        sync.Mutex
-	maxBytes  int64
-	bytes     int64
-	ll        *list.List // of *entry; front = most recently used
-	items     map[Key]*list.Element
-	flight    map[Key]*call
-	hits      uint64
-	collapsed uint64
-	misses    uint64
-	evictions uint64
+	mu       sync.Mutex
+	maxBytes int64
+	bytes    int64 // simlint:guardedby mu
+	// ll holds *entry values; front = most recently used.
+	// simlint:guardedby mu
+	ll        *list.List
+	items     map[Key]*list.Element // simlint:guardedby mu
+	flight    map[Key]*call         // simlint:guardedby mu
+	hits      uint64                // simlint:guardedby mu
+	collapsed uint64                // simlint:guardedby mu
+	misses    uint64                // simlint:guardedby mu
+	evictions uint64                // simlint:guardedby mu
 }
 
 // New builds a cache bounded to maxBytes of cached payload (metadata is
@@ -131,7 +133,7 @@ func (c *Cache) GetOrCompute(k Key, compute func() ([]byte, error)) (val []byte,
 		if faultinject.Should("simcache.evict.storm") {
 			c.evictAllLocked()
 		}
-		c.add(k, cl.val)
+		c.addLocked(k, cl.val)
 	}
 	c.mu.Unlock()
 	close(cl.done)
@@ -154,10 +156,10 @@ func (c *Cache) evictAllLocked() {
 	}
 }
 
-// add inserts a computed payload and evicts from the cold end until the
-// byte bound holds again. Payloads larger than the whole bound are served
-// but never cached. Caller holds c.mu.
-func (c *Cache) add(k Key, val []byte) {
+// addLocked inserts a computed payload and evicts from the cold end until
+// the byte bound holds again. Payloads larger than the whole bound are
+// served but never cached. Caller holds c.mu.
+func (c *Cache) addLocked(k Key, val []byte) {
 	if int64(len(val)) > c.maxBytes {
 		return
 	}

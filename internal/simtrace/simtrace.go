@@ -148,6 +148,11 @@ func (t *Tracer) Enabled() bool { return t != nil }
 // Emit records an event. Events with Cycle == 0 are stamped with the
 // tracer's current cycle (see SetNow), so components that do not carry
 // the clock (TLB, prefetcher) can still produce cycle-accurate events.
+// Emit sits on every traced µop: the Event must arrive and stay by value
+// (one ring-slot copy, zero allocations), which hotalloc and cmd/allocheck
+// enforce.
+//
+// simlint:hotpath
 func (t *Tracer) Emit(e Event) {
 	if e.Cycle == 0 {
 		e.Cycle = t.now
