@@ -4,8 +4,9 @@
 //
 // Usage:
 //
-//	cdpsim [-ops N] [-cdp] [-markov stab-kb] [-l2 kb] [-tlb entries] [-inject] [-trace out.json] <benchmark>
+//	cdpsim [-ops N] [-cdp] [-markov stab-kb] [-engine spec] [-l2 kb] [-tlb entries] [-inject] [-trace out.json] <benchmark>
 //	cdpsim list
+//	cdpsim list-engines
 //
 // With -trace, the run is instrumented with the internal/simtrace event
 // tracer: the Chrome trace_event JSON written to the given path loads in
@@ -20,6 +21,7 @@ import (
 
 	"repro/internal/cache"
 	"repro/internal/core"
+	"repro/internal/prefetch/registry"
 	"repro/internal/report"
 	"repro/internal/sim"
 	"repro/internal/simtrace"
@@ -34,6 +36,7 @@ func main() {
 	prev := flag.Int("prev", 0, "content previous-line prefetches")
 	noReinf := flag.Bool("no-reinforce", false, "disable path reinforcement")
 	markovKB := flag.Int("markov", 0, "enable Markov prefetcher with STAB budget in KB (-1 = unbounded)")
+	engine := flag.String("engine", "", "attach a zoo entrant by registry spec, e.g. pangloss or bestoffset:degree=2 (cdpsim list-engines)")
 	l2kb := flag.Int("l2", 1024, "UL2 size in KB")
 	l2ways := flag.Int("l2ways", 8, "UL2 associativity")
 	tlbEntries := flag.Int("tlb", 64, "DTLB entries")
@@ -44,12 +47,19 @@ func main() {
 	flag.Parse()
 
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: cdpsim [flags] <benchmark> | list")
+		fmt.Fprintln(os.Stderr, "usage: cdpsim [flags] <benchmark> | list | list-engines")
 		os.Exit(2)
 	}
 	if flag.Arg(0) == "list" {
 		for _, s := range workloads.All() {
 			fmt.Printf("%-14s %s\n", s.Name, s.Suite)
+		}
+		return
+	}
+	if flag.Arg(0) == "list-engines" {
+		for _, n := range registry.Names() {
+			e, _ := registry.Lookup(n)
+			fmt.Printf("%-12s %s\n", e.Name, e.Doc)
 		}
 		return
 	}
@@ -84,6 +94,16 @@ func main() {
 			budget = 0
 		}
 		cfg = cfg.WithMarkov(budget, cfg.L2)
+	}
+	if *engine != "" {
+		// Validate here so a typo exits with the registry's name listing,
+		// matching the unknown-benchmark convention, instead of panicking
+		// inside the simulator.
+		if err := registry.Validate(*engine); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		cfg = cfg.WithEngine(*engine)
 	}
 
 	var tr *simtrace.Tracer

@@ -11,6 +11,8 @@
 //	GET    /v1/jobs/{id}/stream  NDJSON progress stream until terminal
 //	DELETE /v1/jobs/{id}         cancel a job
 //	GET    /v1/experiments/{id}  run a registered experiment as a job
+//	GET    /v1/arena             sweep every prefetcher engine over a benchmark set
+//	GET    /v1/engines           list the registered prefetcher zoo
 //	GET    /healthz              liveness
 //	GET    /readyz               readiness (503 while draining or overloaded)
 //	GET    /metrics              Prometheus-style text metrics
@@ -112,6 +114,8 @@ func NewWithOptions(q *jobq.Queue, c *simcache.Cache, opts Options) (*Server, er
 	s.mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleJobTrace)
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobCancel)
 	s.mux.HandleFunc("GET /v1/experiments/{id}", s.handleExperiment)
+	s.mux.HandleFunc("GET /v1/arena", s.handleArena)
+	s.mux.HandleFunc("GET /v1/engines", s.handleEngines)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)

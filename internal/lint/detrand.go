@@ -13,10 +13,13 @@ import (
 // two identical simulations must produce bit-identical stats, so these
 // packages may not consult any ambient source of nondeterminism.
 var detCriticalPkgs = map[string]bool{
-	"sim":  true, // event-driven memory system
-	"cpu":  true, // out-of-order core model
-	"bus":  true, // arbiters and front-side bus
-	"core": true, // content-directed prefetcher
+	"sim":      true, // event-driven memory system
+	"cpu":      true, // out-of-order core model
+	"bus":      true, // arbiters and front-side bus
+	"core":     true, // content-directed prefetcher
+	"prefetch": true, // the prefetcher zoo's engines
+	"markov":   true, // Markov comparator STAB
+	"registry": true, // engine construction must be spec-deterministic
 }
 
 // wallClockFuncs are time-package functions that read the wall clock.

@@ -14,8 +14,12 @@
 package markov
 
 import (
+	"bytes"
 	"container/list"
+	"encoding/gob"
 	"fmt"
+
+	"repro/internal/prefetch"
 )
 
 // Fanout is the number of successor slots per STAB entry (the paper's
@@ -58,6 +62,7 @@ type Markov struct {
 	lru      *list.List // front = MRU entries
 	lastMiss uint32
 	haveLast bool
+	enabled  bool
 
 	observed   uint64
 	predicted  uint64
@@ -69,7 +74,35 @@ func New(cfg Config) *Markov {
 	if cfg.MaxEntries < 0 {
 		panic(fmt.Sprintf("markov: negative entry bound %d", cfg.MaxEntries))
 	}
-	return &Markov{cfg: cfg, table: make(map[uint32]*entry), lru: list.New()}
+	return &Markov{cfg: cfg, table: make(map[uint32]*entry), lru: list.New(), enabled: true}
+}
+
+var _ prefetch.Prefetcher = (*Markov)(nil)
+
+// Name is the engine's registry name.
+func (m *Markov) Name() string { return "markov" }
+
+// Stream: the STAB observes the L2 demand-miss stream (Section 5).
+func (m *Markov) Stream() prefetch.Stream { return prefetch.StreamL2 }
+
+// Translate: the STAB is modelled post-translation; predictions consult
+// the page map directly.
+func (m *Markov) Translate() prefetch.TranslateVia { return prefetch.TranslateDirect }
+
+// SetEnabled toggles issue; transition recording continues while disabled.
+func (m *Markov) SetEnabled(enabled bool) { m.enabled = enabled }
+
+// Counters reports the engine's lifetime counters.
+func (m *Markov) Counters() prefetch.Counters {
+	return prefetch.Counters{Observed: m.observed, Issued: m.predicted}
+}
+
+// Reset reverts to the just-constructed state.
+func (m *Markov) Reset() {
+	m.table = make(map[uint32]*entry)
+	m.lru = list.New()
+	m.lastMiss, m.haveLast = 0, false
+	m.observed, m.predicted, m.transition = 0, 0, 0
 }
 
 // Config returns the table bound.
@@ -107,6 +140,15 @@ func (m *Markov) get(line uint32, create bool) *entry {
 // when the stride prefetcher already issued for this reference, mirroring
 // the sequential stride-then-Markov access of Section 5.
 func (m *Markov) ObserveMiss(line uint32, strideIssued bool) []uint32 {
+	return m.Observe(prefetch.Event{VA: line, PriorIssued: strideIssued}, nil)
+}
+
+// Observe trains on one L2 miss event and appends the predicted successor
+// lines to dst. ev.PriorIssued carries the paper's stride-takes-precedence
+// rule: a reference the stride engine already covered records its
+// transition but predicts nothing.
+func (m *Markov) Observe(ev prefetch.Event, dst []uint32) []uint32 {
+	line := ev.VA
 	m.observed++
 	// Record the transition lastMiss -> line.
 	if m.haveLast && m.lastMiss != line {
@@ -132,17 +174,16 @@ func (m *Markov) ObserveMiss(line uint32, strideIssued bool) []uint32 {
 	m.lastMiss = line
 	m.haveLast = true
 
-	if strideIssued {
-		return nil
+	if ev.PriorIssued || !m.enabled {
+		return dst
 	}
 	e := m.get(line, false)
 	if e == nil || len(e.succ) == 0 {
-		return nil
+		return dst
 	}
-	out := make([]uint32, len(e.succ))
-	copy(out, e.succ)
-	m.predicted += uint64(len(out))
-	return out
+	dst = append(dst, e.succ...)
+	m.predicted += uint64(len(e.succ))
+	return dst
 }
 
 // Stats returns misses observed, transitions recorded and prefetch lines
@@ -211,4 +252,22 @@ func (m *Markov) Restore(st State) error {
 	m.lastMiss, m.haveLast = st.LastMiss, st.HaveLast
 	m.observed, m.transition, m.predicted = st.Observed, st.Transitions, st.Predicted
 	return nil
+}
+
+// MarshalState serialises the STAB for checkpointing (gob of State).
+func (m *Markov) MarshalState() ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(m.State()); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// UnmarshalState restores a MarshalState payload into a same-bound engine.
+func (m *Markov) UnmarshalState(data []byte) error {
+	var st State
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&st); err != nil {
+		return err
+	}
+	return m.Restore(st)
 }

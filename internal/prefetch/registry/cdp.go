@@ -1,0 +1,108 @@
+// cdpEngine adapts the content-directed prefetcher to the Prefetcher
+// interface for registry listing, the conformance suite, and the arena.
+//
+// This is deliberately an adapter, not a rewrite: inside the simulator the
+// CDP keeps its direct core.Prefetcher wiring (stored per-line depths,
+// reinforcement rescans, chain lineage tracing) because the interface's
+// observe-miss/issue-lines vocabulary cannot express depth promotion or
+// rescan-on-hit without widening it for every other engine. The adapter
+// exposes the stateless half — scan a filled line, chase its pointers —
+// which is exactly what a fill-stream Observe event carries. DESIGN.md §12
+// records the trade-off.
+package registry
+
+import (
+	"bytes"
+	"encoding/gob"
+
+	"repro/internal/core"
+	"repro/internal/prefetch"
+)
+
+type cdpEngine struct {
+	cfg     core.Config
+	p       *core.Prefetcher
+	enabled bool
+
+	observed uint64
+	issued   uint64
+}
+
+func newCDPEngine(cfg core.Config) *cdpEngine {
+	return &cdpEngine{cfg: cfg, p: core.New(cfg), enabled: true}
+}
+
+var _ prefetch.Prefetcher = (*cdpEngine)(nil)
+
+func (c *cdpEngine) Name() string { return "cdp" }
+
+// Stream: the CDP is the one engine that trains on data-carrying fills —
+// the paper's whole point is that the prediction state *is* the data.
+func (c *cdpEngine) Stream() prefetch.Stream { return prefetch.StreamFill }
+
+// Translate: content candidates are virtual addresses and go through the
+// DTLB like demand references (Section 3.2).
+func (c *cdpEngine) Translate() prefetch.TranslateVia { return prefetch.TranslateTLB }
+
+func (c *cdpEngine) SetEnabled(enabled bool) { c.enabled = enabled }
+
+func (c *cdpEngine) Counters() prefetch.Counters {
+	return prefetch.Counters{Observed: c.observed, Issued: c.issued}
+}
+
+// Reset rebuilds the scanner. The CDP is stateless by design, but the
+// rebuild also zeroes its lifetime statistics.
+func (c *cdpEngine) Reset() {
+	c.p = core.New(c.cfg)
+	c.observed, c.issued = 0, 0
+}
+
+func (c *cdpEngine) String() string { return c.p.String() }
+
+// Observe scans one filled line (ev.Data) and appends the candidate lines.
+// Events without data — plain misses — train nothing: stateless means
+// there is no table to update.
+func (c *cdpEngine) Observe(ev prefetch.Event, dst []uint32) []uint32 {
+	c.observed++
+	if len(ev.Data) == 0 {
+		return dst
+	}
+	cands := c.p.OnFill(ev.TrigVA, ev.Depth, ev.VA, ev.Data)
+	if !c.enabled {
+		return dst
+	}
+	for i := range cands {
+		dst = append(dst, cands[i].VA)
+		c.issued++
+	}
+	return dst
+}
+
+// cdpEngineState wraps the scanner's statistics with the adapter's own
+// counters so a restore replays identically.
+type cdpEngineState struct {
+	Core     core.State
+	Observed uint64
+	Issued   uint64
+}
+
+func (c *cdpEngine) MarshalState() ([]byte, error) {
+	var buf bytes.Buffer
+	st := cdpEngineState{Core: c.p.State(), Observed: c.observed, Issued: c.issued}
+	if err := gob.NewEncoder(&buf).Encode(st); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+func (c *cdpEngine) UnmarshalState(data []byte) error {
+	var st cdpEngineState
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&st); err != nil {
+		return err
+	}
+	if err := c.p.Restore(st.Core); err != nil {
+		return err
+	}
+	c.observed, c.issued = st.Observed, st.Issued
+	return nil
+}

@@ -11,7 +11,11 @@
 // the L1 miss stream, as in Figure 6 of the paper.
 package prefetch
 
-import "fmt"
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+)
 
 // StrideConfig sizes the reference-prediction table.
 type StrideConfig struct {
@@ -57,8 +61,9 @@ type strideEntry struct {
 
 // Stride is the reference-prediction-table stride prefetcher.
 type Stride struct {
-	cfg   StrideConfig
-	table []strideEntry
+	cfg     StrideConfig
+	table   []strideEntry
+	enabled bool
 
 	observed  uint64
 	predicted uint64
@@ -69,20 +74,56 @@ func NewStride(cfg StrideConfig) *Stride {
 	if cfg.TableEntries <= 0 || cfg.Degree <= 0 || cfg.Distance < 0 {
 		panic(fmt.Sprintf("prefetch: bad stride config %+v", cfg))
 	}
-	return &Stride{cfg: cfg, table: make([]strideEntry, cfg.TableEntries)}
+	return &Stride{cfg: cfg, table: make([]strideEntry, cfg.TableEntries), enabled: true}
 }
+
+var _ Prefetcher = (*Stride)(nil)
 
 // Config returns the table geometry.
 func (s *Stride) Config() StrideConfig { return s.cfg }
 
+// Name is the engine's registry name.
+func (s *Stride) Name() string { return "stride" }
+
+// Stream: the RPT monitors the L1 miss stream (Figure 6 of the paper).
+func (s *Stride) Stream() Stream { return StreamL1 }
+
+// Translate: stride predictions consult the DTLB and drop on a TLB miss.
+func (s *Stride) Translate() TranslateVia { return TranslateTLB }
+
+// SetEnabled toggles issue; training continues while disabled.
+func (s *Stride) SetEnabled(enabled bool) { s.enabled = enabled }
+
+// Counters reports the engine's lifetime counters.
+func (s *Stride) Counters() Counters {
+	return Counters{Observed: s.observed, Issued: s.predicted}
+}
+
+// Reset reverts to the just-constructed state.
+func (s *Stride) Reset() {
+	for i := range s.table {
+		s.table[i] = strideEntry{}
+	}
+	s.observed, s.predicted = 0, 0
+}
+
 // ObserveMiss trains on one L1 miss and returns the virtual addresses to
 // prefetch (empty unless the entry is steady with a non-zero stride).
 func (s *Stride) ObserveMiss(pc, va uint32) []uint32 {
+	return s.Observe(Event{PC: pc, VA: va}, nil)
+}
+
+// Observe trains on one L1 miss event and appends the predicted virtual
+// addresses to dst.
+//
+// simlint:hotpath
+func (s *Stride) Observe(ev Event, dst []uint32) []uint32 {
 	s.observed++
+	pc, va := ev.PC, ev.VA
 	e := &s.table[pc%uint32(len(s.table))]
 	if !e.valid || e.pc != pc {
-		*e = strideEntry{pc: pc, lastAddr: va, state: stInit, valid: true}
-		return nil
+		e.pc, e.lastAddr, e.stride, e.state, e.valid = pc, va, 0, stInit, true
+		return dst
 	}
 	stride := int32(va - e.lastAddr)
 	switch {
@@ -99,15 +140,14 @@ func (s *Stride) ObserveMiss(pc, va uint32) []uint32 {
 	}
 	e.lastAddr = va
 
-	if e.state != stSteady || e.stride == 0 {
-		return nil
+	if e.state != stSteady || e.stride == 0 || !s.enabled {
+		return dst
 	}
-	out := make([]uint32, 0, s.cfg.Degree)
 	for k := 1; k <= s.cfg.Degree; k++ {
-		out = append(out, va+uint32(e.stride*int32(s.cfg.Distance+k)))
+		dst = append(dst, va+uint32(e.stride*int32(s.cfg.Distance+k)))
 	}
-	s.predicted += uint64(len(out))
-	return out
+	s.predicted += uint64(s.cfg.Degree)
+	return dst
 }
 
 // WouldPredict reports whether a steady entry for pc would cover va as its
@@ -184,4 +224,23 @@ func (s *Stride) Restore(st State) error {
 	s.observed = st.Observed
 	s.predicted = st.Predicted
 	return nil
+}
+
+// MarshalState serialises the table for checkpointing (gob of State).
+func (s *Stride) MarshalState() ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(s.State()); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// UnmarshalState restores a MarshalState payload into a same-geometry
+// engine.
+func (s *Stride) UnmarshalState(data []byte) error {
+	var st State
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&st); err != nil {
+		return err
+	}
+	return s.Restore(st)
 }

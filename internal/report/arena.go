@@ -1,0 +1,93 @@
+package report
+
+import (
+	"fmt"
+	"sort"
+)
+
+// ArenaCell is one (engine, benchmark) result in an arena sweep.
+type ArenaCell struct {
+	Engine    string `json:"engine"`
+	Benchmark string `json:"benchmark"`
+	// Band classifies the benchmark by its stride-baseline miss rate
+	// (MPTU band), the paper's axis for where prefetching can matter.
+	Band string `json:"band"`
+
+	IPC  float64 `json:"ipc"`
+	MPTU float64 `json:"mptu"`
+	// Speedup is measured-cycles of the stride baseline over this cell's
+	// measured cycles on the same benchmark (1.0 = baseline parity).
+	Speedup float64 `json:"speedup"`
+
+	Issued   uint64  `json:"issued"`
+	Accuracy float64 `json:"accuracy"`
+}
+
+// MPTUBand buckets a stride-baseline misses-per-thousand-µops figure the
+// way the paper groups benchmarks: workloads that barely miss, the broad
+// middle, and the memory-bound tail where prefetching pays or dies.
+func MPTUBand(mptu float64) string {
+	switch {
+	case mptu < 1:
+		return "low"
+	case mptu < 8:
+		return "mid"
+	default:
+		return "high"
+	}
+}
+
+// ArenaLeaderboard renders the sweep as one ranked table (best speedup
+// first; ties break by engine then benchmark name so the rendering is
+// deterministic) followed by a per-engine mean-speedup summary.
+func ArenaLeaderboard(cells []ArenaCell) string {
+	ranked := make([]ArenaCell, len(cells))
+	copy(ranked, cells)
+	sort.SliceStable(ranked, func(i, j int) bool {
+		if ranked[i].Speedup != ranked[j].Speedup {
+			return ranked[i].Speedup > ranked[j].Speedup
+		}
+		if ranked[i].Engine != ranked[j].Engine {
+			return ranked[i].Engine < ranked[j].Engine
+		}
+		return ranked[i].Benchmark < ranked[j].Benchmark
+	})
+
+	t := &Table{
+		Title:   "Prefetcher arena",
+		Headers: []string{"rank", "engine", "benchmark", "band", "IPC", "MPTU", "speedup"},
+	}
+	for i, c := range ranked {
+		t.AddRow(i+1, c.Engine, c.Benchmark, c.Band, c.IPC, c.MPTU, fmt.Sprintf("%.4f", c.Speedup))
+	}
+	out := t.Render()
+
+	means := map[string]*struct {
+		sum float64
+		n   int
+	}{}
+	var engines []string
+	for _, c := range cells {
+		m, ok := means[c.Engine]
+		if !ok {
+			m = &struct {
+				sum float64
+				n   int
+			}{}
+			means[c.Engine] = m
+			engines = append(engines, c.Engine)
+		}
+		m.sum += c.Speedup
+		m.n++
+	}
+	sort.Slice(engines, func(i, j int) bool {
+		return means[engines[i]].sum/float64(means[engines[i]].n) >
+			means[engines[j]].sum/float64(means[engines[j]].n)
+	})
+	s := &Table{Title: "Mean speedup by engine", Headers: []string{"engine", "benchmarks", "mean speedup"}}
+	for _, e := range engines {
+		m := means[e]
+		s.AddRow(e, m.n, fmt.Sprintf("%.4f", m.sum/float64(m.n)))
+	}
+	return out + "\n" + s.Render()
+}

@@ -55,6 +55,12 @@ type MemState struct {
 	Stride     *prefetch.State
 	Content    *core.State
 	Markov     *markov.State
+	// AuxEngine pins the registry spec the Aux blob was captured from;
+	// Aux is the cfg.Engine entrant's opaque MarshalState payload. The
+	// interface owns the encoding, so new zoo entrants checkpoint without
+	// touching this struct again.
+	AuxEngine string
+	Aux       []byte
 }
 
 // state snapshots a quiesced memory system; it fails if anything is in
@@ -85,6 +91,14 @@ func (ms *MemSystem) state() (MemState, error) {
 		s := ms.mkv.State()
 		st.Markov = &s
 	}
+	if ms.aux != nil {
+		data, err := ms.aux.MarshalState()
+		if err != nil {
+			return MemState{}, err
+		}
+		st.AuxEngine = ms.cfg.Engine
+		st.Aux = data
+	}
 	return st, nil
 }
 
@@ -93,8 +107,12 @@ func (ms *MemSystem) state() (MemState, error) {
 func (ms *MemSystem) restore(st MemState) error {
 	if (st.Stride != nil) != (ms.stride != nil) ||
 		(st.Content != nil) != (ms.cdp != nil) ||
-		(st.Markov != nil) != (ms.mkv != nil) {
+		(st.Markov != nil) != (ms.mkv != nil) ||
+		(st.Aux != nil) != (ms.aux != nil) {
 		return fmt.Errorf("sim: snapshot prefetcher set does not match the configuration")
+	}
+	if ms.aux != nil && st.AuxEngine != ms.cfg.Engine {
+		return fmt.Errorf("sim: snapshot engine %q does not match configured engine %q", st.AuxEngine, ms.cfg.Engine)
 	}
 	if err := ms.l1.Restore(st.L1); err != nil {
 		return err
@@ -117,6 +135,11 @@ func (ms *MemSystem) restore(st MemState) error {
 	}
 	if ms.mkv != nil {
 		if err := ms.mkv.Restore(*st.Markov); err != nil {
+			return err
+		}
+	}
+	if ms.aux != nil {
+		if err := ms.aux.UnmarshalState(st.Aux); err != nil {
 			return err
 		}
 	}

@@ -14,6 +14,7 @@ import (
 	"repro/internal/cpu"
 	"repro/internal/markov"
 	"repro/internal/prefetch"
+	"repro/internal/prefetch/registry"
 	"repro/internal/tlb"
 )
 
@@ -50,6 +51,14 @@ type Config struct {
 	Content *core.Config
 	// Markov enables the Markov comparator of Section 5.
 	Markov *markov.Config
+	// Engine attaches one additional zoo entrant by registry spec
+	// ("pangloss", "bestoffset:degree=2", ... — see
+	// internal/prefetch/registry). The engine observes the miss stream its
+	// registration declares and issues at Markov arbitration rank,
+	// accounted under the markov prefetch source. A flat string keeps the
+	// engine and its parameters inside the simcache content hash with no
+	// new encoder cases. Empty attaches nothing.
+	Engine string
 
 	// InjectBadPrefetches floods every idle bus cycle with a useless
 	// prefetch, reproducing the pollution limit study of Section 3.5.
@@ -130,6 +139,14 @@ func (c Config) WithMarkov(stabBudgetBytes int, l2 cache.Config) Config {
 	return c
 }
 
+// WithEngine returns c with an additional zoo entrant attached by registry
+// spec.
+func (c Config) WithEngine(spec string) Config {
+	c.Engine = spec
+	c.Name = fmt.Sprintf("%s+%s", c.Name, spec)
+	return c
+}
+
 // Validate checks every configuration field and their cross-field
 // consistency. cfgcheck (cmd/simlint) enforces that no exported field is
 // ever added without either a check here or an explicit
@@ -169,6 +186,15 @@ func (c Config) Validate() error {
 	if c.Markov != nil {
 		if err := c.Markov.Validate(); err != nil {
 			return err
+		}
+	}
+	if c.Engine != "" {
+		eng, err := registry.Build(c.Engine)
+		if err != nil {
+			return err
+		}
+		if eng.Stream() == prefetch.StreamFill {
+			return fmt.Errorf("sim: engine %q scans fills; enable the content prefetcher via Content instead", c.Engine)
 		}
 	}
 	if c.MaxOps < 0 {

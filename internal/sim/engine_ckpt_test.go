@@ -1,0 +1,110 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+)
+
+// engineCkptConfig attaches one zoo entrant to the checkpointing machine so
+// snapshots carry the engine's opaque state blob.
+func engineCkptConfig(spec string) Config {
+	cfg := testConfig().WithEngine(spec)
+	cfg.WarmupOps = 12_000
+	cfg.CheckpointEveryOps = 5_000
+	return cfg
+}
+
+// TestResumeByteIdenticalEngines extends the resume tentpole to the
+// interface-native entrants: a run with pangloss or bestoffset attached
+// resumes from every boundary snapshot — engine table included — to the
+// uninterrupted result, byte for byte.
+func TestResumeByteIdenticalEngines(t *testing.T) {
+	for _, spec := range []string{"pangloss", "bestoffset"} {
+		t.Run(spec, func(t *testing.T) {
+			cfg := engineCkptConfig(spec)
+			var blobs [][]byte
+			want, err := RunCheckpointed(buildChase(t, 2000, 2, 2, true), cfg, func(s *Snapshot) error {
+				blob, err := EncodeSnapshot(s)
+				if err != nil {
+					return err
+				}
+				blobs = append(blobs, blob)
+				return nil
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(blobs) < 3 {
+				t.Fatalf("only %d boundaries hit; trace too short for the test to mean anything", len(blobs))
+			}
+			for i, blob := range blobs {
+				snap, err := DecodeSnapshot(blob)
+				if err != nil {
+					t.Fatalf("snapshot %d: %v", i, err)
+				}
+				got, err := Resume(buildChase(t, 2000, 2, 2, true), cfg, snap, nil)
+				if err != nil {
+					t.Fatalf("resume from boundary %d: %v", snap.OpsFetched, err)
+				}
+				sameResult(t, want, got)
+			}
+		})
+	}
+}
+
+// TestResumeRejectsEngineMismatch pins the snapshot guard for the Engine
+// field: a snapshot taken with one entrant must not restore into a machine
+// running another — or none.
+func TestResumeRejectsEngineMismatch(t *testing.T) {
+	cfg := engineCkptConfig("pangloss")
+	ck := buildChase(t, 1500, 1, 2, true)
+	var snap *Snapshot
+	if _, err := RunCheckpointed(ck, cfg, func(s *Snapshot) error {
+		if snap == nil {
+			snap = s
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if snap == nil {
+		t.Fatal("no snapshot captured")
+	}
+
+	other := engineCkptConfig("bestoffset")
+	other.Name = cfg.Name // bypass the name guard to hit the engine guard
+	if _, err := Resume(ck, other, snap, nil); err == nil {
+		t.Fatal("engine-spec mismatch accepted")
+	} else if !strings.Contains(err.Error(), "engine") {
+		t.Fatalf("mismatch error does not name the engine: %v", err)
+	}
+
+	bare := engineCkptConfig("pangloss")
+	bare.Engine = ""
+	bare.Name = cfg.Name
+	if _, err := Resume(ck, bare, snap, nil); err == nil {
+		t.Fatal("engine-presence mismatch accepted")
+	}
+}
+
+// TestValidateRejectsUnknownEngine is the regression the cdpsim exit-2
+// convention depends on: a bad Engine spec fails Validate with the
+// registry's full valid-name listing, so every surface (flag, API, config
+// file) reports the same actionable message.
+func TestValidateRejectsUnknownEngine(t *testing.T) {
+	cfg := Default().WithEngine("quake3")
+	err := cfg.Validate()
+	if err == nil {
+		t.Fatal("unknown engine passed Validate")
+	}
+	if !strings.Contains(err.Error(), "valid: bestoffset, cdp, markov, pangloss, stride") {
+		t.Fatalf("error does not list valid engines: %v", err)
+	}
+
+	// Fill-stream engines must be rejected with a pointer at the Content
+	// knob rather than silently double-wiring the CDP.
+	cdp := Default().WithEngine("cdp")
+	if err := cdp.Validate(); err == nil || !strings.Contains(err.Error(), "Content") {
+		t.Fatalf("fill-stream engine spec not redirected to Content: %v", err)
+	}
+}

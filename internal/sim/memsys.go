@@ -9,6 +9,7 @@ import (
 	"repro/internal/markov"
 	"repro/internal/mem"
 	"repro/internal/prefetch"
+	"repro/internal/prefetch/registry"
 	"repro/internal/simtrace"
 	"repro/internal/stats"
 	"repro/internal/tlb"
@@ -32,9 +33,23 @@ type MemSystem struct {
 	l2q  *bus.Arbiter
 	busq *bus.Arbiter
 
+	// stride and mkv keep typed handles for checkpointing and the tuning
+	// experiments; aux is the cfg.Engine zoo entrant. All miss-stream
+	// engines are *driven* only through ports, the ordered Prefetcher
+	// chain (stride first, then the L2-stream engines), so adding an
+	// engine to the zoo never touches the observe code again. The CDP is
+	// not in the chain: its stored-depth/rescan coupling with the cache
+	// needs the full core.Prefetcher surface (see DESIGN.md §12).
 	stride *prefetch.Stride
 	cdp    *core.Prefetcher
 	mkv    *markov.Markov
+	aux    prefetch.Prefetcher
+	ports  []enginePort
+
+	// engBuf is the scratch slice engine predictions are appended into;
+	// reused across Observe calls so the steady-state miss path allocates
+	// nothing.
+	engBuf []uint32
 
 	inflight map[uint32]*bus.Request // by physical line base
 	sched    scheduler
@@ -117,15 +132,33 @@ func NewMemSystem(cfg *Config, space *mem.AddressSpace, st *stats.Counters, mptu
 	}
 	if cfg.Stride != nil {
 		ms.stride = prefetch.NewStride(*cfg.Stride)
+		ms.ports = append(ms.ports, enginePort{eng: ms.stride, class: bus.ClassStride})
 	}
 	if cfg.Content != nil {
 		ms.cdp = core.New(*cfg.Content)
 	}
 	if cfg.Markov != nil {
 		ms.mkv = markov.New(*cfg.Markov)
+		ms.ports = append(ms.ports, enginePort{eng: ms.mkv, class: bus.ClassMarkov})
 	}
+	if cfg.Engine != "" {
+		// Validate (above) already proved the spec builds a miss-stream
+		// engine. Zoo entrants issue at Markov arbitration rank and are
+		// accounted under the markov prefetch source: adding a bus class
+		// and a cache source per entrant would grow every per-source
+		// report table (and its goldens) for no modelled difference.
+		ms.aux = registry.MustBuild(cfg.Engine)
+		ms.ports = append(ms.ports, enginePort{eng: ms.aux, class: bus.ClassMarkov})
+	}
+	ms.engBuf = make([]uint32, 0, 16)
 	ms.sched.ms = ms
 	return ms
+}
+
+// enginePort binds a zoo engine to the bus class its predictions issue at.
+type enginePort struct {
+	eng   prefetch.Prefetcher
+	class bus.Class
 }
 
 // newRequest returns a zeroed request, recycling one retired by fillArrive
@@ -220,7 +253,7 @@ func (ms *MemSystem) Load(cycle int64, va, pc uint32, done func(int64)) {
 		return
 	}
 	ms.st.L1Misses++
-	strideIssued := ms.observeStride(cycle, pc, va)
+	strideIssued := ms.observeL1Miss(cycle, pc, va)
 	if pa, ok := ms.dtlb.Lookup(va); ok {
 		// TLB hit: continue synchronously without building the walk
 		// continuation (which would otherwise be allocated on every L1
@@ -254,7 +287,7 @@ func (ms *MemSystem) Store(cycle int64, va, pc uint32, done func(int64)) {
 		done(cycle + ms.cfg.L1Lat)
 		return
 	}
-	strideIssued := ms.observeStride(cycle, pc, va)
+	strideIssued := ms.observeL1Miss(cycle, pc, va)
 	if pa, ok := ms.dtlb.Lookup(va); ok {
 		ms.l2Access(cycle, pa, va, done, strideIssued, true)
 		return
@@ -269,29 +302,70 @@ func (ms *MemSystem) Store(cycle int64, va, pc uint32, done func(int64)) {
 	})
 }
 
-// observeStride trains the stride prefetcher on an L1 miss and issues its
-// predictions. It reports whether any stride prefetch entered the memory
-// system for this reference (the Markov blocking condition).
-func (ms *MemSystem) observeStride(cycle int64, pc, va uint32) bool {
-	if ms.stride == nil {
-		return false
-	}
+// observeL1Miss drives every L1-stream engine on one L1 miss and issues
+// their predictions. It reports whether any prefetch entered the memory
+// system for this reference (the blocking condition later engines see as
+// PriorIssued — the paper's stride-blocks-Markov rule).
+func (ms *MemSystem) observeL1Miss(cycle int64, pc, va uint32) bool {
 	issued := false
-	for _, pva := range ms.stride.ObserveMiss(pc, va) {
-		// The stride engine translates through the DTLB; a prefetch
-		// whose page is not resident is dropped (no speculative walk
-		// for stride requests).
-		pa, ok := ms.dtlb.Lookup(pva)
-		if !ok {
-			ms.st.PrefDroppedUnmapped++
+	for i := range ms.ports {
+		p := &ms.ports[i]
+		if p.eng.Stream() != prefetch.StreamL1 {
 			continue
 		}
-		ms.noteStrideLine(lineBase(pa))
-		if ms.enqueuePrefetch(cycle, pa, pva, pva, bus.ClassStride, 0, false) {
-			issued = true
+		preds := p.eng.Observe(prefetch.Event{PC: pc, VA: va, PriorIssued: issued}, ms.engBuf[:0])
+		for _, pva := range preds {
+			if ms.issuePrediction(cycle, pva, p) {
+				issued = true
+			}
 		}
+		ms.engBuf = preds[:0]
 	}
 	return issued
+}
+
+// observeL2Miss drives every L2-stream engine on one UL2 demand miss (line
+// granularity). priorIssued seeds the precedence chain with the L1-stream
+// outcome; each engine that issues blocks the ones after it.
+func (ms *MemSystem) observeL2Miss(slot int64, va uint32, priorIssued bool) {
+	prior := priorIssued
+	for i := range ms.ports {
+		p := &ms.ports[i]
+		if p.eng.Stream() != prefetch.StreamL2 {
+			continue
+		}
+		preds := p.eng.Observe(prefetch.Event{VA: lineBase(va), PriorIssued: prior}, ms.engBuf[:0])
+		for _, lv := range preds {
+			if ms.issuePrediction(slot, lv, p) {
+				prior = true
+			}
+		}
+		ms.engBuf = preds[:0]
+	}
+}
+
+// issuePrediction translates one predicted virtual address per the
+// engine's declared mode and enqueues it at the port's bus class. TLB-mode
+// predictions whose page is not resident are dropped (no speculative walk
+// for miss-stream engines); direct-mode predictions consult the software
+// page map and drop unmapped lines. Reports whether the request entered
+// the memory system.
+func (ms *MemSystem) issuePrediction(at int64, pva uint32, p *enginePort) bool {
+	var pa uint32
+	var ok bool
+	if p.eng.Translate() == prefetch.TranslateTLB {
+		pa, ok = ms.dtlb.Lookup(pva)
+	} else {
+		pa, ok = ms.space.Translate(pva)
+	}
+	if !ok {
+		ms.st.PrefDroppedUnmapped++
+		return false
+	}
+	if p.class == bus.ClassStride {
+		ms.noteStrideLine(lineBase(pa))
+	}
+	return ms.enqueuePrefetch(at, pa, pva, pva, p.class, 0, false)
 }
 
 // noteStrideLine records a stride-requested physical line for the
@@ -396,11 +470,7 @@ func (ms *MemSystem) l2Access(at int64, pa, va uint32, done func(int64), strideI
 		ms.st.L2Misses++
 		ms.mptu.Record(ms.st.RetiredUops)
 	}
-	if ms.mkv != nil {
-		for _, lv := range ms.mkv.ObserveMiss(lineBase(va), strideIssued) {
-			ms.issueMarkovPrefetch(slot, lv)
-		}
-	}
+	ms.observeL2Miss(slot, va, strideIssued)
 	paBase := lineBase(pa)
 	if req := ms.inflight[paBase]; req != nil {
 		// A matching transaction is in flight. If it is a prefetch, the
@@ -561,18 +631,6 @@ func (ms *MemSystem) finishContentPrefetch(at int64, pa uint32, cand core.Candid
 	if ms.enqueuePrefetch2(at, pa, cand.VA, cand.Pointer, bus.ClassContent, cand.Depth, overlap, cand.Widened, chain) && overlap {
 		ms.st.CDPOverlapIssued++
 	}
-}
-
-// issueMarkovPrefetch enqueues one Markov-predicted line (VA-keyed; the
-// STAB is modelled as translation-free, so the software map is consulted
-// directly, and unmapped predictions are dropped).
-func (ms *MemSystem) issueMarkovPrefetch(at int64, lineVA uint32) {
-	pa, ok := ms.space.Translate(lineVA)
-	if !ok {
-		ms.st.PrefDroppedUnmapped++
-		return
-	}
-	ms.enqueuePrefetch(at, pa, lineVA, lineVA, bus.ClassMarkov, 0, false)
 }
 
 // enqueuePrefetch applies the drop rules (already present, already in

@@ -60,6 +60,27 @@ func KeyForExperiment(id string, ops int, reps bool) Key {
 	return k
 }
 
+// KeyForArena hashes one arena-sweep request. The engine and benchmark
+// lists are length-prefixed so no concatenation of two lists collides with
+// a different split of the same names.
+func KeyForArena(benchmarks, engines []string, ops int) Key {
+	h := sha256.New()
+	e := encoder{h: h}
+	e.str("arena")
+	e.i64(int64(ops))
+	e.u64(uint64(len(benchmarks)))
+	for _, b := range benchmarks {
+		e.str(b)
+	}
+	e.u64(uint64(len(engines)))
+	for _, eng := range engines {
+		e.str(eng)
+	}
+	var k Key
+	h.Sum(k[:0])
+	return k
+}
+
 // encoder writes an injective binary form of a value tree into a hash.
 // Every atom is prefixed with a kind tag and, where variable-length, a
 // length, so no two distinct value trees share an encoding — the property
