@@ -3,6 +3,14 @@
 // and cached by content hash, and /metrics exposes queue, cache, and
 // throughput telemetry. See internal/api for the endpoint catalogue.
 //
+// Roles: the default -role standalone is the single-process daemon. -role
+// coordinator serves the same API but owns no simulator — it routes each
+// job to its content key's owner on a consistent-hash ring of workers and
+// steals jobs back from workers that die mid-run. -role worker joins a
+// coordinator (-join URL), heartbeats a lease, and serves its share of the
+// keyspace; its result cache becomes the shared tier (memory, disk spill
+// under -cache-dir, then peer fetch from the ring). See internal/cluster.
+//
 // Resilience: -checkpoint-dir persists boundary snapshots of running
 // simulations so a killed daemon resumes them on restart (byte-identical
 // results); watermark flags shed low-priority work and flip /readyz under
@@ -21,8 +29,10 @@ import (
 	"flag"
 	"fmt"
 	"log/slog"
+	"net"
 	"net/http"
 	_ "net/http/pprof" // registers /debug/pprof on the default mux, served only at -debug-addr
+	"net/url"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -31,6 +41,7 @@ import (
 	"time"
 
 	"repro/internal/api"
+	"repro/internal/cluster"
 	"repro/internal/faultinject"
 	"repro/internal/jobq"
 	"repro/internal/simcache"
@@ -45,6 +56,13 @@ type options struct {
 	cacheMB    int
 	jobTimeout time.Duration
 	drain      time.Duration
+
+	role     string
+	joinURL  string
+	name     string
+	selfURL  string
+	cacheDir string
+	leaseTTL time.Duration
 
 	checkpointDir   string
 	checkpointEvery int
@@ -75,10 +93,31 @@ func parseLogLevel(s string) (slog.Level, error) {
 	return 0, fmt.Errorf("-log-level must be debug, info, warn, or error; got %q", s)
 }
 
+// checkBaseURL validates a flag that must name a reachable HTTP endpoint.
+func checkBaseURL(flagName, raw string) error {
+	u, err := url.Parse(raw)
+	if err != nil || !u.IsAbs() || u.Host == "" || (u.Scheme != "http" && u.Scheme != "https") {
+		return fmt.Errorf("%s %q is not an absolute http(s) URL, e.g. %s http://127.0.0.1:8080", flagName, raw, flagName)
+	}
+	return nil
+}
+
+// checkWritableDir creates dir if needed and probes it with a throwaway
+// file so a typoed path fails at startup, not at first use.
+func checkWritableDir(flagName, dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("%s %q is not creatable: %v", flagName, dir, err)
+	}
+	probe := filepath.Join(dir, ".cdpd-probe")
+	if err := os.WriteFile(probe, nil, 0o644); err != nil {
+		return fmt.Errorf("%s %q is not writable: %v", flagName, dir, err)
+	}
+	_ = os.Remove(probe)
+	return nil
+}
+
 // validate rejects configurations that cannot work, each with a one-line
-// message that says how to fix it. It also probes the checkpoint
-// directory for writability so a typoed path fails at startup, not at the
-// first boundary snapshot.
+// message that says how to fix it.
 func validate(o options) error {
 	if o.addr == "" {
 		return errors.New("-addr must not be empty; pass host:port, e.g. -addr 127.0.0.1:8080")
@@ -98,6 +137,35 @@ func validate(o options) error {
 	if o.drain < 0 {
 		return fmt.Errorf("-drain must be >= 0; got %v", o.drain)
 	}
+	switch o.role {
+	case "", "standalone", "coordinator", "worker": // empty = standalone, so a zero options value stays valid
+	default:
+		return fmt.Errorf("-role must be standalone, coordinator, or worker; got %q", o.role)
+	}
+	if o.role == "worker" && o.joinURL == "" {
+		return errors.New("-role worker requires -join (the coordinator's base URL, e.g. -join http://127.0.0.1:8080)")
+	}
+	if o.joinURL != "" {
+		if o.role != "worker" {
+			return fmt.Errorf("-join only applies to -role worker; got -role %s", o.role)
+		}
+		if err := checkBaseURL("-join", o.joinURL); err != nil {
+			return err
+		}
+	}
+	if o.selfURL != "" {
+		if err := checkBaseURL("-self-url", o.selfURL); err != nil {
+			return err
+		}
+	}
+	if o.leaseTTL < 0 {
+		return fmt.Errorf("-lease-ttl must be >= 0 (0 = default %v); got %v", cluster.DefaultLeaseTTL, o.leaseTTL)
+	}
+	if o.cacheDir != "" {
+		if err := checkWritableDir("-cache-dir", o.cacheDir); err != nil {
+			return err
+		}
+	}
 	if o.checkpointEvery < 0 {
 		return fmt.Errorf("-checkpoint-every must be >= 0 µops (0 disables segmentation); got %d", o.checkpointEvery)
 	}
@@ -111,14 +179,9 @@ func validate(o options) error {
 		return fmt.Errorf("-shed-watermark (%g) must not exceed -overload-watermark (%g); shedding is the earlier defense", o.shedWatermark, o.overloadWM)
 	}
 	if o.checkpointDir != "" {
-		if err := os.MkdirAll(o.checkpointDir, 0o755); err != nil {
-			return fmt.Errorf("-checkpoint-dir %q is not creatable: %v", o.checkpointDir, err)
+		if err := checkWritableDir("-checkpoint-dir", o.checkpointDir); err != nil {
+			return err
 		}
-		probe := filepath.Join(o.checkpointDir, ".cdpd-probe")
-		if err := os.WriteFile(probe, nil, 0o644); err != nil {
-			return fmt.Errorf("-checkpoint-dir %q is not writable: %v", o.checkpointDir, err)
-		}
-		_ = os.Remove(probe)
 	}
 	if o.faults != "" {
 		if _, err := faultinject.Parse(o.faultSeed, o.faults); err != nil {
@@ -134,6 +197,20 @@ func validate(o options) error {
 	return nil
 }
 
+// advertiseURL derives the URL peers reach a worker at when -self-url is
+// not given: the listen address with a wildcard host rewritten to
+// loopback.
+func advertiseURL(addr string) string {
+	host, port, err := net.SplitHostPort(addr)
+	if err != nil {
+		return "http://" + addr
+	}
+	if host == "" || host == "0.0.0.0" || host == "::" {
+		host = "127.0.0.1"
+	}
+	return "http://" + net.JoinHostPort(host, port)
+}
+
 func main() {
 	var o options
 	flag.StringVar(&o.addr, "addr", "127.0.0.1:8080", "listen address")
@@ -142,6 +219,12 @@ func main() {
 	flag.IntVar(&o.cacheMB, "cache-mb", 64, "result cache bound in MiB")
 	flag.DurationVar(&o.jobTimeout, "job-timeout", 10*time.Minute, "per-job deadline (0 = none)")
 	flag.DurationVar(&o.drain, "drain", 30*time.Second, "graceful-shutdown drain deadline")
+	flag.StringVar(&o.role, "role", "standalone", "standalone, coordinator, or worker")
+	flag.StringVar(&o.joinURL, "join", "", "coordinator base URL (required for -role worker)")
+	flag.StringVar(&o.name, "name", "", "worker's stable ring identity (default: derived from -addr)")
+	flag.StringVar(&o.selfURL, "self-url", "", "base URL peers reach this worker at (default: derived from -addr)")
+	flag.StringVar(&o.cacheDir, "cache-dir", "", "disk spill tier for the result cache (empty = memory only)")
+	flag.DurationVar(&o.leaseTTL, "lease-ttl", 0, "coordinator worker-lease TTL (0 = default 3s)")
 	flag.StringVar(&o.checkpointDir, "checkpoint-dir", "", "persist boundary snapshots here and resume them on restart (empty = off)")
 	flag.IntVar(&o.checkpointEvery, "checkpoint-every", 0, "default snapshot interval in fetched µops for submitted sims (0 = unsegmented)")
 	flag.Float64Var(&o.shedWatermark, "shed-watermark", 0, "queue-depth fraction beyond which priority<0 work is shed (0 = 0.75)")
@@ -175,33 +258,114 @@ func main() {
 	}
 	logger := slog.New(slog.NewJSONHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
 
-	queue := jobq.New(jobq.Config{
+	queueCfg := jobq.Config{
 		Workers:    o.workers,
 		Capacity:   o.queueCap,
 		JobTimeout: o.jobTimeout,
-	})
-	cache := simcache.New(int64(o.cacheMB) << 20)
-	server, err := api.NewWithOptions(queue, cache, api.Options{
+	}
+	apiOpts := api.Options{
 		CheckpointDir:      o.checkpointDir,
 		CheckpointEveryOps: o.checkpointEvery,
 		ShedWatermark:      o.shedWatermark,
 		OverloadWatermark:  o.overloadWM,
 		AdaptiveTimeout:    o.adaptiveTimeout,
 		Logger:             logger,
-	})
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "cdpd: %v\n", err)
-		os.Exit(2)
 	}
-	if n, err := server.RecoverJobs(); err != nil {
-		fmt.Fprintf(os.Stderr, "cdpd: checkpoint recovery: %v\n", err)
-	} else if n > 0 {
-		fmt.Fprintf(os.Stderr, "cdpd: resumed %d persisted job(s) from %s\n", n, o.checkpointDir)
+
+	// Each role yields an HTTP handler and a drain routine; everything
+	// after this switch (listeners, signals, shutdown sequencing) is
+	// role-agnostic.
+	var handler http.Handler
+	var drain func(ctx context.Context)
+	switch o.role {
+	case "coordinator":
+		coord, err := cluster.NewCoordinator(cluster.CoordinatorOptions{
+			LeaseTTL:           o.leaseTTL,
+			CheckpointEveryOps: o.checkpointEvery,
+			CacheBytes:         int64(o.cacheMB) << 20,
+			Queue:              queueCfg,
+			Logger:             logger,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cdpd: %v\n", err)
+			os.Exit(2)
+		}
+		handler = coord
+		drain = func(ctx context.Context) {
+			coord.API().SetDraining(true)
+			if err := coord.Close(ctx); err != nil {
+				fmt.Fprintf(os.Stderr, "cdpd: drain deadline passed, canceled remaining jobs: %v\n", err)
+			}
+		}
+
+	case "worker":
+		name := o.name
+		selfURL := o.selfURL
+		if selfURL == "" {
+			selfURL = advertiseURL(o.addr)
+		}
+		if name == "" {
+			name = "worker-" + o.addr
+		}
+		wrk, err := cluster.NewWorker(cluster.WorkerOptions{
+			Name:       name,
+			SelfURL:    selfURL,
+			JoinURL:    o.joinURL,
+			CacheDir:   o.cacheDir,
+			CacheBytes: int64(o.cacheMB) << 20,
+			Queue:      queueCfg,
+			API:        apiOpts,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cdpd: %v\n", err)
+			os.Exit(2)
+		}
+		// No RecoverJobs here: cluster checkpoint dirs are shared, and a
+		// worker must not bulk-adopt snapshots that belong to jobs the
+		// coordinator will route (and resume) by content key anyway.
+		wrk.Start()
+		fmt.Fprintf(os.Stderr, "cdpd: worker %q joining %s as %s\n", name, o.joinURL, selfURL)
+		handler = wrk
+		drain = func(ctx context.Context) {
+			wrk.API().SetDraining(true)
+			if err := wrk.Close(ctx); err != nil {
+				fmt.Fprintf(os.Stderr, "cdpd: drain deadline passed, canceled remaining jobs: %v\n", err)
+			}
+		}
+
+	default: // standalone
+		queue := jobq.New(queueCfg)
+		var resultCache api.ResultCache
+		mem := simcache.New(int64(o.cacheMB) << 20)
+		if o.cacheDir != "" {
+			tiered := simcache.NewTiered(mem, o.cacheDir, nil)
+			defer tiered.Close()
+			resultCache = tiered
+		} else {
+			resultCache = mem
+		}
+		server, err := api.NewWithOptions(queue, resultCache, apiOpts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cdpd: %v\n", err)
+			os.Exit(2)
+		}
+		if n, err := server.RecoverJobs(); err != nil {
+			fmt.Fprintf(os.Stderr, "cdpd: checkpoint recovery: %v\n", err)
+		} else if n > 0 {
+			fmt.Fprintf(os.Stderr, "cdpd: resumed %d persisted job(s) from %s\n", n, o.checkpointDir)
+		}
+		handler = server
+		drain = func(ctx context.Context) {
+			server.SetDraining(true)
+			if err := queue.Shutdown(ctx); err != nil {
+				fmt.Fprintf(os.Stderr, "cdpd: drain deadline passed, canceled remaining jobs: %v\n", err)
+			}
+		}
 	}
 
 	httpSrv := &http.Server{
 		Addr:              o.addr,
-		Handler:           server,
+		Handler:           handler,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 
@@ -227,7 +391,7 @@ func main() {
 
 	errCh := make(chan error, 1)
 	go func() {
-		fmt.Fprintf(os.Stderr, "cdpd: listening on http://%s\n", o.addr)
+		fmt.Fprintf(os.Stderr, "cdpd: %s listening on http://%s\n", o.role, o.addr)
 		errCh <- httpSrv.ListenAndServe()
 	}()
 
@@ -242,12 +406,9 @@ func main() {
 	// here, stop the queue (drain or cancel within the deadline), then
 	// close the listener once responses for finished jobs have gone out.
 	fmt.Fprintln(os.Stderr, "cdpd: shutting down")
-	server.SetDraining(true)
 	drainCtx, cancel := context.WithTimeout(context.Background(), o.drain)
 	defer cancel()
-	if err := queue.Shutdown(drainCtx); err != nil {
-		fmt.Fprintf(os.Stderr, "cdpd: drain deadline passed, canceled remaining jobs: %v\n", err)
-	}
+	drain(drainCtx)
 	if err := httpSrv.Shutdown(drainCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
 		fmt.Fprintf(os.Stderr, "cdpd: http shutdown: %v\n", err)
 	}

@@ -60,6 +60,115 @@ func TestValidate(t *testing.T) {
 	}
 }
 
+// TestValidateClusterFlags pins the cluster startup contract: role/join
+// combinations that cannot work die with exit-worthy one-line messages
+// naming the flag, and every coherent combination is accepted.
+func TestValidateClusterFlags(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*options)
+		want string // "" = must be accepted
+	}{
+		{"standalone explicit", func(o *options) { o.role = "standalone" }, ""},
+		{"coordinator", func(o *options) { o.role = "coordinator" }, ""},
+		{"worker with join", func(o *options) {
+			o.role = "worker"
+			o.joinURL = "http://127.0.0.1:8080"
+		}, ""},
+		{"bad role", func(o *options) { o.role = "follower" }, "-role"},
+		{"worker without join", func(o *options) { o.role = "worker" }, "-join"},
+		{"join on standalone", func(o *options) { o.joinURL = "http://127.0.0.1:8080" }, "-join"},
+		{"join on coordinator", func(o *options) {
+			o.role = "coordinator"
+			o.joinURL = "http://127.0.0.1:8080"
+		}, "-join"},
+		{"relative join URL", func(o *options) {
+			o.role = "worker"
+			o.joinURL = "127.0.0.1:8080"
+		}, "-join"},
+		{"unparseable join URL", func(o *options) {
+			o.role = "worker"
+			o.joinURL = "http://bad url:x"
+		}, "-join"},
+		{"bad self URL", func(o *options) {
+			o.role = "worker"
+			o.joinURL = "http://127.0.0.1:8080"
+			o.selfURL = "not-a-url"
+		}, "-self-url"},
+		{"negative lease TTL", func(o *options) {
+			o.role = "coordinator"
+			o.leaseTTL = -time.Second
+		}, "-lease-ttl"},
+	}
+	for _, c := range cases {
+		o := goodOptions()
+		c.mut(&o)
+		err := validate(o)
+		if c.want == "" {
+			if err != nil {
+				t.Errorf("%s: rejected: %v", c.name, err)
+			}
+			continue
+		}
+		if err == nil {
+			t.Errorf("%s: accepted", c.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: message %q does not mention %q", c.name, err, c.want)
+		}
+		if strings.ContainsRune(err.Error(), '\n') {
+			t.Errorf("%s: message is not one line: %q", c.name, err)
+		}
+	}
+}
+
+// TestValidateCacheDirProbe: the shared-cache spill directory gets the same
+// startup writability probe as the checkpoint dir — an unwritable path is a
+// one-line -cache-dir error, a creatable one is made and left empty.
+func TestValidateCacheDirProbe(t *testing.T) {
+	base := t.TempDir()
+	file := filepath.Join(base, "occupied")
+	if err := os.WriteFile(file, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	o := goodOptions()
+	o.cacheDir = filepath.Join(file, "sub")
+	if err := validate(o); err == nil || !strings.Contains(err.Error(), "-cache-dir") {
+		t.Fatalf("impossible dir: %v, want a -cache-dir error", err)
+	}
+
+	o.cacheDir = filepath.Join(base, "spill")
+	if err := validate(o); err != nil {
+		t.Fatalf("creatable dir rejected: %v", err)
+	}
+	entries, err := os.ReadDir(o.cacheDir)
+	if err != nil {
+		t.Fatalf("validate did not create the dir: %v", err)
+	}
+	if len(entries) != 0 {
+		t.Fatalf("probe file left behind: %v", entries)
+	}
+}
+
+// TestAdvertiseURL: wildcard listen addresses advertise a dialable
+// loopback URL; concrete hosts advertise themselves.
+func TestAdvertiseURL(t *testing.T) {
+	cases := map[string]string{
+		":8080":            "http://127.0.0.1:8080",
+		"0.0.0.0:9090":     "http://127.0.0.1:9090",
+		"[::]:7070":        "http://127.0.0.1:7070",
+		"10.1.2.3:8080":    "http://10.1.2.3:8080",
+		"localhost:0":      "http://localhost:0",
+		"192.168.1.5:6060": "http://192.168.1.5:6060",
+	}
+	for addr, want := range cases {
+		if got := advertiseURL(addr); got != want {
+			t.Errorf("advertiseURL(%q) = %q, want %q", addr, got, want)
+		}
+	}
+}
+
 // TestValidateCheckpointDirProbe: an impossible checkpoint path (a file in
 // the way) fails at startup with the path in the message, and a good path
 // is created and left probe-free.

@@ -47,11 +47,22 @@ const (
 	maxStoredTraces = 16
 )
 
+// ResultCache is the slice of the result cache the handlers use. Both the
+// plain in-memory simcache.Cache and the cluster's simcache.TieredCache
+// (mem → disk spill → peer fetch) satisfy it, which is how a worker joins
+// the shared content-addressed tier without the handlers changing: the
+// tiered cache's GetOrCompute probes the colder tiers before compute runs.
+type ResultCache interface {
+	Get(k simcache.Key) ([]byte, bool)
+	GetOrCompute(k simcache.Key, compute func() ([]byte, error)) ([]byte, bool, error)
+	Stats() simcache.Stats
+}
+
 // Server wires the handlers to a queue and a cache. Construct with New or
 // NewWithOptions.
 type Server struct {
 	queue    *jobq.Queue
-	cache    *simcache.Cache
+	cache    ResultCache
 	mux      *http.ServeMux
 	draining atomic.Bool
 	opts     Options
@@ -72,7 +83,7 @@ type Server struct {
 
 // New builds a server around an already-running queue and cache with the
 // default (zero) resilience options.
-func New(q *jobq.Queue, c *simcache.Cache) *Server {
+func New(q *jobq.Queue, c ResultCache) *Server {
 	s, err := NewWithOptions(q, c, Options{})
 	if err != nil {
 		// Only the checkpoint store can fail, and Options{} has none.
@@ -84,7 +95,7 @@ func New(q *jobq.Queue, c *simcache.Cache) *Server {
 // NewWithOptions builds a server with an explicit resilience
 // configuration. It fails only when the checkpoint directory cannot be
 // created.
-func NewWithOptions(q *jobq.Queue, c *simcache.Cache, opts Options) (*Server, error) {
+func NewWithOptions(q *jobq.Queue, c ResultCache, opts Options) (*Server, error) {
 	s := &Server{
 		queue:       q,
 		cache:       c,
@@ -133,6 +144,20 @@ func (s *Server) SetDraining(v bool) { s.draining.Store(v) }
 type jobPayload struct {
 	data   []byte
 	cached bool // true when served from a resident simcache entry
+}
+
+// JobResult packs a terminal job value in the shape the job handlers
+// (GET /v1/jobs/{id} and friends) decode. The cluster coordinator stores a
+// remote worker's answer through this, so a proxied job is
+// indistinguishable from a local one to every polling and streaming
+// client.
+func JobResult(data []byte, cached bool) any { return jobPayload{data: data, cached: cached} }
+
+// JobResultBytes unpacks a value packed by JobResult (or produced by a
+// local sim/arena job).
+func JobResultBytes(v any) (data []byte, cached bool, ok bool) {
+	p, ok := v.(jobPayload)
+	return p.data, p.cached, ok
 }
 
 // envelope is the terminal response shape for results.
@@ -206,9 +231,22 @@ func (s *Server) handleSubmitSim(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	id := "sim-" + key.String()
+	id := SimJobID(key)
+	var resume *sim.Snapshot
+	if s.store != nil && cfg.CheckpointEveryOps > 0 {
+		// A snapshot persisted under this content-keyed ID — by a previous
+		// process, or by a dead cluster peer when the checkpoint dir is
+		// shared — lets the run pick up from its last boundary instead of
+		// µop zero. This is the work-stealing resume path: the coordinator
+		// resubmits a stolen job to a new worker, and the new worker finds
+		// the victim's snapshot right here.
+		if resume = s.store.loadSnapshot(id); resume != nil {
+			s.resumedJobs.Add(1)
+		}
+	}
+	traced := req.Trace && resume == nil
 	job, err := s.queue.SubmitTimeout(id, req.Priority, s.adaptiveTimeout(ops),
-		s.simJob(id, spec, cfg, ops, key, nil, time.Now(), req.Trace))
+		s.simJob(id, spec, cfg, ops, key, resume, time.Now(), traced))
 	if errors.Is(err, jobq.ErrDuplicateID) {
 		// The same request is already queued or running; attach to it
 		// instead of spending another slot.

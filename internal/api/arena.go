@@ -178,6 +178,97 @@ func arenaConfig(base sim.Config, engineSpec string) (sim.Config, error) {
 	}
 }
 
+// ArenaCellRequest maps one arena cell onto the POST /v1/sim request that
+// reproduces arenaConfig's configuration — and therefore the same content
+// key. The cluster coordinator's arena fan-out builds cells from these, so
+// a cell computed on any worker fills the exact cache entry that worker's
+// own /v1/sim and /v1/arena paths read; a drift test pins the equivalence.
+// The stride baseline each benchmark is ranked against is the "stride"
+// cell.
+func ArenaCellRequest(bench, engineSpec string, ops int) (SimRequest, error) {
+	name, params, err := registry.ParseSpec(engineSpec)
+	if err != nil {
+		return SimRequest{}, fmt.Errorf("arena: %w", err)
+	}
+	req := SimRequest{Benchmark: bench, Ops: ops}
+	switch name {
+	case "stride", "cdp", "markov":
+		if len(params) > 0 {
+			return SimRequest{}, fmt.Errorf(
+				"arena: engine %q runs its canonical configuration; parameters are not supported here (use POST /v1/sim)", name)
+		}
+	}
+	switch name {
+	case "stride":
+		// The baseline machine: stride is always on, nothing else is.
+	case "cdp":
+		req.CDP = true
+	case "markov":
+		req.MarkovKB = 512
+	default:
+		if err := registry.Validate(engineSpec); err != nil {
+			return SimRequest{}, fmt.Errorf("arena: %w", err)
+		}
+		req.Engine = engineSpec
+	}
+	return req, nil
+}
+
+// ArenaCellKey is the content key the standalone arena computes one cell
+// under (the arenaConfig path). The cluster drift test pins
+// ArenaCellRequest's resolved key to it, so the two spellings of a cell
+// can never silently diverge.
+func ArenaCellKey(bench, engineSpec string, ops int) (simcache.Key, error) {
+	spec, err := workloads.ByName(bench)
+	if err != nil {
+		return simcache.Key{}, err
+	}
+	cfg, err := arenaConfig(arenaBase(ops), engineSpec)
+	if err != nil {
+		return simcache.Key{}, err
+	}
+	return simcache.KeyFor(spec, cfg, ops), nil
+}
+
+// MarshalArenaReport renders the cacheable arena payload. Exported so the
+// coordinator's distributed fan-out and the local arenaJob produce the
+// same bytes for the same cells.
+func MarshalArenaReport(ops int, benchmarks, engines []string, cells []report.ArenaCell) ([]byte, error) {
+	return json.Marshal(arenaReport{
+		Ops:         ops,
+		Benchmarks:  benchmarks,
+		Engines:     engines,
+		Cells:       cells,
+		Leaderboard: report.ArenaLeaderboard(cells),
+	})
+}
+
+// MakeArenaCell assembles one leaderboard cell from a benchmark's stride
+// baseline result and the engine under test's. Exported so the
+// coordinator's distributed fan-out attributes and ranks cells exactly as
+// the local arenaJob does.
+func MakeArenaCell(engine, bench string, base, res *SimResult) report.ArenaCell {
+	cell := report.ArenaCell{
+		Engine:    engine,
+		Benchmark: bench,
+		Band:      report.MPTUBand(base.MPTU),
+		IPC:       res.IPC,
+		MPTU:      res.MPTU,
+		Speedup:   float64(base.MeasuredCycles) / float64(res.MeasuredCycles),
+	}
+	// Attribute the cell to the source the engine under test issues at:
+	// interface-native entrants account under markov, cdp under content,
+	// and the baseline's own stride stream is the fallback.
+	for _, src := range []string{"content", "markov", "stride"} {
+		if p, ok := res.Prefetch[src]; ok {
+			cell.Issued = p.Issued
+			cell.Accuracy = p.Accuracy
+			break
+		}
+	}
+	return cell
+}
+
 // arenaJob sweeps the benchmark × engine matrix. Every cell — and the
 // stride baseline each benchmark is ranked against — flows through
 // GetOrCompute under the /v1/sim content key, so concurrent arenas and
@@ -203,7 +294,6 @@ func (s *Server) arenaJob(benchmarks, engines []string, ops int, key simcache.Ke
 				if err != nil {
 					return nil, err
 				}
-				band := report.MPTUBand(baseRes.MPTU)
 				for _, eng := range engines {
 					if err := ctx.Err(); err != nil {
 						return nil, err
@@ -218,35 +308,10 @@ func (s *Server) arenaJob(benchmarks, engines []string, ops int, key simcache.Ke
 					if err != nil {
 						return nil, err
 					}
-					cell := report.ArenaCell{
-						Engine:    eng,
-						Benchmark: bench,
-						Band:      band,
-						IPC:       res.IPC,
-						MPTU:      res.MPTU,
-						Speedup:   float64(baseRes.MeasuredCycles) / float64(res.MeasuredCycles),
-					}
-					// Attribute the cell to the source the engine under test
-					// issues at: interface-native entrants account under
-					// markov, cdp under content, and the baseline's own
-					// stride stream is the fallback.
-					for _, src := range []string{"content", "markov", "stride"} {
-						if p, ok := res.Prefetch[src]; ok {
-							cell.Issued = p.Issued
-							cell.Accuracy = p.Accuracy
-							break
-						}
-					}
-					cells = append(cells, cell)
+					cells = append(cells, MakeArenaCell(eng, bench, baseRes, res))
 				}
 			}
-			return json.Marshal(arenaReport{
-				Ops:         ops,
-				Benchmarks:  benchmarks,
-				Engines:     engines,
-				Cells:       cells,
-				Leaderboard: report.ArenaLeaderboard(cells),
-			})
+			return MarshalArenaReport(ops, benchmarks, engines, cells)
 		})
 		if err != nil {
 			return nil, err

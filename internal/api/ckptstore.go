@@ -76,6 +76,23 @@ func (st *ckptStore) saveSnapshot(id string, snap *sim.Snapshot) error {
 	return st.writeAtomic(filepath.Join(st.dir, id+snapSuffix), blob)
 }
 
+// loadSnapshot returns id's persisted boundary snapshot, or nil when none
+// exists or it fails to decode (a torn file degrades to a from-scratch
+// run, exactly like load's recovery path). The submit path uses it to
+// resume a job a dead cluster peer had in flight when the checkpoint
+// directory is shared.
+func (st *ckptStore) loadSnapshot(id string) *sim.Snapshot {
+	blob, err := os.ReadFile(filepath.Join(st.dir, id+snapSuffix))
+	if err != nil {
+		return nil
+	}
+	snap, err := sim.DecodeSnapshot(blob)
+	if err != nil {
+		return nil
+	}
+	return snap
+}
+
 // remove deletes both files for id (job finished, canceled, or stale).
 func (st *ckptStore) remove(id string) {
 	_ = os.Remove(filepath.Join(st.dir, id+reqSuffix))
@@ -148,7 +165,7 @@ func (s *Server) RecoverJobs() (int, error) {
 			continue
 		}
 		key := simcache.KeyFor(spec, cfg, ops)
-		if id := "sim-" + key.String(); id != p.id {
+		if id := SimJobID(key); id != p.id {
 			// Hash scheme changed across the restart; the snapshot would
 			// land under a different job anyway.
 			s.store.remove(p.id)

@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/benchio"
 	"repro/internal/sim"
+	"repro/internal/simcache"
 )
 
 // handleMetrics is GET /metrics in the Prometheus text exposition format:
@@ -52,6 +53,19 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	p("cdpd_cache_bytes", "Resident cache payload bytes.", "gauge", cs.Bytes)
 	p("cdpd_cache_max_bytes", "Cache byte bound.", "gauge", cs.MaxBytes)
 	p("cdpd_cache_hit_rate", "Hits over hits+misses since start.", "gauge", hitRate)
+
+	// The colder cache tiers exist only when the server was built around a
+	// tiered cache (cluster workers, or a standalone daemon with
+	// -cache-dir); a plain in-memory cache exports nothing here.
+	if tc, ok := s.cache.(interface{ TierStats() simcache.TierStats }); ok {
+		ts := tc.TierStats()
+		p("cdpd_cache_disk_hits_total", "Result-cache lookups served from the disk spill tier.", "counter", ts.DiskHits)
+		p("cdpd_cache_disk_misses_total", "Disk-tier probes that found no entry.", "counter", ts.DiskMisses)
+		p("cdpd_cache_spill_writes_total", "Results persisted to the disk spill tier.", "counter", ts.SpillWrites)
+		p("cdpd_cache_spill_errors_total", "Disk spills that failed (result still served).", "counter", ts.SpillErrors)
+		p("cdpd_cache_peer_hits_total", "Result-cache lookups served by a cluster peer.", "counter", ts.PeerHits)
+		p("cdpd_cache_peer_misses_total", "Peer-tier probes no peer could serve.", "counter", ts.PeerMisses)
+	}
 
 	p("cdpd_sims_total", "Simulations completed since the server started.", "counter", sims)
 	p("cdpd_sims_per_second", "Simulation throughput since start.", "gauge", simsPerSec)

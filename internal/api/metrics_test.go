@@ -9,6 +9,8 @@ import (
 	"testing"
 
 	"repro/internal/jobq"
+	"repro/internal/promtest"
+	"repro/internal/simcache"
 )
 
 // scrapeMetrics fetches /metrics and returns the body.
@@ -25,82 +27,6 @@ func scrapeMetrics(t *testing.T, s *Server) string {
 	return w.Body.String()
 }
 
-// metricFamily is what the exposition parser reconstructs per series name.
-type metricFamily struct {
-	help    bool
-	typ     string
-	samples []string // full sample lines, labels included
-}
-
-// parseExposition validates the Prometheus text format line by line and
-// groups samples under their family: HELP and TYPE must precede the first
-// sample, sample names must belong to a declared family (histograms own
-// their _bucket/_sum/_count suffixes), and every value must parse as a
-// float.
-func parseExposition(t *testing.T, body string) map[string]*metricFamily {
-	t.Helper()
-	fams := map[string]*metricFamily{}
-	for ln, line := range strings.Split(strings.TrimRight(body, "\n"), "\n") {
-		if line == "" {
-			continue
-		}
-		if rest, ok := strings.CutPrefix(line, "# HELP "); ok {
-			name, help, ok := strings.Cut(rest, " ")
-			if !ok || help == "" {
-				t.Fatalf("line %d: HELP without text: %q", ln+1, line)
-			}
-			if fams[name] == nil {
-				fams[name] = &metricFamily{}
-			}
-			fams[name].help = true
-			continue
-		}
-		if rest, ok := strings.CutPrefix(line, "# TYPE "); ok {
-			name, typ, ok := strings.Cut(rest, " ")
-			if !ok {
-				t.Fatalf("line %d: TYPE without a type: %q", ln+1, line)
-			}
-			switch typ {
-			case "counter", "gauge", "histogram":
-			default:
-				t.Fatalf("line %d: invalid TYPE %q", ln+1, line)
-			}
-			if fams[name] == nil {
-				t.Fatalf("line %d: TYPE %s before its HELP", ln+1, name)
-			}
-			if len(fams[name].samples) > 0 {
-				t.Fatalf("line %d: TYPE %s after its samples", ln+1, name)
-			}
-			fams[name].typ = typ
-			continue
-		}
-		if strings.HasPrefix(line, "#") {
-			t.Fatalf("line %d: unknown comment %q", ln+1, line)
-		}
-		name := line
-		if i := strings.IndexAny(line, "{ "); i >= 0 {
-			name = line[:i]
-		}
-		base := name
-		for _, suffix := range []string{"_bucket", "_sum", "_count"} {
-			if b, ok := strings.CutSuffix(name, suffix); ok && fams[b] != nil && fams[b].typ == "histogram" {
-				base = b
-				break
-			}
-		}
-		fam := fams[base]
-		if fam == nil || !fam.help || fam.typ == "" {
-			t.Fatalf("line %d: sample %q not preceded by HELP and TYPE", ln+1, name)
-		}
-		val := line[strings.LastIndex(line, " ")+1:]
-		if _, err := strconv.ParseFloat(val, 64); err != nil {
-			t.Fatalf("line %d: value %q does not parse: %v", ln+1, val, err)
-		}
-		fam.samples = append(fam.samples, line)
-	}
-	return fams
-}
-
 // TestMetricsExpositionFormat scrapes /metrics and validates the whole
 // payload: every series carries HELP and TYPE, types are legal, and the
 // three latency histograms expose cumulative le-labelled buckets ending at
@@ -114,13 +40,13 @@ func TestMetricsExpositionFormat(t *testing.T) {
 		t.Fatalf("warm-up sim: %d %s", w.Code, w.Body)
 	}
 
-	fams := parseExposition(t, scrapeMetrics(t, s))
+	fams := promtest.ParseExposition(t, scrapeMetrics(t, s))
 
 	for _, name := range []string{
 		"cdpd_queue_depth", "cdpd_jobs_completed_total", "cdpd_cache_hits_total",
 		"cdpd_sims_total", "cdpd_heap_alloc_bytes",
 	} {
-		if fams[name] == nil || len(fams[name].samples) == 0 {
+		if fams[name] == nil || len(fams[name].Samples) == 0 {
 			t.Errorf("series %s missing from /metrics", name)
 		}
 	}
@@ -132,13 +58,13 @@ func TestMetricsExpositionFormat(t *testing.T) {
 		if fam == nil {
 			t.Fatalf("histogram %s missing from /metrics", name)
 		}
-		if fam.typ != "histogram" {
-			t.Fatalf("%s TYPE = %q, want histogram", name, fam.typ)
+		if fam.Type != "histogram" {
+			t.Fatalf("%s TYPE = %q, want histogram", name, fam.Type)
 		}
 		var buckets, infCount, count int
 		var sawSum bool
 		prev := -1
-		for _, sample := range fam.samples {
+		for _, sample := range fam.Samples {
 			switch {
 			case strings.HasPrefix(sample, name+"_bucket{le="):
 				buckets++
@@ -178,7 +104,7 @@ func TestMetricsExpositionFormat(t *testing.T) {
 		"cdpd_queue_wait_seconds", "cdpd_run_duration_seconds", "cdpd_cache_lookup_seconds",
 	} {
 		countLine := ""
-		for _, sample := range fams[name].samples {
+		for _, sample := range fams[name].Samples {
 			if strings.HasPrefix(sample, name+"_count ") {
 				countLine = sample
 			}
@@ -186,5 +112,39 @@ func TestMetricsExpositionFormat(t *testing.T) {
 		if countLine == fmt.Sprintf("%s_count 0", name) {
 			t.Errorf("%s observed nothing despite a completed simulation", name)
 		}
+	}
+}
+
+// TestMetricsTierSeries: a server whose cache is the tiered wrapper grows
+// the cold-tier series, and a plain-cache server does not expose them at
+// all (the block is conditional on the tier being present).
+func TestMetricsTierSeries(t *testing.T) {
+	plain, _ := newTestServer(t, jobq.Config{Workers: 1, Capacity: 4})
+	if fams := promtest.ParseExposition(t, scrapeMetrics(t, plain)); fams["cdpd_cache_disk_hits_total"] != nil {
+		t.Fatalf("plain-cache server exposes tier series")
+	}
+
+	queue := jobq.New(jobq.Config{Workers: 1, Capacity: 4})
+	t.Cleanup(func() { queue.Shutdown(t.Context()) })
+	tiered := simcache.NewTiered(simcache.New(1<<20), t.TempDir(), nil)
+	t.Cleanup(tiered.Close)
+	s := New(queue, tiered)
+
+	if w := postSim(t, s, `{"benchmark": "quake", "ops": 10000, "wait": true}`); w.Code != http.StatusOK {
+		t.Fatalf("warm-up sim: %d %s", w.Code, w.Body)
+	}
+
+	fams := promtest.ParseExposition(t, scrapeMetrics(t, s))
+	for _, name := range []string{
+		"cdpd_cache_disk_hits_total", "cdpd_cache_disk_misses_total",
+		"cdpd_cache_spill_writes_total", "cdpd_cache_spill_errors_total",
+		"cdpd_cache_peer_hits_total", "cdpd_cache_peer_misses_total",
+	} {
+		if fams[name] == nil || len(fams[name].Samples) == 0 {
+			t.Errorf("tier series %s missing from /metrics", name)
+		}
+	}
+	if got := fams["cdpd_cache_spill_writes_total"].Value(t, 0); got < 1 {
+		t.Errorf("spill writes = %v after a computed sim, want >= 1", got)
 	}
 }

@@ -8,7 +8,9 @@ import (
 
 	"repro/internal/cache"
 	"repro/internal/core"
+	"repro/internal/prefetch/registry"
 	"repro/internal/sim"
+	"repro/internal/simcache"
 	"repro/internal/workloads"
 )
 
@@ -30,6 +32,16 @@ type SimRequest struct {
 	// MarkovKB enables the Markov comparator with the given STAB budget
 	// (-1 = unbounded).
 	MarkovKB int `json:"markov_kb,omitempty"`
+
+	// Engine selects an interface-native prefetcher from the registry by
+	// spec ("pangloss", "bestoffset:offsets=best", ...). The three engines
+	// with bespoke simulator wiring keep their dedicated knobs above
+	// (stride is the always-on baseline, cdp and markov_kb enable theirs);
+	// naming them here is rejected so every configuration has exactly one
+	// request spelling — and therefore exactly one content key. The
+	// coordinator's arena fan-out rides this field so a cell lands on a
+	// worker under the exact content key the worker's own arena would use.
+	Engine string `json:"engine,omitempty"`
 
 	L2KB       int  `json:"l2_kb,omitempty"`       // 0 = 1024
 	L2Ways     int  `json:"l2_ways,omitempty"`     // 0 = 8
@@ -120,11 +132,38 @@ func buildSim(req SimRequest) (workloads.Spec, sim.Config, int, error) {
 		}
 		cfg = cfg.WithMarkov(budget, cfg.L2)
 	}
+	if req.Engine != "" {
+		name, _, err := registry.ParseSpec(req.Engine)
+		if err != nil {
+			return workloads.Spec{}, sim.Config{}, 0, err
+		}
+		switch name {
+		case "stride", "cdp", "markov":
+			return workloads.Spec{}, sim.Config{}, 0, fmt.Errorf(
+				"engine %q has a dedicated request knob (stride is always on; use \"cdp\" or \"markov_kb\"); \"engine\" is for interface-native entrants", name)
+		}
+		cfg = cfg.WithEngine(req.Engine)
+	}
 	if err := cfg.Validate(); err != nil {
 		return workloads.Spec{}, sim.Config{}, 0, fmt.Errorf("invalid configuration: %w", err)
 	}
 	return spec, cfg, ops, nil
 }
+
+// ResolveSim resolves a request exactly as the submit handler does, for
+// callers that must agree with this server about content keys — the
+// cluster coordinator routes by simcache.KeyFor over these outputs, and
+// where its routing disagreed with the workers' own resolution the
+// "same key, same owner, computed once" guarantee would silently rot.
+func ResolveSim(req SimRequest) (workloads.Spec, sim.Config, int, error) {
+	return buildSim(req)
+}
+
+// SimJobID is the content-keyed job ID for one simulation. Deriving the ID
+// from the key (not a sequence number) is what makes retries, duplicate
+// submissions, daemon restarts, and cluster work stealing all converge on
+// one job handle.
+func SimJobID(key simcache.Key) string { return "sim-" + key.String() }
 
 func benchmarkNames() []string {
 	specs := workloads.All()

@@ -11,6 +11,13 @@
 // hits the result cache, attaches to the still-running original job, or
 // recomputes a byte-identical result. The client never needs to ask
 // "did my first attempt actually go through?".
+//
+// Against a cluster the same discipline extends across daemons: redirects
+// to a job's owning worker are followed transparently (requests are built
+// with a rewindable body, so even a 307 on POST /v1/sim replays safely —
+// content keying makes the replay idempotent), and circuit breakers are
+// per endpoint, so one dead worker fails fast without cutting off the
+// coordinator or its healthy peers (see WithBaseURL).
 package client
 
 import (
@@ -22,6 +29,7 @@ import (
 	"io"
 	"math/rand"
 	"net/http"
+	"net/url"
 	"strconv"
 	"strings"
 	"sync"
@@ -110,6 +118,71 @@ func (c Config) breakerCooldown() time.Duration {
 // attempts and hammering it helps nobody.
 var ErrCircuitOpen = errors.New("client: circuit open, daemon recently unreachable")
 
+// breaker is one endpoint's circuit state: consecutive transport failures,
+// and when the circuit opened (zero when closed). Each endpoint gets its
+// own — in a cluster the client talks to the coordinator and, via
+// WithBaseURL or redirects, to individual workers, and one dead worker
+// must not open the circuit for the whole fleet.
+type breaker struct {
+	mu       sync.Mutex
+	failures int       // simlint:guardedby mu
+	openedAt time.Time // simlint:guardedby mu
+	probing  bool      // simlint:guardedby mu
+}
+
+// allow gates a call on the circuit state: closed lets everything through,
+// open rejects until the cooldown elapses, then exactly one half-open
+// probe is allowed through at a time.
+func (b *breaker) allow(cfg *Config) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.openedAt.IsZero() {
+		return nil
+	}
+	if cfg.Now().Sub(b.openedAt) < cfg.breakerCooldown() || b.probing {
+		return ErrCircuitOpen
+	}
+	b.probing = true
+	return nil
+}
+
+// record feeds one attempt's outcome back. spoke means the server answered
+// coherently — even a 429 or a 400 closes the circuit, because the daemon
+// is demonstrably up and talking; only connection failures and torn
+// responses count toward opening it.
+func (b *breaker) record(cfg *Config, spoke bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.probing = false
+	if spoke {
+		b.failures = 0
+		b.openedAt = time.Time{}
+		return
+	}
+	b.failures++
+	if b.failures >= cfg.breakerThreshold() {
+		b.openedAt = cfg.Now()
+	}
+}
+
+// breakerSet maps endpoint (URL host) to its breaker. Clients derived with
+// WithBaseURL share one set, so circuit history survives retargeting.
+type breakerSet struct {
+	mu sync.Mutex
+	m  map[string]*breaker // simlint:guardedby mu
+}
+
+func (s *breakerSet) forHost(host string) *breaker {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b, ok := s.m[host]
+	if !ok {
+		b = &breaker{}
+		s.m[host] = b
+	}
+	return b
+}
+
 // APIError is a non-2xx answer that is NOT retryable (or exhausted its
 // retries): the server spoke, and this is what it said.
 type APIError struct {
@@ -123,15 +196,10 @@ func (e *APIError) Error() string {
 
 // Client is safe for concurrent use.
 type Client struct {
-	cfg  Config
-	http *http.Client
-
-	// breaker state: consecutive transport failures, and when the circuit
-	// opened (zero when closed).
-	mu       sync.Mutex
-	failures int       // simlint:guardedby mu
-	openedAt time.Time // simlint:guardedby mu
-	probing  bool      // simlint:guardedby mu
+	cfg      Config
+	http     *http.Client
+	host     string // breaker key for cfg.BaseURL
+	breakers *breakerSet
 }
 
 // New builds a client; cfg.BaseURL is the only required field.
@@ -158,7 +226,34 @@ func New(cfg Config) *Client {
 	if cfg.Now == nil {
 		cfg.Now = time.Now
 	}
-	return &Client{cfg: cfg, http: h}
+	return &Client{
+		cfg:      cfg,
+		http:     h,
+		host:     hostOf(cfg.BaseURL),
+		breakers: &breakerSet{m: map[string]*breaker{}},
+	}
+}
+
+// hostOf extracts the breaker key for a base URL; an unparseable URL keys
+// by its raw string (the request build will fail loudly anyway).
+func hostOf(base string) string {
+	u, err := url.Parse(base)
+	if err != nil || u.Host == "" {
+		return base
+	}
+	return u.Host
+}
+
+// WithBaseURL returns a client targeting base that shares this client's
+// transport, retry configuration, and per-endpoint breaker state. Cluster
+// callers hold one logical client and retarget it at the coordinator or an
+// individual worker; a circuit opened against one endpoint stays open for
+// the derived clients pointing there and only there.
+func (c *Client) WithBaseURL(base string) *Client {
+	dup := *c
+	dup.cfg.BaseURL = base
+	dup.host = hostOf(base)
+	return &dup
 }
 
 // Envelope is a terminal result: the rendered simulation outcome plus
@@ -232,6 +327,9 @@ func (c *Client) do(ctx context.Context, method, path string, body []byte, out a
 	var lastErr error
 	for attempt := 0; ; attempt++ {
 		if err := c.breakerAllow(); err != nil {
+			// The breaker state belongs to this client's endpoint host; a
+			// sibling client from WithBaseURL targeting a healthy daemon is
+			// unaffected.
 			if lastErr != nil {
 				return fmt.Errorf("%w (last attempt: %v)", err, lastErr)
 			}
@@ -263,6 +361,9 @@ func (c *Client) do(ctx context.Context, method, path string, body []byte, out a
 func (c *Client) once(ctx context.Context, method, path string, body []byte, out any) (spoke, retryable bool, wait time.Duration, err error) {
 	var rd io.Reader
 	if body != nil {
+		// bytes.Reader gives NewRequest a GetBody, which is what lets the
+		// transport replay the body across a 307/308 redirect to a job's
+		// owning worker instead of failing the cross-daemon hop.
 		rd = bytes.NewReader(body)
 	}
 	req, err := http.NewRequestWithContext(ctx, method, c.cfg.BaseURL+path, rd)
@@ -352,43 +453,19 @@ func (c *Client) jitteredBackoff(attempt int) time.Duration {
 	return d
 }
 
-// breakerAllow gates a call on the circuit state: closed lets everything
-// through, open rejects until the cooldown elapses, then exactly one
-// half-open probe is allowed through at a time.
+// breakerAllow gates a call on this endpoint's circuit.
 func (c *Client) breakerAllow() error {
 	if c.cfg.breakerThreshold() < 0 {
 		return nil
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if c.openedAt.IsZero() {
-		return nil
-	}
-	if c.cfg.Now().Sub(c.openedAt) < c.cfg.breakerCooldown() || c.probing {
-		return ErrCircuitOpen
-	}
-	c.probing = true
-	return nil
+	return c.breakers.forHost(c.host).allow(&c.cfg)
 }
 
-// breakerRecord feeds one attempt's outcome back. spoke means the server
-// answered coherently — even a 429 or a 400 closes the circuit, because
-// the daemon is demonstrably up and talking; only connection failures and
-// torn responses count toward opening it.
+// breakerRecord feeds one attempt's outcome back to this endpoint's
+// circuit.
 func (c *Client) breakerRecord(spoke bool) {
 	if c.cfg.breakerThreshold() < 0 {
 		return
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.probing = false
-	if spoke {
-		c.failures = 0
-		c.openedAt = time.Time{}
-		return
-	}
-	c.failures++
-	if c.failures >= c.cfg.breakerThreshold() {
-		c.openedAt = c.cfg.Now()
-	}
+	c.breakers.forHost(c.host).record(&c.cfg, spoke)
 }

@@ -3,8 +3,10 @@ package client
 import (
 	"context"
 	"errors"
+	"io"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -201,6 +203,88 @@ func TestCircuitBreaker(t *testing.T) {
 	}
 	if _, err := c.RunSim(ctx, api.SimRequest{Benchmark: "b2c"}); err != nil {
 		t.Fatalf("closed circuit: %v", err)
+	}
+}
+
+// TestWithBaseURLBreakerIsolation: WithBaseURL shares the breaker set, but
+// circuits are per endpoint host — opening the circuit against a dead
+// worker leaves a sibling client pointed at a healthy coordinator working.
+func TestWithBaseURLBreakerIsolation(t *testing.T) {
+	clk := &fakeClock{}
+	dead := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	dead.Close() // port released: every dial is refused
+	up, upCalls := scriptedServer(t, []int{200}, `{"cached":false,"result":{}}`)
+
+	base := New(Config{
+		BaseURL:          up.URL,
+		MaxRetries:       -1,
+		BreakerThreshold: 2,
+		BreakerCooldown:  time.Hour,
+		Sleep:            noSleep,
+		Now:              clk.Now,
+	})
+	worker := base.WithBaseURL(dead.URL)
+	if worker.breakers != base.breakers {
+		t.Fatal("WithBaseURL did not share the breaker set")
+	}
+	if worker.http != base.http {
+		t.Fatal("WithBaseURL did not share the transport")
+	}
+
+	ctx := context.Background()
+	for i := 0; i < 2; i++ {
+		if _, err := worker.RunSim(ctx, api.SimRequest{Benchmark: "b2c"}); err == nil {
+			t.Fatal("dead worker answered")
+		}
+	}
+	if _, err := worker.RunSim(ctx, api.SimRequest{Benchmark: "b2c"}); !errors.Is(err, ErrCircuitOpen) {
+		t.Fatalf("worker circuit past threshold: %v, want open", err)
+	}
+	// The coordinator's circuit never saw those failures.
+	if _, err := base.RunSim(ctx, api.SimRequest{Benchmark: "b2c"}); err != nil {
+		t.Fatalf("healthy endpoint caught the dead worker's circuit: %v", err)
+	}
+	if got := upCalls.Load(); got != 1 {
+		t.Fatalf("healthy endpoint saw %d calls, want 1", got)
+	}
+	// And a second derived client for the SAME dead host inherits the open
+	// circuit — that is the point of sharing the set.
+	if _, err := base.WithBaseURL(dead.URL).RunSim(ctx, api.SimRequest{Benchmark: "b2c"}); !errors.Is(err, ErrCircuitOpen) {
+		t.Fatalf("re-derived client to the open host: %v, want circuit open", err)
+	}
+}
+
+// TestPostFollowsRedirectWithBody: a 307 from the coordinator to the job's
+// owning worker replays the POST body (bytes.Reader supplies GetBody), so
+// cross-daemon hops are invisible to the caller.
+func TestPostFollowsRedirectWithBody(t *testing.T) {
+	var gotBody atomic.Value
+	owner := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		b, _ := io.ReadAll(r.Body)
+		gotBody.Store(string(b))
+		w.WriteHeader(200)
+		_, _ = w.Write([]byte(`{"cached":true,"result":{}}`))
+	}))
+	t.Cleanup(owner.Close)
+	front := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Redirect(w, r, owner.URL+r.URL.Path, http.StatusTemporaryRedirect)
+	}))
+	t.Cleanup(front.Close)
+
+	c := New(Config{BaseURL: front.URL, Sleep: noSleep})
+	env, err := c.RunSim(context.Background(), api.SimRequest{Benchmark: "b2c", Ops: 12345})
+	if err != nil {
+		t.Fatalf("redirected POST: %v", err)
+	}
+	if !env.Cached {
+		t.Fatal("lost the cached flag across the redirect")
+	}
+	body, _ := gotBody.Load().(string)
+	if body == "" {
+		t.Fatal("redirect target never saw the request")
+	}
+	if !strings.Contains(body, `"ops":12345`) || !strings.Contains(body, `"benchmark":"b2c"`) {
+		t.Fatalf("body not replayed across the 307: %s", body)
 	}
 }
 

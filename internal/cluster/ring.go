@@ -1,0 +1,155 @@
+// Package cluster promotes cdpd from a single process to a
+// coordinator/worker fleet. The coordinator owns cluster membership (worker
+// registration, heartbeat leases, expiry) and routes every simulation job
+// by consistent hashing on its simcache content key, so identical requests
+// from any client land on the same worker and hit that worker's cache
+// tiers. Workers run the ordinary internal/api server plus a peer-fetch
+// endpoint that serves their resident results to the rest of the ring.
+//
+// Failure handling is work stealing on top of the PR 4 resilience layer: a
+// worker that stops answering (transport error mid-forward, or a lapsed
+// heartbeat lease) is dropped from the ring and its in-flight jobs are
+// re-routed to the next owner, which resumes from the latest persisted
+// boundary snapshot when the checkpoint directory is shared. Content keys
+// make the whole scheme idempotent — a stolen job recomputes or resumes to
+// a byte-identical result under the same job ID.
+package cluster
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"repro/internal/simcache"
+)
+
+// DefaultVirtualNodes is the per-member vnode count. 160 points per member
+// keeps the peak/mean key-share ratio tight (the ring property test pins
+// the bound) while membership changes stay O(members·vnodes·log) to
+// rebuild.
+const DefaultVirtualNodes = 160
+
+// ringPoint is one virtual node: a position on the 64-bit ring owned by a
+// member.
+type ringPoint struct {
+	hash   uint64
+	member string
+}
+
+// Ring is a consistent-hash ring over member names with virtual nodes.
+// Vnode positions depend only on the member's name, so adding or removing
+// one member moves only the keys whose arc it claims or frees (~K/N of
+// them), never reshuffles the rest — the property the ring tests pin.
+//
+// Ring is not safe for concurrent use; the coordinator and worker guard
+// theirs with their own mutex.
+type Ring struct {
+	vnodes int
+	points []ringPoint // sorted by hash
+}
+
+// NewRing builds an empty ring with the given vnode count per member
+// (<=0 uses DefaultVirtualNodes).
+func NewRing(vnodes int) *Ring {
+	if vnodes <= 0 {
+		vnodes = DefaultVirtualNodes
+	}
+	return &Ring{vnodes: vnodes}
+}
+
+// vnodeHash positions one virtual node. sha256 keeps the positions
+// uniform enough for the balance bound without a seeded RNG (simlint's
+// detrand has nothing to flag here: positions are a pure function of the
+// member name).
+func vnodeHash(member string, i int) uint64 {
+	var buf [8]byte
+	binary.BigEndian.PutUint64(buf[:], uint64(i))
+	sum := sha256.Sum256(append([]byte(member+"#"), buf[:]...))
+	return binary.BigEndian.Uint64(sum[:8])
+}
+
+// SetMembers rebuilds the ring for exactly the given member names.
+// Rebuilding from scratch is deliberate: vnode hashes are stable functions
+// of the names, so the rebuilt ring is identical to an incrementally
+// edited one and the minimal-movement property still holds.
+func (r *Ring) SetMembers(names []string) {
+	r.points = r.points[:0]
+	for _, name := range names {
+		for i := 0; i < r.vnodes; i++ {
+			r.points = append(r.points, ringPoint{hash: vnodeHash(name, i), member: name})
+		}
+	}
+	sort.Slice(r.points, func(a, b int) bool {
+		if r.points[a].hash != r.points[b].hash {
+			return r.points[a].hash < r.points[b].hash
+		}
+		// Hash ties (astronomically rare) break by name so two ring
+		// replicas built from the same member set agree on every owner.
+		return r.points[a].member < r.points[b].member
+	})
+}
+
+// Members returns the distinct member names on the ring, sorted.
+func (r *Ring) Members() []string {
+	seen := map[string]bool{}
+	for _, p := range r.points {
+		seen[p.member] = true
+	}
+	out := make([]string, 0, len(seen))
+	for name := range seen {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// keyPoint maps a content key onto the ring. Keys are already sha256
+// outputs, so their leading bytes are uniform.
+func keyPoint(key simcache.Key) uint64 {
+	return binary.BigEndian.Uint64(key[:8])
+}
+
+// Owner returns the member owning key: the first vnode clockwise from the
+// key's position. ok is false on an empty ring.
+func (r *Ring) Owner(key simcache.Key) (string, bool) {
+	if len(r.points) == 0 {
+		return "", false
+	}
+	h := keyPoint(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	return r.points[i].member, true
+}
+
+// Successors returns up to n distinct members in ring order starting at
+// the key's owner. The second entry is the member that owned (part of) the
+// key's arc before the newest remap in the common join case, which is why
+// the peer-fetch tier asks it first when the owner itself misses.
+func (r *Ring) Successors(key simcache.Key, n int) []string {
+	if len(r.points) == 0 || n <= 0 {
+		return nil
+	}
+	h := keyPoint(key)
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if start == len(r.points) {
+		start = 0
+	}
+	var out []string
+	seen := map[string]bool{}
+	for i := 0; i < len(r.points) && len(out) < n; i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if !seen[p.member] {
+			seen[p.member] = true
+			out = append(out, p.member)
+		}
+	}
+	return out
+}
+
+// String renders the ring's occupancy for logs and the members endpoint.
+func (r *Ring) String() string {
+	return fmt.Sprintf("ring(%d members, %d points)", len(r.Members()), len(r.points))
+}

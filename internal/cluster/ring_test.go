@@ -1,0 +1,186 @@
+package cluster
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"testing"
+
+	"repro/internal/simcache"
+)
+
+// testKey derives a deterministic, well-mixed content key from an index —
+// the same way real keys are made (sha256 of the request), so the
+// distribution these tests measure is the distribution production sees.
+func testKey(i int) simcache.Key {
+	var buf [8]byte
+	binary.BigEndian.PutUint64(buf[:], uint64(i))
+	return simcache.Key(sha256.Sum256(buf[:]))
+}
+
+func memberNames(n int) []string {
+	names := make([]string, n)
+	for i := range names {
+		names[i] = fmt.Sprintf("worker-%d", i)
+	}
+	return names
+}
+
+func ownersOf(r *Ring, keys int) map[int]string {
+	out := make(map[int]string, keys)
+	for i := 0; i < keys; i++ {
+		name, ok := r.Owner(testKey(i))
+		if !ok {
+			panic("ring with members returned no owner")
+		}
+		out[i] = name
+	}
+	return out
+}
+
+// TestRingDistributionBalance: with the default virtual-node count, every
+// member's share of a large keyspace stays within ±35% of the fair share.
+// (160 vnodes gives a relative standard deviation around 8%; 35% is a
+// comfortable, non-flaky bound that still catches a broken hash or a
+// member accidentally inserted once instead of vnodes times.)
+func TestRingDistributionBalance(t *testing.T) {
+	const members, keys = 8, 100_000
+	r := NewRing(DefaultVirtualNodes)
+	r.SetMembers(memberNames(members))
+
+	counts := map[string]int{}
+	for _, owner := range ownersOf(r, keys) {
+		counts[owner]++
+	}
+	if len(counts) != members {
+		t.Fatalf("only %d of %d members own keys: %v", len(counts), members, counts)
+	}
+	fair := float64(keys) / members
+	for name, n := range counts {
+		if ratio := float64(n) / fair; ratio < 0.65 || ratio > 1.35 {
+			t.Errorf("%s owns %d keys (%.2f× fair share %v); want within ±35%%", name, n, ratio, fair)
+		}
+	}
+}
+
+// TestRingJoinMovesOnlyToNewMember: adding a member may only move keys TO
+// the new member — every key whose owner changed must now belong to the
+// joiner, and the moved fraction must be near the ideal K/(N+1).
+func TestRingJoinMovesOnlyToNewMember(t *testing.T) {
+	const members, keys = 7, 50_000
+	r := NewRing(DefaultVirtualNodes)
+	r.SetMembers(memberNames(members))
+	before := ownersOf(r, keys)
+
+	const joined = "worker-new"
+	r.SetMembers(append(memberNames(members), joined))
+	after := ownersOf(r, keys)
+
+	moved := 0
+	for i := 0; i < keys; i++ {
+		if before[i] != after[i] {
+			moved++
+			if after[i] != joined {
+				t.Fatalf("key %d moved %s→%s, but only moves to the joiner %s are minimal",
+					i, before[i], after[i], joined)
+			}
+		}
+	}
+	ideal := keys / (members + 1)
+	if moved == 0 {
+		t.Fatal("no keys moved to the new member")
+	}
+	if moved > 2*ideal {
+		t.Errorf("join moved %d keys; ideal K/(N+1) = %d, want at most 2× that", moved, ideal)
+	}
+}
+
+// TestRingLeaveMovesOnlyOrphans: removing a member may only move the keys
+// it owned; every other key keeps its owner.
+func TestRingLeaveMovesOnlyOrphans(t *testing.T) {
+	const members, keys = 8, 50_000
+	r := NewRing(DefaultVirtualNodes)
+	r.SetMembers(memberNames(members))
+	before := ownersOf(r, keys)
+
+	const removed = "worker-3"
+	var remaining []string
+	for _, n := range memberNames(members) {
+		if n != removed {
+			remaining = append(remaining, n)
+		}
+	}
+	r.SetMembers(remaining)
+	after := ownersOf(r, keys)
+
+	for i := 0; i < keys; i++ {
+		if before[i] != after[i] && before[i] != removed {
+			t.Fatalf("key %d moved %s→%s although %s is the member that left",
+				i, before[i], after[i], removed)
+		}
+		if after[i] == removed {
+			t.Fatalf("key %d still owned by removed member", i)
+		}
+	}
+}
+
+// TestRingDeterministicAcrossInsertionOrder: membership is a set — two
+// rings built from permutations of the same names route identically, which
+// is what lets every worker's replica agree with the coordinator.
+func TestRingDeterministicAcrossInsertionOrder(t *testing.T) {
+	names := memberNames(6)
+	a := NewRing(DefaultVirtualNodes)
+	a.SetMembers(names)
+	reversed := make([]string, len(names))
+	for i, n := range names {
+		reversed[len(names)-1-i] = n
+	}
+	b := NewRing(DefaultVirtualNodes)
+	b.SetMembers(reversed)
+	for i := 0; i < 10_000; i++ {
+		ao, _ := a.Owner(testKey(i))
+		bo, _ := b.Owner(testKey(i))
+		if ao != bo {
+			t.Fatalf("key %d: owner %s vs %s across insertion orders", i, ao, bo)
+		}
+	}
+}
+
+// TestRingSuccessors: the successor list starts at the owner, never
+// repeats a member, and is capped by the membership size.
+func TestRingSuccessors(t *testing.T) {
+	r := NewRing(DefaultVirtualNodes)
+	r.SetMembers(memberNames(4))
+	for i := 0; i < 1000; i++ {
+		key := testKey(i)
+		succ := r.Successors(key, 6)
+		if len(succ) != 4 {
+			t.Fatalf("key %d: %d successors from 4 members", i, len(succ))
+		}
+		owner, _ := r.Owner(key)
+		if succ[0] != owner {
+			t.Fatalf("key %d: successors start at %s, owner is %s", i, succ[0], owner)
+		}
+		seen := map[string]bool{}
+		for _, s := range succ {
+			if seen[s] {
+				t.Fatalf("key %d: duplicate successor %s", i, s)
+			}
+			seen[s] = true
+		}
+	}
+}
+
+// TestRingEmpty: an empty ring owns nothing and panics on nothing.
+func TestRingEmpty(t *testing.T) {
+	r := NewRing(DefaultVirtualNodes)
+	if name, ok := r.Owner(testKey(0)); ok {
+		t.Fatalf("empty ring returned owner %q", name)
+	}
+	if succ := r.Successors(testKey(0), 3); len(succ) != 0 {
+		t.Fatalf("empty ring returned successors %v", succ)
+	}
+	if members := r.Members(); len(members) != 0 {
+		t.Fatalf("empty ring has members %v", members)
+	}
+}

@@ -61,6 +61,10 @@ var catalog = []Point{
 	{"api.stream.drop", "terminates an NDJSON progress stream mid-flight (mid-stream disconnect drill)"},
 	{"sim.checkpoint.abort", "fails a checkpointed simulation at its next op-count boundary (budget-exhaustion / crash-mid-run drill; resume must complete it)"},
 	{"ckpt.write.error", "fails persisting a checkpoint snapshot to disk (resume must fall back to the previous snapshot)"},
+	{"cluster.register.error", "fails a worker's registration with the coordinator (the heartbeat loop must keep retrying until admitted)"},
+	{"cluster.heartbeat.drop", "drops a worker heartbeat before it reaches the coordinator (lease-lapse drill; enough drops expire the lease and trigger stealing)"},
+	{"cluster.steal.stall", "sleeps the coordinator between dropping a dead worker and re-routing its jobs (slow-steal drill; clients keep waiting, nothing is lost)"},
+	{"cluster.peerfetch.error", "fails a peer cache fetch (the tier must fall through to recomputing, never error the request)"},
 }
 
 // Points returns the declared fault-point catalog, sorted by name.

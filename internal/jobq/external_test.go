@@ -1,0 +1,179 @@
+package jobq
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+// TestExternalLifecycle: an external job is born running, completes with
+// the remote result, and moves the lifetime counters like a local job.
+func TestExternalLifecycle(t *testing.T) {
+	q := New(Config{Workers: 1, Capacity: 2})
+	defer q.Shutdown(context.Background())
+
+	j, err := q.SubmitExternal("remote-1", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := j.State(); got != StateRunning {
+		t.Fatalf("external job born %s, want running", got)
+	}
+	select {
+	case <-j.Done():
+		t.Fatal("external job done before completion")
+	default:
+	}
+
+	if !q.CompleteExternal("remote-1", "payload", nil) {
+		t.Fatal("CompleteExternal rejected a live external job")
+	}
+	select {
+	case <-j.Done():
+	case <-time.After(time.Second):
+		t.Fatal("Done not closed after CompleteExternal")
+	}
+	v, err := j.Result()
+	if err != nil || v != "payload" {
+		t.Fatalf("result = %v, %v", v, err)
+	}
+	if s := q.Stats(); s.Completed != 1 {
+		t.Fatalf("completed = %d, want 1", s.Completed)
+	}
+}
+
+// TestExternalOccupiesNoSlot: external jobs bypass the bounded queue — a
+// full queue still accepts them, and they never consume a worker.
+func TestExternalOccupiesNoSlot(t *testing.T) {
+	q := New(Config{Workers: 1, Capacity: 1})
+	defer q.Shutdown(context.Background())
+
+	// Many more externals than capacity, all admitted.
+	for i := 0; i < 10; i++ {
+		if _, err := q.SubmitExternal(fmt.Sprintf("ext-%d", i), 0); err != nil {
+			t.Fatalf("external %d rejected: %v", i, err)
+		}
+	}
+	if s := q.Stats(); s.Depth != 0 {
+		t.Fatalf("externals appear in queue depth: %d", s.Depth)
+	}
+	// The worker pool still runs local jobs while externals are pending.
+	j, err := q.Submit("local", 0, func(ctx context.Context, j *Job) (any, error) {
+		return "ran", nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-j.Done():
+	case <-time.After(5 * time.Second):
+		t.Fatal("local job starved by pending externals")
+	}
+	for i := 0; i < 10; i++ {
+		q.CompleteExternal(fmt.Sprintf("ext-%d", i), nil, nil)
+	}
+}
+
+// TestExternalFailureAndCancelErr: remote errors map to failed; a
+// completion carrying context.Canceled maps to canceled.
+func TestExternalFailureAndCancelErr(t *testing.T) {
+	q := New(Config{Workers: 1, Capacity: 2})
+	defer q.Shutdown(context.Background())
+
+	jf, _ := q.SubmitExternal("fails", 0)
+	q.CompleteExternal("fails", nil, errors.New("worker exploded"))
+	if got := jf.State(); got != StateFailed {
+		t.Fatalf("failed external in state %s", got)
+	}
+	jc, _ := q.SubmitExternal("ctx-canceled", 0)
+	q.CompleteExternal("ctx-canceled", nil, context.Canceled)
+	if got := jc.State(); got != StateCanceled {
+		t.Fatalf("context-canceled external in state %s", got)
+	}
+	if _, err := jc.Result(); !errors.Is(err, ErrCanceled) {
+		t.Fatalf("canceled external result err = %v", err)
+	}
+	if s := q.Stats(); s.Failed != 1 || s.Canceled != 1 {
+		t.Fatalf("counters = failed %d canceled %d, want 1/1", s.Failed, s.Canceled)
+	}
+}
+
+// TestExternalCancel: Cancel finishes an external immediately — there is
+// no worker goroutine to observe a context — and a late remote completion
+// is the benign no-op.
+func TestExternalCancel(t *testing.T) {
+	q := New(Config{Workers: 1, Capacity: 2})
+	defer q.Shutdown(context.Background())
+
+	j, _ := q.SubmitExternal("steal-me", 0)
+	if !q.Cancel("steal-me") {
+		t.Fatal("Cancel rejected a running external")
+	}
+	select {
+	case <-j.Done():
+	case <-time.After(time.Second):
+		t.Fatal("canceled external never finished")
+	}
+	if got := j.State(); got != StateCanceled {
+		t.Fatalf("canceled external in state %s", got)
+	}
+	if q.CompleteExternal("steal-me", "late", nil) {
+		t.Fatal("late completion accepted after cancel")
+	}
+	if v, _ := j.Result(); v != nil {
+		t.Fatalf("late completion overwrote result: %v", v)
+	}
+}
+
+// TestExternalRejections: unknown and non-external IDs are refused, as are
+// submissions after shutdown and duplicate live IDs.
+func TestExternalRejections(t *testing.T) {
+	q := New(Config{Workers: 1, Capacity: 2})
+
+	if q.CompleteExternal("nobody", nil, nil) {
+		t.Fatal("completed an unknown job")
+	}
+	block := make(chan struct{})
+	q.Submit("local", 0, func(ctx context.Context, j *Job) (any, error) {
+		<-block
+		return nil, nil
+	})
+	if q.CompleteExternal("local", nil, nil) {
+		t.Fatal("CompleteExternal accepted a pool-run job")
+	}
+	close(block)
+
+	if _, err := q.SubmitExternal("dup", 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := q.SubmitExternal("dup", 0); !errors.Is(err, ErrDuplicateID) {
+		t.Fatalf("duplicate external err = %v", err)
+	}
+
+	q.Shutdown(context.Background())
+	if _, err := q.SubmitExternal("late", 0); !errors.Is(err, ErrShuttingDown) {
+		t.Fatalf("post-shutdown external err = %v", err)
+	}
+}
+
+// TestShutdownFlushesExternals: a forced shutdown (expired drain context)
+// cancels pending externals instead of leaving their waiters hanging.
+func TestShutdownFlushesExternals(t *testing.T) {
+	q := New(Config{Workers: 1, Capacity: 2})
+	j, _ := q.SubmitExternal("orphan", 0)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // already expired: force the flush path
+	q.Shutdown(ctx)
+
+	select {
+	case <-j.Done():
+	case <-time.After(time.Second):
+		t.Fatal("external survived a forced shutdown")
+	}
+	if got := j.State(); got != StateCanceled {
+		t.Fatalf("flushed external in state %s", got)
+	}
+}

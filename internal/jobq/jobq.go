@@ -86,6 +86,11 @@ type Job struct {
 	index    int           // heap position; -1 once popped or removed
 	timeout  time.Duration // per-job override of Config.JobTimeout (0 = inherit)
 	fn       Func
+	// external marks a job whose work runs outside this queue's worker
+	// pool (the cluster coordinator forwarding to a remote worker). It is
+	// never heaped, consumes no slot, and only CompleteExternal or Cancel
+	// can finish it.
+	external bool
 
 	mu       sync.Mutex
 	state    State                // simlint:guardedby mu
@@ -377,6 +382,76 @@ func (q *Queue) SubmitTimeout(id string, priority int, timeout time.Duration, fn
 	return j, nil
 }
 
+// SubmitExternal registers a job whose work happens outside the worker
+// pool — the cluster coordinator's remote forwards. The job is born
+// StateRunning (there is no queued phase: the remote side starts
+// immediately), occupies no queue slot, and stays alive until
+// CompleteExternal or Cancel. Everything else about it — Get, Subscribe,
+// progress, terminal counters — behaves like a local job, so the API
+// layer's job views and streams need no special casing.
+func (q *Queue) SubmitExternal(id string, priority int) (*Job, error) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return nil, ErrShuttingDown
+	}
+	q.seqNext++
+	if id == "" {
+		id = fmt.Sprintf("job-%d", q.seqNext)
+	}
+	if prev, ok := q.jobs[id]; ok && !prev.State().Terminal() {
+		return nil, fmt.Errorf("%w: %s", ErrDuplicateID, id)
+	}
+	now := time.Now()
+	j := &Job{
+		id:       id,
+		priority: priority,
+		seq:      q.seqNext,
+		index:    -1,
+		external: true,
+		state:    StateRunning,
+		subs:     map[chan Update]bool{},
+		doneCh:   make(chan struct{}),
+		created:  now,
+		started:  now, // born running: the remote side is already working
+	}
+	q.jobs[id] = j
+	return j, nil
+}
+
+// CompleteExternal finishes an external job with the remote side's result,
+// moving the lifetime counters exactly as a locally run job would. It
+// reports false for unknown, non-external, or already-terminal jobs (a
+// late completion racing a Cancel is the common benign case).
+func (q *Queue) CompleteExternal(id string, value any, err error) bool {
+	q.mu.Lock()
+	j, ok := q.jobs[id]
+	if !ok || !j.external {
+		q.mu.Unlock()
+		return false
+	}
+	j.mu.Lock()
+	if j.state.Terminal() {
+		j.mu.Unlock()
+		q.mu.Unlock()
+		return false
+	}
+	switch {
+	case err == nil:
+		j.finishLocked(StateDone, value, nil)
+		q.completed++
+	case j.canceled || errors.Is(err, context.Canceled):
+		j.finishLocked(StateCanceled, nil, fmt.Errorf("%w: %v", ErrCanceled, err))
+		q.canceled++
+	default:
+		j.finishLocked(StateFailed, nil, err)
+		q.failed++
+	}
+	j.mu.Unlock()
+	q.mu.Unlock()
+	return true
+}
+
 // Get finds a job by id (queued, running, or finished).
 func (q *Queue) Get(id string) (*Job, bool) {
 	q.mu.Lock()
@@ -409,6 +484,16 @@ func (q *Queue) Cancel(id string) bool {
 		return true
 	case StateRunning:
 		j.canceled = true
+		if j.external {
+			// No worker will ever observe a canceled context for an
+			// external job; it terminates here. The coordinator's forward
+			// goroutine watches Done and abandons the remote attempt.
+			j.finishLocked(StateCanceled, nil, ErrCanceled)
+			j.mu.Unlock()
+			q.canceled++
+			q.mu.Unlock()
+			return true
+		}
 		cancel := j.cancel
 		j.mu.Unlock()
 		q.mu.Unlock()
@@ -459,7 +544,9 @@ func (q *Queue) Shutdown(ctx context.Context) error {
 		return nil
 	case <-ctx.Done():
 		// Deadline passed: cancel running jobs via the shared base
-		// context and flush the backlog as canceled.
+		// context and flush the backlog as canceled. External jobs have
+		// no worker to unwind them, so they are flushed here too —
+		// otherwise a client blocked on one would hang past shutdown.
 		q.baseCancel()
 		q.mu.Lock()
 		for len(q.pq) > 0 {
@@ -469,6 +556,18 @@ func (q *Queue) Shutdown(ctx context.Context) error {
 			j.finishLocked(StateCanceled, nil, ErrCanceled)
 			j.mu.Unlock()
 			q.canceled++
+		}
+		for _, j := range q.jobs {
+			if !j.external {
+				continue
+			}
+			j.mu.Lock()
+			if !j.state.Terminal() {
+				j.canceled = true
+				j.finishLocked(StateCanceled, nil, ErrCanceled)
+				q.canceled++
+			}
+			j.mu.Unlock()
 		}
 		q.cond.Broadcast()
 		q.mu.Unlock()

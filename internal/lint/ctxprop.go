@@ -19,6 +19,7 @@ var ctxServicePkgs = map[string]bool{
 	"api":         true, // HTTP handlers and the job functions they build
 	"client":      true, // retry loop, backoff sleeps
 	"experiments": true, // matrix sweeps cancelled between cells
+	"cluster":     true, // heartbeat loop, forwards, lease sweeper
 }
 
 // Ctxprop enforces context hygiene in the service packages:

@@ -1,0 +1,100 @@
+// Package promtest validates Prometheus text-exposition payloads in
+// tests. The api package's /metrics test and the cluster tests both
+// scrape handlers that append series blocks from several sources, so the
+// parser lives here once: any series a cdpd process exposes — plain,
+// labelled, or histogram — must survive the same line-by-line check.
+package promtest
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// Family is what the exposition parser reconstructs per series name.
+type Family struct {
+	Help    bool
+	Type    string
+	Samples []string // full sample lines, labels included
+}
+
+// Value parses the sample at index i as a float (fatal on malformed
+// input, which Parse already rejected).
+func (f *Family) Value(t testing.TB, i int) float64 {
+	t.Helper()
+	line := f.Samples[i]
+	v, err := strconv.ParseFloat(line[strings.LastIndex(line, " ")+1:], 64)
+	if err != nil {
+		t.Fatalf("sample %q value: %v", line, err)
+	}
+	return v
+}
+
+// ParseExposition validates the Prometheus text format line by line and
+// groups samples under their family: HELP and TYPE must precede the first
+// sample, sample names must belong to a declared family (histograms own
+// their _bucket/_sum/_count suffixes), and every value must parse as a
+// float.
+func ParseExposition(t testing.TB, body string) map[string]*Family {
+	t.Helper()
+	fams := map[string]*Family{}
+	for ln, line := range strings.Split(strings.TrimRight(body, "\n"), "\n") {
+		if line == "" {
+			continue
+		}
+		if rest, ok := strings.CutPrefix(line, "# HELP "); ok {
+			name, help, ok := strings.Cut(rest, " ")
+			if !ok || help == "" {
+				t.Fatalf("line %d: HELP without text: %q", ln+1, line)
+			}
+			if fams[name] == nil {
+				fams[name] = &Family{}
+			}
+			fams[name].Help = true
+			continue
+		}
+		if rest, ok := strings.CutPrefix(line, "# TYPE "); ok {
+			name, typ, ok := strings.Cut(rest, " ")
+			if !ok {
+				t.Fatalf("line %d: TYPE without a type: %q", ln+1, line)
+			}
+			switch typ {
+			case "counter", "gauge", "histogram":
+			default:
+				t.Fatalf("line %d: invalid TYPE %q", ln+1, line)
+			}
+			if fams[name] == nil {
+				t.Fatalf("line %d: TYPE %s before its HELP", ln+1, name)
+			}
+			if len(fams[name].Samples) > 0 {
+				t.Fatalf("line %d: TYPE %s after its samples", ln+1, name)
+			}
+			fams[name].Type = typ
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			t.Fatalf("line %d: unknown comment %q", ln+1, line)
+		}
+		name := line
+		if i := strings.IndexAny(line, "{ "); i >= 0 {
+			name = line[:i]
+		}
+		base := name
+		for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+			if b, ok := strings.CutSuffix(name, suffix); ok && fams[b] != nil && fams[b].Type == "histogram" {
+				base = b
+				break
+			}
+		}
+		fam := fams[base]
+		if fam == nil || !fam.Help || fam.Type == "" {
+			t.Fatalf("line %d: sample %q not preceded by HELP and TYPE", ln+1, name)
+		}
+		val := line[strings.LastIndex(line, " ")+1:]
+		if _, err := strconv.ParseFloat(val, 64); err != nil {
+			t.Fatalf("line %d: value %q does not parse: %v", ln+1, val, err)
+		}
+		fam.Samples = append(fam.Samples, line)
+	}
+	return fams
+}

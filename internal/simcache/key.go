@@ -29,6 +29,27 @@ type Key [sha256.Size]byte
 // String renders a short hex prefix for logs and job IDs.
 func (k Key) String() string { return hex.EncodeToString(k[:8]) }
 
+// Hex renders the full key, the form the disk and peer cache tiers address
+// entries by (the 8-byte String prefix is for humans; tiers need the whole
+// hash so distinct results can never alias on disk or over HTTP).
+func (k Key) Hex() string { return hex.EncodeToString(k[:]) }
+
+// ParseKey inverts Hex. It rejects anything that is not exactly one
+// full-length lowercase-hex key, so a peer-fetch URL or a stray file in the
+// cache directory cannot smuggle in a truncated key.
+func ParseKey(s string) (Key, error) {
+	var k Key
+	if len(s) != 2*len(k) {
+		return Key{}, fmt.Errorf("simcache: key %q is %d hex chars, want %d", s, len(s), 2*len(k))
+	}
+	b, err := hex.DecodeString(s)
+	if err != nil {
+		return Key{}, fmt.Errorf("simcache: key %q is not hex: %v", s, err)
+	}
+	copy(k[:], b)
+	return k, nil
+}
+
 // KeyFor hashes one simulation request. The benchmark is identified by
 // name (workloads.Spec builders are registered by name and deterministic),
 // the µop budget pins the generated trace, and the configuration is walked

@@ -140,6 +140,16 @@ func (c *Cache) GetOrCompute(k Key, compute func() ([]byte, error)) (val []byte,
 	return cl.val, false, cl.err
 }
 
+// Add inserts a payload directly, evicting from the cold end as needed.
+// The tiered cache uses it to promote disk and peer hits into memory; it
+// deliberately bypasses singleflight (the payload already exists, nothing
+// is being computed).
+func (c *Cache) Add(k Key, val []byte) {
+	c.mu.Lock()
+	c.addLocked(k, val)
+	c.mu.Unlock()
+}
+
 // evictAllLocked empties the cache (the eviction-storm fault drill).
 // Caller holds c.mu.
 func (c *Cache) evictAllLocked() {

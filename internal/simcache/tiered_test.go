@@ -1,0 +1,179 @@
+package simcache
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/faultinject"
+)
+
+func tierKey(b byte) Key {
+	return Key(sha256.Sum256([]byte{b}))
+}
+
+// staticPicker returns a fixed peer list for every key.
+type staticPicker struct{ peers []string }
+
+func (p staticPicker) Peers(Key) []string { return p.peers }
+
+// TestTieredDiskSpillAndPromote: a computed payload spills to disk; after
+// memory is wiped (a restart stand-in), Get serves from disk and promotes
+// back into memory.
+func TestTieredDiskSpillAndPromote(t *testing.T) {
+	dir := t.TempDir()
+	tc := NewTiered(New(1<<20), dir, nil)
+	defer tc.Close()
+
+	k, payload := tierKey(1), []byte(`{"v":1}`)
+	data, hit, err := tc.GetOrCompute(k, func() ([]byte, error) { return payload, nil })
+	if err != nil || hit || !bytes.Equal(data, payload) {
+		t.Fatalf("compute: data=%s hit=%v err=%v", data, hit, err)
+	}
+	if ts := tc.TierStats(); ts.SpillWrites != 1 {
+		t.Fatalf("spill writes = %d, want 1", ts.SpillWrites)
+	}
+	if _, err := os.Stat(filepath.Join(dir, k.Hex())); err != nil {
+		t.Fatalf("spill file missing: %v", err)
+	}
+
+	// Fresh memory over the same directory: the disk tier survives.
+	tc2 := NewTiered(New(1<<20), dir, nil)
+	defer tc2.Close()
+	data, ok := tc2.Get(k)
+	if !ok || !bytes.Equal(data, payload) {
+		t.Fatalf("disk get: %s %v", data, ok)
+	}
+	if ts := tc2.TierStats(); ts.DiskHits != 1 {
+		t.Fatalf("disk hits = %d, want 1", ts.DiskHits)
+	}
+	// Promoted: the next Get is a pure memory hit, no new disk traffic.
+	if _, ok := tc2.Get(k); !ok {
+		t.Fatal("promoted entry missing from memory")
+	}
+	if ts := tc2.TierStats(); ts.DiskHits != 1 {
+		t.Fatalf("disk hits after promotion = %d, want still 1", ts.DiskHits)
+	}
+}
+
+// TestTieredGetOrComputeChecksDiskFirst: the singleflight leader probes
+// disk before paying for a compute.
+func TestTieredGetOrComputeChecksDiskFirst(t *testing.T) {
+	dir := t.TempDir()
+	k, payload := tierKey(2), []byte(`{"v":2}`)
+	warm := NewTiered(New(1<<20), dir, nil)
+	if _, _, err := warm.GetOrCompute(k, func() ([]byte, error) { return payload, nil }); err != nil {
+		t.Fatal(err)
+	}
+	warm.Close()
+
+	cold := NewTiered(New(1<<20), dir, nil)
+	defer cold.Close()
+	data, _, err := cold.GetOrCompute(k, func() ([]byte, error) {
+		t.Fatal("compute ran although the payload is on disk")
+		return nil, nil
+	})
+	if err != nil || !bytes.Equal(data, payload) {
+		t.Fatalf("disk-first compute: %s %v", data, err)
+	}
+}
+
+// TestTieredPeerFetch: a miss on every local tier is served by a peer, and
+// the fetched payload both promotes to memory and spills to disk.
+func TestTieredPeerFetch(t *testing.T) {
+	k, payload := tierKey(3), []byte(`{"v":3}`)
+	peer := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == PeerCachePath+k.Hex() {
+			w.Write(payload)
+			return
+		}
+		http.NotFound(w, r)
+	}))
+	defer peer.Close()
+
+	dir := t.TempDir()
+	tc := NewTiered(New(1<<20), dir, staticPicker{[]string{peer.URL}})
+	defer tc.Close()
+
+	data, ok := tc.Get(k)
+	if !ok || !bytes.Equal(data, payload) {
+		t.Fatalf("peer get: %s %v", data, ok)
+	}
+	ts := tc.TierStats()
+	if ts.PeerHits != 1 {
+		t.Fatalf("peer hits = %d, want 1", ts.PeerHits)
+	}
+	if ts.SpillWrites != 1 {
+		t.Fatalf("peer fetch did not spill to disk (writes = %d)", ts.SpillWrites)
+	}
+	// GetLocal never reaches peers — but the promoted copy is local now.
+	if _, ok := tc.GetLocal(k); !ok {
+		t.Fatal("peer-fetched payload not promoted to the local tiers")
+	}
+}
+
+// TestTieredPeerFetchMiss: unreachable peers and 404s are misses, never
+// errors — the caller computes.
+func TestTieredPeerFetchMiss(t *testing.T) {
+	empty := httptest.NewServer(http.HandlerFunc(http.NotFound))
+	defer empty.Close()
+	tc := NewTiered(New(1<<20), "", staticPicker{[]string{"http://127.0.0.1:1", empty.URL}})
+	defer tc.Close()
+
+	k, payload := tierKey(4), []byte(`{"v":4}`)
+	data, hit, err := tc.GetOrCompute(k, func() ([]byte, error) { return payload, nil })
+	if err != nil || hit || !bytes.Equal(data, payload) {
+		t.Fatalf("compute after peer misses: %s hit=%v err=%v", data, hit, err)
+	}
+	if ts := tc.TierStats(); ts.PeerMisses != 1 || ts.PeerHits != 0 {
+		t.Fatalf("peer counters = %+v, want exactly one miss", ts)
+	}
+}
+
+// TestTieredPeerFetchFault: the cluster.peerfetch.error fault point makes
+// the tier skip a peer that actually holds the payload; the probe falls
+// through to a recompute rather than surfacing an error.
+func TestTieredPeerFetchFault(t *testing.T) {
+	k, payload := tierKey(5), []byte(`{"v":5}`)
+	peer := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write(payload)
+	}))
+	defer peer.Close()
+
+	prev := faultinject.Enable(faultinject.MustParse(1, "cluster.peerfetch.error"))
+	defer faultinject.Enable(prev)
+
+	tc := NewTiered(New(1<<20), "", staticPicker{[]string{peer.URL}})
+	defer tc.Close()
+	data, hit, err := tc.GetOrCompute(k, func() ([]byte, error) { return payload, nil })
+	if err != nil || hit || !bytes.Equal(data, payload) {
+		t.Fatalf("faulted peer fetch: %s hit=%v err=%v", data, hit, err)
+	}
+	if ts := tc.TierStats(); ts.PeerHits != 0 || ts.PeerMisses != 1 {
+		t.Fatalf("peer counters under fault = %+v, want a clean miss", ts)
+	}
+}
+
+// TestTieredNoDirNoPicker: with no cold tiers configured the wrapper
+// degrades to the plain memory cache.
+func TestTieredNoDirNoPicker(t *testing.T) {
+	tc := NewTiered(New(1<<20), "", nil)
+	defer tc.Close()
+	k, payload := tierKey(6), []byte(`{"v":6}`)
+	if _, ok := tc.Get(k); ok {
+		t.Fatal("empty cache hit")
+	}
+	if _, _, err := tc.GetOrCompute(k, func() ([]byte, error) { return payload, nil }); err != nil {
+		t.Fatal(err)
+	}
+	if data, ok := tc.Get(k); !ok || !bytes.Equal(data, payload) {
+		t.Fatalf("mem get: %s %v", data, ok)
+	}
+	if ts := tc.TierStats(); ts != (TierStats{}) {
+		t.Fatalf("tier counters moved with no tiers configured: %+v", ts)
+	}
+}
