@@ -62,6 +62,7 @@ type options struct {
 	name     string
 	selfURL  string
 	cacheDir string
+	stateDir string
 	leaseTTL time.Duration
 
 	checkpointDir   string
@@ -166,6 +167,14 @@ func validate(o options) error {
 			return err
 		}
 	}
+	if o.stateDir != "" {
+		if o.role != "coordinator" {
+			return fmt.Errorf("-state-dir only applies to -role coordinator (it holds the membership/placement journal); got -role %s", o.role)
+		}
+		if err := checkWritableDir("-state-dir", o.stateDir); err != nil {
+			return err
+		}
+	}
 	if o.checkpointEvery < 0 {
 		return fmt.Errorf("-checkpoint-every must be >= 0 µops (0 disables segmentation); got %d", o.checkpointEvery)
 	}
@@ -224,6 +233,7 @@ func main() {
 	flag.StringVar(&o.name, "name", "", "worker's stable ring identity (default: derived from -addr)")
 	flag.StringVar(&o.selfURL, "self-url", "", "base URL peers reach this worker at (default: derived from -addr)")
 	flag.StringVar(&o.cacheDir, "cache-dir", "", "disk spill tier for the result cache (empty = memory only)")
+	flag.StringVar(&o.stateDir, "state-dir", "", "coordinator journal dir: membership and in-flight placements survive a crash (empty = memory only)")
 	flag.DurationVar(&o.leaseTTL, "lease-ttl", 0, "coordinator worker-lease TTL (0 = default 3s)")
 	flag.StringVar(&o.checkpointDir, "checkpoint-dir", "", "persist boundary snapshots here and resume them on restart (empty = off)")
 	flag.IntVar(&o.checkpointEvery, "checkpoint-every", 0, "default snapshot interval in fetched µops for submitted sims (0 = unsegmented)")
@@ -284,6 +294,7 @@ func main() {
 			CheckpointEveryOps: o.checkpointEvery,
 			CacheBytes:         int64(o.cacheMB) << 20,
 			Queue:              queueCfg,
+			StateDir:           o.stateDir,
 			Logger:             logger,
 		})
 		if err != nil {

@@ -64,6 +64,7 @@ func TestValidate(t *testing.T) {
 // combinations that cannot work die with exit-worthy one-line messages
 // naming the flag, and every coherent combination is accepted.
 func TestValidateClusterFlags(t *testing.T) {
+	stateDir := t.TempDir()
 	cases := []struct {
 		name string
 		mut  func(*options)
@@ -99,6 +100,18 @@ func TestValidateClusterFlags(t *testing.T) {
 			o.role = "coordinator"
 			o.leaseTTL = -time.Second
 		}, "-lease-ttl"},
+		{"state dir on coordinator", func(o *options) {
+			o.role = "coordinator"
+			o.stateDir = filepath.Join(stateDir, "journal")
+		}, ""},
+		{"state dir on standalone", func(o *options) {
+			o.stateDir = filepath.Join(stateDir, "journal")
+		}, "-state-dir"},
+		{"state dir on worker", func(o *options) {
+			o.role = "worker"
+			o.joinURL = "http://127.0.0.1:8080"
+			o.stateDir = filepath.Join(stateDir, "journal")
+		}, "-state-dir"},
 	}
 	for _, c := range cases {
 		o := goodOptions()

@@ -47,6 +47,14 @@ const (
 	maxStoredTraces = 16
 )
 
+// RetryBudgetHeader carries a client's remaining retry budget on a submit.
+// The cluster coordinator caps its own placement attempts (primaries +
+// steals + hedges) by it, so a client that keeps retrying and a
+// coordinator that keeps re-placing cannot multiply each other's work
+// unboundedly. Defined here, next to the API surface, so the client and
+// the coordinator cannot drift.
+const RetryBudgetHeader = "X-Cdpd-Retry-Budget"
+
 // ResultCache is the slice of the result cache the handlers use. Both the
 // plain in-memory simcache.Cache and the cluster's simcache.TieredCache
 // (mem → disk spill → peer fetch) satisfy it, which is how a worker joins
@@ -525,19 +533,28 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintln(w, "ok")
 }
 
-func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
-	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+// Ready reports whether this server should receive new traffic, and a
+// short status word when it should not ("draining", "overloaded"). The
+// cluster worker reuses it to compose its own /readyz annotations (a
+// partition-orphaned worker is ready-but-degraded, which only the wrapper
+// knows).
+func (s *Server) Ready() (bool, string) {
 	if s.draining.Load() || !s.queue.Stats().Accepting {
-		w.WriteHeader(http.StatusServiceUnavailable)
-		fmt.Fprintln(w, "draining")
-		return
+		return false, "draining"
 	}
 	if s.overloaded() {
 		// Still alive and still finishing queued work, but new traffic
 		// should go elsewhere until the backlog falls below the watermark.
-		w.WriteHeader(http.StatusServiceUnavailable)
-		fmt.Fprintln(w, "overloaded")
-		return
+		return false, "overloaded"
 	}
-	fmt.Fprintln(w, "ready")
+	return true, "ready"
+}
+
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	ok, status := s.Ready()
+	if !ok {
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}
+	fmt.Fprintln(w, status)
 }

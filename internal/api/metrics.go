@@ -63,6 +63,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		p("cdpd_cache_disk_misses_total", "Disk-tier probes that found no entry.", "counter", ts.DiskMisses)
 		p("cdpd_cache_spill_writes_total", "Results persisted to the disk spill tier.", "counter", ts.SpillWrites)
 		p("cdpd_cache_spill_errors_total", "Disk spills that failed (result still served).", "counter", ts.SpillErrors)
+		p("cdpd_cache_disk_quarantined_total", "Torn or corrupt disk-tier entries renamed aside and treated as misses.", "counter", ts.DiskQuarantines)
 		p("cdpd_cache_peer_hits_total", "Result-cache lookups served by a cluster peer.", "counter", ts.PeerHits)
 		p("cdpd_cache_peer_misses_total", "Peer-tier probes no peer could serve.", "counter", ts.PeerMisses)
 	}

@@ -138,6 +138,7 @@ func TestMetricsTierSeries(t *testing.T) {
 	for _, name := range []string{
 		"cdpd_cache_disk_hits_total", "cdpd_cache_disk_misses_total",
 		"cdpd_cache_spill_writes_total", "cdpd_cache_spill_errors_total",
+		"cdpd_cache_disk_quarantined_total",
 		"cdpd_cache_peer_hits_total", "cdpd_cache_peer_misses_total",
 	} {
 		if fams[name] == nil || len(fams[name].Samples) == 0 {

@@ -1,0 +1,47 @@
+package chaos
+
+import (
+	"strconv"
+	"testing"
+)
+
+// TestChaos sweeps every scenario across the CI seed matrix. Subtests are
+// named TestChaos/<scenario>/seed<N> so the workflow can shard them with
+// -run; locally the whole matrix runs.
+func TestChaos(t *testing.T) {
+	for _, sc := range Scenarios() {
+		t.Run(sc.Name, func(t *testing.T) {
+			for _, seed := range []int64{1, 7, 1979} {
+				t.Run("seed"+strconv.FormatInt(seed, 10), func(t *testing.T) {
+					rep := Execute(sc, Options{Seed: seed, Log: t.Logf})
+					if err := rep.Err(); err != nil {
+						if rep.JournalPath != "" {
+							t.Logf("journal preserved at %s", rep.JournalPath)
+						}
+						t.Fatal(err)
+					}
+				})
+			}
+		})
+	}
+}
+
+// TestScenarioRegistry pins the names the CI matrix depends on.
+func TestScenarioRegistry(t *testing.T) {
+	want := []string{"kill-coordinator", "partition-worker", "corrupt-cache", "lease-expiry"}
+	got := Scenarios()
+	if len(got) != len(want) {
+		t.Fatalf("%d scenarios registered, want %d", len(got), len(want))
+	}
+	for i, name := range want {
+		if got[i].Name != name {
+			t.Errorf("scenario %d = %q, want %q", i, got[i].Name, name)
+		}
+		if _, ok := ByName(name); !ok {
+			t.Errorf("ByName(%q) not found", name)
+		}
+	}
+	if _, ok := ByName("nope"); ok {
+		t.Error("ByName accepted an unknown scenario")
+	}
+}

@@ -335,7 +335,7 @@ func (c *Client) do(ctx context.Context, method, path string, body []byte, out a
 			}
 			return err
 		}
-		spoke, retryable, wait, err := c.once(ctx, method, path, body, out)
+		spoke, retryable, wait, err := c.once(ctx, method, path, body, out, c.cfg.maxRetries()-attempt)
 		c.breakerRecord(spoke)
 		if err == nil {
 			return nil
@@ -357,8 +357,11 @@ func (c *Client) do(ctx context.Context, method, path string, body []byte, out a
 // produced a coherent HTTP response (feeding the breaker: overload and
 // validation answers prove the daemon is up; connection failures and torn
 // bodies do not); retryable reports whether a failure is worth retrying,
-// with any server-mandated wait (Retry-After).
-func (c *Client) once(ctx context.Context, method, path string, body []byte, out any) (spoke, retryable bool, wait time.Duration, err error) {
+// with any server-mandated wait (Retry-After). remaining is the retry
+// budget left after this attempt; it rides along as a header so a cluster
+// coordinator can shrink its own steal/hedge budget as the client's
+// patience runs out, keeping client retries × server placements bounded.
+func (c *Client) once(ctx context.Context, method, path string, body []byte, out any, remaining int) (spoke, retryable bool, wait time.Duration, err error) {
 	var rd io.Reader
 	if body != nil {
 		// bytes.Reader gives NewRequest a GetBody, which is what lets the
@@ -370,6 +373,7 @@ func (c *Client) once(ctx context.Context, method, path string, body []byte, out
 	if err != nil {
 		return false, false, 0, err
 	}
+	req.Header.Set(api.RetryBudgetHeader, strconv.Itoa(max(remaining, 0)))
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}

@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"io"
 	"log/slog"
+	"math"
 	"net/http"
 	"net/url"
 	"strconv"
@@ -46,6 +47,23 @@ const (
 	// arena sweep, so one sweep cannot flood a small fleet's queues into
 	// backpressure.
 	arenaFanout = 8
+
+	// hedgeHeadroom scales the placement-rate EWMA into the hedge delay: a
+	// placement this many times slower than the running mean is treated as
+	// a likely straggler and a second placement races it. The multiplier
+	// plays the p99 role the api layer's adaptive timeout uses headroom
+	// for, just at hedging (not failing) aggressiveness.
+	hedgeHeadroom = 4
+	// hedgeDelayMin keeps hedges from firing on normal jitter once the
+	// EWMA has converged on a fast fleet; hedgeDelayMax keeps a huge sim's
+	// hedge from waiting out most of the job; hedgeDelayDefault covers the
+	// cold start before any placement has been observed.
+	hedgeDelayMin     = 250 * time.Millisecond
+	hedgeDelayMax     = 30 * time.Second
+	hedgeDelayDefault = 2 * time.Second
+	// routeRateAlpha is the EWMA smoothing factor for placement ns/op
+	// (same constant the api layer uses for run rate).
+	routeRateAlpha = 0.3
 )
 
 // errNoWorkers fails jobs routed while the ring is empty.
@@ -114,6 +132,16 @@ type CoordinatorOptions struct {
 	// Queue sizes the coordinator's local job pool (arena assembly jobs and
 	// the external handles of proxied sims).
 	Queue jobq.Config
+	// StateDir persists the membership/placement write-ahead journal so a
+	// restarted coordinator re-adopts its generation, re-leases surviving
+	// workers, and re-routes orphaned placements ("" = memory only; a
+	// restart forgets the cluster and workers must re-register from
+	// scratch).
+	StateDir string
+	// HedgeDelay fixes the straggler threshold before a second placement
+	// races the first (0 = derive it from the placement-rate EWMA). Tests
+	// and chaos scenarios pin it to make hedging deterministic.
+	HedgeDelay time.Duration
 	// Logger receives cluster lifecycle logs. Nil discards.
 	Logger *slog.Logger
 }
@@ -151,15 +179,28 @@ type Coordinator struct {
 	rootCancel context.CancelFunc
 	sweeperWG  sync.WaitGroup
 
+	// journal is the write-ahead membership/placement log (nil without
+	// StateDir; every append site tolerates nil).
+	journal *journal
+
 	mu         sync.Mutex
 	members    map[string]*member // simlint:guardedby mu
 	ring       *Ring              // simlint:guardedby mu
 	generation uint64             // simlint:guardedby mu
 	assigns    map[*attempt]bool  // simlint:guardedby mu
 	placed     map[string]string  // simlint:guardedby mu
+	placeRefs  map[string]int     // simlint:guardedby mu
 
 	steals     atomic.Uint64
 	rebalances atomic.Uint64
+	hedges     atomic.Uint64
+	hedgeWins  atomic.Uint64
+	readopted  atomic.Uint64
+	// routeEwmaNs is Float64bits of the EWMA nanoseconds-per-op a
+	// successful placement costs end to end; hedgeDelay derives the
+	// straggler threshold from it (the api layer's adaptiveTimeout
+	// pattern).
+	routeEwmaNs atomic.Uint64
 }
 
 // NewCoordinator builds and starts a coordinator: its local queue, the
@@ -183,6 +224,7 @@ func NewCoordinator(opts CoordinatorOptions) (*Coordinator, error) {
 		ring:       NewRing(DefaultVirtualNodes),
 		assigns:    map[*attempt]bool{},
 		placed:     map[string]string{},
+		placeRefs:  map[string]int{},
 	}
 	if c.logger == nil {
 		c.logger = slog.New(slog.DiscardHandler)
@@ -193,6 +235,20 @@ func NewCoordinator(opts CoordinatorOptions) (*Coordinator, error) {
 		return nil, err
 	}
 	c.api = srv
+
+	// Crash recovery: replay the journal before serving anything, so the
+	// first register/submit already sees the re-adopted ring.
+	var recovered JournalState
+	if opts.StateDir != "" {
+		jr, state, err := openJournal(opts.StateDir)
+		if err != nil {
+			cancel()
+			return nil, fmt.Errorf("cluster: opening journal: %w", err)
+		}
+		c.journal = jr
+		recovered = state
+		c.adoptJournal(state)
+	}
 
 	// Every endpoint the coordinator does not reroute falls through to the
 	// embedded API server, so jobs, streams, cancellation, experiments and
@@ -210,7 +266,70 @@ func NewCoordinator(opts CoordinatorOptions) (*Coordinator, error) {
 
 	c.sweeperWG.Add(1)
 	go c.sweepLeases(ctx)
+
+	// Re-route placements the previous incarnation accepted but never
+	// finished. The journaled members were re-leased above, so routing
+	// works immediately; a member that actually died with the coordinator
+	// transport-fails its placement and the steal path drops it.
+	for _, pl := range recovered.Open {
+		c.readoptPlacement(pl)
+	}
 	return c, nil
+}
+
+// adoptJournal installs replayed membership: every surviving worker gets a
+// fresh lease (it has heartbeats in flight toward us already), and the
+// ring rebuild bumps the generation past anything the fleet has seen, so
+// the next heartbeat reply forces every worker to resync its replica.
+func (c *Coordinator) adoptJournal(state JournalState) {
+	if len(state.Members) == 0 && state.Generation == 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	now := time.Now()
+	for name, url := range state.Members {
+		c.members[name] = &member{
+			info:    memberInfo{Name: name, URL: url},
+			expires: now.Add(c.opts.leaseTTL()),
+		}
+	}
+	c.generation = state.Generation
+	c.rebuildRingLocked()
+	c.logger.Info("journal replayed", "workers", len(state.Members),
+		"generation", c.generation, "open_placements", len(state.Open),
+		"torn_records", state.TornRecords)
+}
+
+// readoptPlacement re-submits one orphaned placement from the journal and
+// forwards it to the content key's current owner, where the submit-path
+// checkpoint probe resumes the victim's snapshot if one exists. The job ID
+// is recomputed from the request, so a corrupted record that no longer
+// resolves is journaled done and dropped rather than re-routed blind.
+func (c *Coordinator) readoptPlacement(pl Placement) {
+	var req api.SimRequest
+	if err := json.Unmarshal(pl.Req, &req); err != nil {
+		c.logger.Warn("dropping unresolvable journaled placement", "job_id", pl.Job, "err", err)
+		c.journal.append(journalRecord{T: "done", Job: pl.Job})
+		return
+	}
+	spec, cfg, ops, err := api.ResolveSim(req)
+	if err != nil {
+		c.logger.Warn("dropping unresolvable journaled placement", "job_id", pl.Job, "err", err)
+		c.journal.append(journalRecord{T: "done", Job: pl.Job})
+		return
+	}
+	key := simcache.KeyFor(spec, cfg, ops)
+	id := api.SimJobID(key)
+	job, err := c.queue.SubmitExternal(id, req.Priority)
+	if err != nil {
+		// Duplicate means a live forward already owns it; anything else
+		// means the queue is closing. Either way there is nothing to adopt.
+		return
+	}
+	c.readopted.Add(1)
+	c.logger.Info("placement re-adopted from journal", "job_id", id, "last_worker", pl.Worker)
+	go c.forward(job, id, key, ops, req, maxRouteAttempts)
 }
 
 // ServeHTTP implements http.Handler.
@@ -220,11 +339,30 @@ func (c *Coordinator) ServeHTTP(w http.ResponseWriter, r *http.Request) { c.mux.
 func (c *Coordinator) API() *api.Server { return c.api }
 
 // Close stops the sweeper, cancels in-flight forwards, and drains the
-// local queue within ctx's deadline.
+// local queue within ctx's deadline. The journal stays open until the
+// forwards have settled, so their terminal records land.
 func (c *Coordinator) Close(ctx context.Context) error {
 	c.rootCancel()
 	c.sweeperWG.Wait()
-	return c.queue.Shutdown(ctx)
+	err := c.queue.Shutdown(ctx)
+	c.journal.Close()
+	return err
+}
+
+// Kill tears the coordinator down the way a SIGKILL would, for the chaos
+// orchestrator: the journal is closed first (a dead process appends
+// nothing), so in-flight placements stay open on disk for the next
+// incarnation to re-adopt, then everything running is canceled without
+// grace.
+//
+// simlint:rootctx
+func (c *Coordinator) Kill() {
+	c.journal.Close()
+	c.rootCancel()
+	c.sweeperWG.Wait()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_ = c.queue.Shutdown(ctx)
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
@@ -269,12 +407,14 @@ func (c *Coordinator) handleRegister(w http.ResponseWriter, r *http.Request) {
 		m = &member{info: memberInfo{Name: req.Name, URL: req.URL}}
 		c.members[req.Name] = m
 		c.rebuildRingLocked()
+		c.journal.append(journalRecord{T: "member", Name: req.Name, URL: req.URL, Gen: c.generation})
 		c.logger.Info("worker joined", "worker", req.Name, "url", req.URL,
 			"workers", len(c.members))
 	} else if m.info.URL != req.URL {
 		// Same name, new address: the worker restarted somewhere else. The
 		// ring keys by name, so ownership is unchanged.
 		m.info.URL = req.URL
+		c.journal.append(journalRecord{T: "member", Name: req.Name, URL: req.URL, Gen: c.generation})
 	}
 	m.expires = time.Now().Add(c.opts.leaseTTL())
 	reply := c.joinReplyLocked()
@@ -373,6 +513,7 @@ func (c *Coordinator) dropLocked(name, reason string) {
 	}
 	delete(c.members, name)
 	c.rebuildRingLocked()
+	c.journal.append(journalRecord{T: "leave", Name: name, Gen: c.generation})
 	stolen := 0
 	for at := range c.assigns {
 		if at.worker == name {
@@ -453,25 +594,84 @@ func (c *Coordinator) notePlaced(id, workerURL string) {
 	c.mu.Unlock()
 }
 
+// observeRouteRate folds one successful placement's end-to-end cost into
+// the EWMA hedgeDelay derives straggler thresholds from (the api layer's
+// observeSimRate pattern: lock-free CAS over Float64bits).
+func (c *Coordinator) observeRouteRate(elapsed time.Duration, ops int) {
+	if ops <= 0 || elapsed <= 0 {
+		return
+	}
+	sample := float64(elapsed.Nanoseconds()) / float64(ops)
+	for {
+		old := c.routeEwmaNs.Load()
+		next := sample
+		if old != 0 {
+			next = routeRateAlpha*sample + (1-routeRateAlpha)*math.Float64frombits(old)
+		}
+		if c.routeEwmaNs.CompareAndSwap(old, math.Float64bits(next)) {
+			return
+		}
+	}
+}
+
+// hedgeDelay is how long a placement may run before a second one races it:
+// headroom × EWMA ns/op × ops, clamped, with a fixed default before the
+// first observation.
+func (c *Coordinator) hedgeDelay(ops int) time.Duration {
+	if c.opts.HedgeDelay > 0 {
+		return c.opts.HedgeDelay
+	}
+	bits := c.routeEwmaNs.Load()
+	if bits == 0 || ops <= 0 {
+		return hedgeDelayDefault
+	}
+	d := time.Duration(hedgeHeadroom * math.Float64frombits(bits) * float64(ops))
+	return min(max(d, hedgeDelayMin), hedgeDelayMax)
+}
+
+// pickHedge returns a live member for a second placement of key that is
+// not the primary: the key's next ring successor, where a replica of the
+// result would land anyway.
+func (c *Coordinator) pickHedge(key simcache.Key, primary string) (memberInfo, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, name := range c.ring.Successors(key, 2) {
+		if name == primary {
+			continue
+		}
+		if m, ok := c.members[name]; ok {
+			return m.info, true
+		}
+	}
+	return memberInfo{}, false
+}
+
 // routeSim places one simulation on its ring owner and returns the
-// worker's terminal answer. A transport-level failure is treated as a dead
-// worker: drop it from the ring (stealing its other in-flight jobs too)
-// and re-route to the new owner, who resumes from the latest shared
-// checkpoint snapshot when there is one. An HTTP-level error means the
-// worker is alive and rejecting — that fails the job, it does not steal.
-func (c *Coordinator) routeSim(ctx context.Context, id string, key simcache.Key, req api.SimRequest) ([]byte, bool, error) {
+// worker's terminal answer, journaling the placement lifecycle so a
+// coordinator crash can re-adopt it. A transport-level failure is treated
+// as a dead worker: drop it from the ring (stealing its other in-flight
+// jobs too) and re-route to the new owner, who resumes from the latest
+// shared checkpoint snapshot when there is one. An HTTP-level error means
+// the worker is alive and rejecting — that fails the job, it does not
+// steal. A placement that outlives the EWMA-derived hedge delay gets a
+// second placement racing it on the key's next successor; first completion
+// wins, and the shared budget bounds primaries + steals + hedges together.
+func (c *Coordinator) routeSim(ctx context.Context, id string, key simcache.Key, ops int, req api.SimRequest, budget int) ([]byte, bool, error) {
+	budget = max(1, min(budget, maxRouteAttempts))
 	req.Wait = true
 	body, err := json.Marshal(req)
 	if err != nil {
 		return nil, false, err
 	}
-	for n := 0; n < maxRouteAttempts; n++ {
+	c.journalBegin(id, body)
+	defer c.journalEnd(id)
+	var lastErr error
+	for used := 0; used < budget; {
 		owner, ok := c.pickOwner(key)
 		if !ok {
 			return nil, false, errNoWorkers
 		}
-		c.notePlaced(id, owner.URL)
-		data, cached, spoke, err := c.postSim(ctx, owner, id, body)
+		data, cached, spoke, err := c.placeHedged(ctx, id, key, owner, body, ops, &used, budget)
 		if err == nil {
 			return data, cached, nil
 		}
@@ -483,14 +683,139 @@ func (c *Coordinator) routeSim(ctx context.Context, id string, key simcache.Key,
 		if spoke {
 			return nil, false, err
 		}
-		c.steals.Add(1)
-		c.dropMember(owner.Name, fmt.Sprintf("forward failed: %v", err))
-		c.logger.Info("job stolen", "job_id", id, "from", owner.Name)
-		// Fault point: a coordinator that dawdles between detecting the
-		// death and re-routing; clients must simply keep waiting.
-		_ = faultinject.Sleep(ctx, "cluster.steal.stall")
+		lastErr = err
 	}
-	return nil, false, fmt.Errorf("cluster: job %s failed %d placements; workers dying faster than they join", id, maxRouteAttempts)
+	return nil, false, fmt.Errorf("cluster: job %s exhausted its placement budget (%d); workers dying faster than they join (last: %v)", id, budget, lastErr)
+}
+
+// journalBegin reference-counts in-flight placements per job ID and
+// journals "submit" only on the first: concurrent routes of the same
+// content key (a re-adopted placement racing a re-submitted arena cell)
+// are one logical placement, so the ledger must see exactly one open/close
+// pair for it.
+func (c *Coordinator) journalBegin(id string, req json.RawMessage) {
+	c.mu.Lock()
+	c.placeRefs[id]++
+	first := c.placeRefs[id] == 1
+	c.mu.Unlock()
+	if first {
+		c.journal.append(journalRecord{T: "submit", Job: id, Req: req})
+	}
+}
+
+// journalEnd drops one reference; the last one journals "done" — unless the
+// coordinator is dying, in which case the placement must stay open in the
+// journal so the next incarnation re-adopts it. (A real crash would never
+// reach this defer; the chaos stand-in Kill closes the journal first for
+// the same effect.)
+func (c *Coordinator) journalEnd(id string) {
+	c.mu.Lock()
+	c.placeRefs[id]--
+	last := c.placeRefs[id] <= 0
+	if last {
+		delete(c.placeRefs, id)
+	}
+	c.mu.Unlock()
+	if last && c.rootCtx.Err() == nil {
+		c.journal.append(journalRecord{T: "done", Job: id})
+	}
+}
+
+// placeOutcome is one placement's terminal result inside placeHedged.
+type placeOutcome struct {
+	owner  memberInfo
+	data   []byte
+	cached bool
+	spoke  bool
+	err    error
+	hedge  bool
+}
+
+// placeHedged runs one placement round: the primary placement on owner,
+// plus — if it outlives the hedge delay and the budget allows — a hedge on
+// the key's next successor. First success wins and cancels the loser (the
+// content-keyed job ID makes the duplicate placement collapse on the
+// worker side, so "losing" costs nothing). Transport deaths drop the dead
+// worker immediately, even while the sibling placement keeps running.
+// spoke=true on error means a coherent HTTP rejection the caller must not
+// retry.
+func (c *Coordinator) placeHedged(ctx context.Context, id string, key simcache.Key, owner memberInfo, body []byte, ops int, used *int, budget int) (data []byte, cached, spoke bool, err error) {
+	pctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	resCh := make(chan placeOutcome, 2)
+	launch := func(m memberInfo, hedge bool) {
+		*used++
+		c.journal.append(journalRecord{T: "placed", Job: id, Worker: m.Name})
+		c.notePlaced(id, m.URL)
+		go func() {
+			start := time.Now()
+			data, cached, spoke, err := c.postSim(pctx, m, id, body)
+			if err == nil {
+				c.observeRouteRate(time.Since(start), ops)
+			}
+			resCh <- placeOutcome{owner: m, data: data, cached: cached, spoke: spoke, err: err, hedge: hedge}
+		}()
+	}
+	launch(owner, false)
+
+	// The hedge timer only arms while budget remains. The hedge.fire fault
+	// point collapses the delay so tests drive the hedge path without
+	// waiting out a real straggler.
+	var hedgeC <-chan time.Time
+	if *used < budget {
+		delay := c.hedgeDelay(ops)
+		if faultinject.Should("cluster.hedge.fire") {
+			delay = 0
+		}
+		timer := time.NewTimer(delay)
+		defer timer.Stop()
+		hedgeC = timer.C
+	}
+
+	inflight := 1
+	var firstErr error
+	for {
+		select {
+		case <-hedgeC:
+			hedgeC = nil
+			if next, ok := c.pickHedge(key, owner.Name); ok && *used < budget {
+				c.hedges.Add(1)
+				c.logger.Info("placement hedged", "job_id", id, "primary", owner.Name, "hedge", next.Name)
+				launch(next, true)
+				inflight++
+			}
+		case out := <-resCh:
+			inflight--
+			if out.err == nil {
+				if out.hedge {
+					c.hedgeWins.Add(1)
+				}
+				return out.data, out.cached, true, nil
+			}
+			if ctx.Err() != nil {
+				return nil, false, false, ctx.Err()
+			}
+			if out.spoke {
+				return nil, false, true, out.err
+			}
+			// Transport death: steal now, even if a sibling placement is
+			// still in flight.
+			c.steals.Add(1)
+			c.dropMember(out.owner.Name, fmt.Sprintf("forward failed: %v", out.err))
+			c.logger.Info("job stolen", "job_id", id, "from", out.owner.Name)
+			// Fault point: a coordinator that dawdles between detecting the
+			// death and re-routing; clients must simply keep waiting.
+			_ = faultinject.Sleep(ctx, "cluster.steal.stall")
+			if firstErr == nil {
+				firstErr = out.err
+			}
+			if inflight == 0 {
+				return nil, false, false, firstErr
+			}
+		case <-ctx.Done():
+			return nil, false, false, ctx.Err()
+		}
+	}
 }
 
 // postSim performs one synchronous placement. spoke reports whether the
@@ -564,6 +889,16 @@ func (c *Coordinator) handleSubmitSim(w http.ResponseWriter, r *http.Request) {
 	key := simcache.KeyFor(spec, cfg, ops)
 	id := api.SimJobID(key)
 
+	// A client that has already burned retries hands us a smaller budget:
+	// the header caps primaries + steals + hedges for this placement, so
+	// client retries × coordinator attempts cannot multiply unboundedly.
+	budget := maxRouteAttempts
+	if v := r.Header.Get(api.RetryBudgetHeader); v != "" {
+		if n, err := strconv.Atoi(v); err == nil && n >= 0 {
+			budget = min(n+1, maxRouteAttempts)
+		}
+	}
+
 	wait := req.Wait || r.URL.Query().Get("wait") == "1"
 	job, err := c.queue.SubmitExternal(id, req.Priority)
 	if errors.Is(err, jobq.ErrDuplicateID) {
@@ -577,14 +912,14 @@ func (c *Coordinator) handleSubmitSim(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusServiceUnavailable, "%v", err)
 		return
 	}
-	go c.forward(job, id, key, req)
+	go c.forward(job, id, key, ops, req, budget)
 	c.respondJob(w, r, wait, job)
 }
 
 // forward drives one external job to its terminal state in the
-// background: route (with stealing), then publish the result. Canceling
-// the job cancels the placement.
-func (c *Coordinator) forward(job *jobq.Job, id string, key simcache.Key, req api.SimRequest) {
+// background: route (with stealing and hedging), then publish the result.
+// Canceling the job cancels the placement.
+func (c *Coordinator) forward(job *jobq.Job, id string, key simcache.Key, ops int, req api.SimRequest, budget int) {
 	ctx, cancel := context.WithCancel(c.rootCtx)
 	defer cancel()
 	go func() {
@@ -594,7 +929,7 @@ func (c *Coordinator) forward(job *jobq.Job, id string, key simcache.Key, req ap
 		case <-ctx.Done():
 		}
 	}()
-	data, cached, err := c.routeSim(ctx, id, key, req)
+	data, cached, err := c.routeSim(ctx, id, key, ops, req, budget)
 	if err != nil {
 		c.queue.CompleteExternal(id, nil, err)
 		return
@@ -831,7 +1166,7 @@ func (c *Coordinator) dispatchCell(ctx context.Context, bench, engineSpec string
 		return nil, err
 	}
 	key := simcache.KeyFor(spec, cfg, resolvedOps)
-	data, _, err := c.routeSim(ctx, api.SimJobID(key), key, cellReq)
+	data, _, err := c.routeSim(ctx, api.SimJobID(key), key, resolvedOps, cellReq, maxRouteAttempts)
 	if err != nil {
 		return nil, err
 	}
@@ -896,6 +1231,14 @@ func (c *Coordinator) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	p("cdpd_cluster_steals_total", "Jobs reclaimed from dead workers and re-routed.", "counter", c.steals.Load())
 	p("cdpd_cluster_rebalances_total", "Hash-ring rebuilds from membership changes.", "counter", c.rebalances.Load())
 	p("cdpd_cluster_generation", "Membership generation (increments per change).", "gauge", generation)
+	p("cdpd_cluster_hedges_total", "Second placements raced against suspected stragglers.", "counter", c.hedges.Load())
+	p("cdpd_cluster_hedge_wins_total", "Hedged placements that finished before the primary.", "counter", c.hedgeWins.Load())
+	p("cdpd_cluster_readopted_total", "Orphaned placements re-adopted from the journal after a restart.", "counter", c.readopted.Load())
+	p("cdpd_cluster_placements_open", "External placements accepted but not yet terminal.", "gauge", c.queue.ExternalInflight())
+	if c.journal != nil {
+		p("cdpd_cluster_journal_writes_total", "Records appended to the write-ahead journal.", "counter", c.journal.writes.Load())
+		p("cdpd_cluster_journal_write_errors_total", "Journal appends that failed (recovery fidelity lost, requests unaffected).", "counter", c.journal.writeErrs.Load())
+	}
 	if len(rows) > 0 {
 		fmt.Fprintf(w, "# HELP cdpd_cluster_worker_inflight Jobs currently placed on each worker.\n")
 		fmt.Fprintf(w, "# TYPE cdpd_cluster_worker_inflight gauge\n")

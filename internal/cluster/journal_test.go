@@ -1,0 +1,197 @@
+package cluster
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/faultinject"
+)
+
+// writeJournalLines hand-writes a journal file from raw lines, standing in
+// for the history a previous coordinator incarnation left behind.
+func writeJournalLines(t *testing.T, dir string, lines ...string) {
+	t.Helper()
+	if err := os.WriteFile(filepath.Join(dir, journalFile), []byte(strings.Join(lines, "\n")+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestJournalReplayMissing: no journal file is an empty state, not an error
+// — a first boot with -state-dir must come up clean.
+func TestJournalReplayMissing(t *testing.T) {
+	state, err := ReadJournal(t.TempDir())
+	if err != nil {
+		t.Fatalf("ReadJournal on empty dir: %v", err)
+	}
+	if len(state.Members) != 0 || len(state.Open) != 0 || state.Generation != 0 {
+		t.Fatalf("empty dir replayed to non-empty state: %+v", state)
+	}
+}
+
+// TestJournalReplaySemantics replays a hand-written history and checks every
+// record type lands: members join and leave, placements open on submit,
+// close on done, a done with no matching open counts as a double-complete,
+// and a torn final line (the crash-mid-append case) is counted and skipped
+// without poisoning the rest.
+func TestJournalReplaySemantics(t *testing.T) {
+	dir := t.TempDir()
+	writeJournalLines(t, dir,
+		`{"t":"member","name":"w1","url":"http://w1","gen":1}`,
+		`{"t":"member","name":"w2","url":"http://w2","gen":2}`,
+		`{"t":"leave","name":"w1","gen":3}`,
+		`{"t":"submit","job":"sim-aaaa","req":{"benchmark":"quake","ops":1000}}`,
+		`{"t":"placed","job":"sim-aaaa","worker":"w2"}`,
+		`{"t":"submit","job":"sim-bbbb","req":{"benchmark":"gcc","ops":2000}}`,
+		`{"t":"done","job":"sim-bbbb"}`,
+		`{"t":"done","job":"sim-bbbb"}`,
+		`{"t":"member","name":"w3","url":`, // torn mid-append
+	)
+
+	state, err := ReadJournal(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(state.Members) != 1 || state.Members["w2"] != "http://w2" {
+		t.Fatalf("members = %v, want only w2", state.Members)
+	}
+	if state.Generation != 3 {
+		t.Fatalf("generation = %d, want 3 (highest journaled)", state.Generation)
+	}
+	if len(state.Open) != 1 {
+		t.Fatalf("open placements = %v, want only sim-aaaa", state.Open)
+	}
+	pl := state.Open["sim-aaaa"]
+	if pl.Worker != "w2" || !strings.Contains(string(pl.Req), "quake") {
+		t.Fatalf("placement = %+v, want worker w2 and the quake request", pl)
+	}
+	if state.DoubleCompletes != 1 {
+		t.Fatalf("double completes = %d, want 1 (second done for sim-bbbb)", state.DoubleCompletes)
+	}
+	if state.TornRecords != 1 {
+		t.Fatalf("torn records = %d, want 1", state.TornRecords)
+	}
+}
+
+// TestJournalCompaction: openJournal rewrites the file down to live state —
+// the journal's size is bounded by surviving members and open placements,
+// not lifetime traffic — and the compacted file replays to the same state.
+func TestJournalCompaction(t *testing.T) {
+	dir := t.TempDir()
+	var lines []string
+	// A long churn history that nets out to one member and one open job.
+	for i := 0; i < 50; i++ {
+		lines = append(lines,
+			`{"t":"member","name":"churn","url":"http://churn","gen":`+jsonInt(uint64(2*i+1))+`}`,
+			`{"t":"leave","name":"churn","gen":`+jsonInt(uint64(2*i+2))+`}`,
+			`{"t":"submit","job":"sim-done","req":{"ops":1}}`,
+			`{"t":"done","job":"sim-done"}`,
+		)
+	}
+	lines = append(lines,
+		`{"t":"member","name":"w1","url":"http://w1","gen":101}`,
+		`{"t":"submit","job":"sim-open","req":{"benchmark":"quake","ops":1000}}`,
+		`{"t":"placed","job":"sim-open","worker":"w1"}`,
+	)
+	writeJournalLines(t, dir, lines...)
+
+	jr, state, err := openJournal(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer jr.Close()
+	if len(state.Members) != 1 || state.Members["w1"] != "http://w1" {
+		t.Fatalf("members after churn = %v, want only w1", state.Members)
+	}
+	if state.Generation != 101 {
+		t.Fatalf("generation = %d, want 101", state.Generation)
+	}
+	if len(state.Open) != 1 || state.Open["sim-open"].Worker != "w1" {
+		t.Fatalf("open = %v, want sim-open on w1", state.Open)
+	}
+
+	// Compaction shrank ~203 history lines to 4 (gen + member + submit +
+	// placed).
+	raw, err := os.ReadFile(filepath.Join(dir, journalFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := strings.Count(string(raw), "\n"); n != 4 {
+		t.Fatalf("compacted journal has %d lines, want 4:\n%s", n, raw)
+	}
+
+	// The compacted file replays to the same live state, and post-compaction
+	// appends extend it.
+	jr.append(journalRecord{T: "done", Job: "sim-open"})
+	again, err := ReadJournal(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(again.Open) != 0 {
+		t.Fatalf("open after appended done = %v, want empty", again.Open)
+	}
+	if again.Members["w1"] != "http://w1" || again.Generation != 101 {
+		t.Fatalf("compacted replay lost state: %+v", again)
+	}
+}
+
+func jsonInt(v uint64) string {
+	b, _ := json.Marshal(v)
+	return string(b)
+}
+
+// TestJournalWriteErrorFault: an armed cluster.journal.write-error drops the
+// record and bumps the error counter — the append never fails the caller,
+// and the journal keeps accepting once the fault clears.
+func TestJournalWriteErrorFault(t *testing.T) {
+	jr, _, err := openJournal(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer jr.Close()
+
+	prev := faultinject.Enable(faultinject.MustParse(1, "cluster.journal.write-error:times=1"))
+	defer faultinject.Enable(prev)
+
+	jr.append(journalRecord{T: "member", Name: "lost", URL: "http://lost", Gen: 1})
+	if got := jr.writeErrs.Load(); got != 1 {
+		t.Fatalf("write errors = %d after faulted append, want 1", got)
+	}
+	jr.append(journalRecord{T: "member", Name: "kept", URL: "http://kept", Gen: 2})
+	if got := jr.writes.Load(); got != 1 {
+		t.Fatalf("writes = %d after clean append, want 1", got)
+	}
+
+	state, err := replayJournal(jr.path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := state.Members["lost"]; ok {
+		t.Fatal("faulted record reached the journal")
+	}
+	if state.Members["kept"] != "http://kept" {
+		t.Fatalf("clean record missing: %+v", state.Members)
+	}
+}
+
+// TestJournalClosedAndNil: appends after Close count as write errors (the
+// crashed-process stand-in appends nothing), and a nil journal — no
+// -state-dir — swallows both append and Close.
+func TestJournalClosedAndNil(t *testing.T) {
+	jr, _, err := openJournal(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	jr.Close()
+	jr.append(journalRecord{T: "member", Name: "late", Gen: 1})
+	if got := jr.writeErrs.Load(); got != 1 {
+		t.Fatalf("write errors after close = %d, want 1", got)
+	}
+	jr.Close() // idempotent
+
+	var nilJr *journal
+	nilJr.append(journalRecord{T: "member", Name: "x"})
+	nilJr.Close()
+}

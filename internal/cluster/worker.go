@@ -75,12 +75,13 @@ type Worker struct {
 	loopWG     sync.WaitGroup
 	started    bool
 
-	mu         sync.Mutex
-	ring       *Ring             // simlint:guardedby mu
-	urls       map[string]string // simlint:guardedby mu
-	generation uint64            // simlint:guardedby mu
-	registered bool              // simlint:guardedby mu
-	ttl        time.Duration     // simlint:guardedby mu
+	mu            sync.Mutex
+	ring          *Ring             // simlint:guardedby mu
+	urls          map[string]string // simlint:guardedby mu
+	generation    uint64            // simlint:guardedby mu
+	registered    bool              // simlint:guardedby mu
+	ttl           time.Duration     // simlint:guardedby mu
+	orphanedSince time.Time         // simlint:guardedby mu
 }
 
 // NewWorker builds a worker (not yet registered; call Start). The worker
@@ -120,6 +121,8 @@ func NewWorker(opts WorkerOptions) (*Worker, error) {
 	w.api = srv
 	w.mux.Handle("/", srv)
 	w.mux.HandleFunc("GET /v1/cache/{key}", w.handleCacheGet)
+	w.mux.HandleFunc("GET /readyz", w.handleReadyz)
+	w.mux.HandleFunc("GET /metrics", w.handleMetrics)
 	return w, nil
 }
 
@@ -152,6 +155,23 @@ func (w *Worker) Close(ctx context.Context) error {
 	err := w.queue.Shutdown(ctx)
 	w.tiered.Close()
 	return err
+}
+
+// Kill tears the worker down the way a SIGKILL would, for the chaos
+// orchestrator: no leave call, no graceful drain. The heartbeat loop
+// stops, running jobs' contexts are canceled (a segmented sim dies at its
+// next checkpoint boundary, exactly like a killed process whose snapshot
+// survives on shared disk), and the lease is left to lapse so the
+// coordinator discovers the death on its own.
+//
+// simlint:rootctx
+func (w *Worker) Kill() {
+	w.rootCancel()
+	w.loopWG.Wait()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_ = w.queue.Shutdown(ctx)
+	w.tiered.Close()
 }
 
 // Peers implements simcache.PeerPicker: a missed key's other ring
@@ -193,13 +213,107 @@ func (w *Worker) handleCacheGet(rw http.ResponseWriter, r *http.Request) {
 	rw.Write(data)
 }
 
-// heartbeatLoop keeps the worker admitted: register with backoff until the
-// coordinator accepts, then heartbeat at TTL/3, falling back to
+// registerJitter spreads (re-)registration attempts across the backoff
+// window so a restarted coordinator is not hit by a synchronized herd: a
+// deterministic hash of (worker name, attempt) places this worker's next
+// try uniformly in [base/2, base), where base doubles per attempt from
+// registerBackoffMin up to registerBackoffMax. Hashing instead of ambient
+// randomness keeps a fleet's schedule reproducible — the same property
+// vnode placement relies on.
+func registerJitter(name string, attempt int) time.Duration {
+	base := registerBackoffMin << min(attempt, 3)
+	if base > registerBackoffMax {
+		base = registerBackoffMax
+	}
+	h := (uint64(attempt) + 1) * 0x9E3779B97F4A7C15
+	for i := 0; i < len(name); i++ {
+		h ^= uint64(name[i])
+		h *= 0x100000001B3
+	}
+	h ^= h >> 33
+	h *= 0xFF51AFD7ED558CCD
+	h ^= h >> 33
+	half := base / 2
+	return half + time.Duration(h%uint64(half))
+}
+
+// markOrphaned records the moment coordinator contact was lost (first
+// failure wins); markContacted clears it.
+func (w *Worker) markOrphaned() {
+	w.mu.Lock()
+	if w.orphanedSince.IsZero() {
+		w.orphanedSince = time.Now()
+	}
+	w.mu.Unlock()
+}
+
+func (w *Worker) markContacted() {
+	w.mu.Lock()
+	w.orphanedSince = time.Time{}
+	w.mu.Unlock()
+}
+
+// orphanedFor reports how long the worker has been without coordinator
+// contact (0 = in contact).
+func (w *Worker) orphanedFor() time.Duration {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.orphanedSince.IsZero() {
+		return 0
+	}
+	return time.Since(w.orphanedSince)
+}
+
+// handleReadyz wraps the embedded server's readiness with the cluster
+// dimension: a worker that has lost its coordinator keeps serving local
+// /v1/sim traffic, so it stays ready — annotated degraded-standalone so
+// operators and probes can tell partition from health.
+func (w *Worker) handleReadyz(rw http.ResponseWriter, r *http.Request) {
+	rw.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	ok, status := w.api.Ready()
+	if !ok {
+		rw.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(rw, status)
+		return
+	}
+	if d := w.orphanedFor(); d > 0 {
+		fmt.Fprintf(rw, "ready (degraded-standalone: no coordinator contact for %s)\n", d.Round(time.Millisecond))
+		return
+	}
+	fmt.Fprintln(rw, status)
+}
+
+// handleMetrics appends the worker's cluster-membership series after the
+// embedded server's standard exposition.
+func (w *Worker) handleMetrics(rw http.ResponseWriter, r *http.Request) {
+	w.api.ServeHTTP(rw, r)
+	w.mu.Lock()
+	registered := 0
+	if w.registered {
+		registered = 1
+	}
+	var orphaned float64
+	if !w.orphanedSince.IsZero() {
+		orphaned = time.Since(w.orphanedSince).Seconds()
+	}
+	w.mu.Unlock()
+	p := func(name, help string, v any) {
+		fmt.Fprintf(rw, "# HELP %s %s\n# TYPE %s gauge\n%s %v\n", name, help, name, name, v)
+	}
+	p("cdpd_cluster_registered", "Whether this worker currently holds a coordinator lease.", registered)
+	p("cdpd_cluster_orphaned_seconds", "Seconds since coordinator contact was lost (0 = in contact).", orphaned)
+}
+
+// heartbeatLoop keeps the worker admitted: register with jittered backoff
+// until the coordinator accepts, then heartbeat at TTL/3, falling back to
 // re-registration whenever the coordinator forgets us (lease lapse or
 // coordinator restart). Every reply refreshes the local ring replica.
+// While the coordinator is unreachable the worker is merely degraded — the
+// local /v1/sim surface keeps serving, /readyz says so, and the orphaned
+// clock feeds the cdpd_cluster_orphaned_seconds gauge.
 func (w *Worker) heartbeatLoop(ctx context.Context) {
 	defer w.loopWG.Done()
-	backoff := registerBackoffMin
+	attempt := 0
 	timer := time.NewTimer(0) // first attempt immediately
 	defer timer.Stop()
 	for {
@@ -218,11 +332,13 @@ func (w *Worker) heartbeatLoop(ctx context.Context) {
 		if !registered {
 			if err := w.join(ctx, "/v1/cluster/register"); err != nil {
 				w.logger.Warn("register failed", "coordinator", w.opts.JoinURL, "err", err)
-				wait = backoff
-				backoff = min(backoff*2, registerBackoffMax)
+				w.markOrphaned()
+				wait = registerJitter(w.opts.Name, attempt)
+				attempt++
 			} else {
 				w.logger.Info("registered", "worker", w.opts.Name, "coordinator", w.opts.JoinURL)
-				backoff = registerBackoffMin
+				w.markContacted()
+				attempt = 0
 				w.mu.Lock()
 				wait = w.ttl / 3
 				w.mu.Unlock()
@@ -235,18 +351,29 @@ func (w *Worker) heartbeatLoop(ctx context.Context) {
 			} else if err := w.join(ctx, "/v1/cluster/heartbeat"); err != nil {
 				var httpErr *statusError
 				if errors.As(err, &httpErr) && httpErr.code == http.StatusNotFound {
-					// Coordinator no longer knows us: re-register now.
+					// Coordinator no longer knows us (lease lapsed, or it
+					// restarted without its journal). Re-register after a
+					// jittered pause — every other worker got the same 404,
+					// and the spread keeps the re-registration herd off a
+					// coordinator that just came back. Resetting the
+					// generation forces a full ring resync on readmission:
+					// a restarted coordinator's generation numbering cannot
+					// be trusted to be comparable with ours.
 					w.mu.Lock()
 					w.registered = false
+					w.generation = 0
 					w.mu.Unlock()
-					wait = 0
+					wait = registerJitter(w.opts.Name, 0)
 				} else {
 					// Transport trouble; keep beating — the lease absorbs
-					// a few misses.
+					// a few misses, and the orphaned clock starts ticking
+					// toward degraded-standalone.
 					w.logger.Warn("heartbeat failed", "err", err)
+					w.markOrphaned()
 					wait = ttl / 3
 				}
 			} else {
+				w.markContacted()
 				wait = ttl / 3
 			}
 		}

@@ -452,6 +452,21 @@ func (q *Queue) CompleteExternal(id string, value any, err error) bool {
 	return true
 }
 
+// ExternalInflight counts external jobs that have not reached a terminal
+// state — the coordinator's open placements. The cluster metrics block and
+// the chaos orchestrator's no-lost-jobs invariant read it.
+func (q *Queue) ExternalInflight() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	n := 0
+	for _, j := range q.jobs {
+		if j.external && !j.State().Terminal() {
+			n++
+		}
+	}
+	return n
+}
+
 // Get finds a job by id (queued, running, or finished).
 func (q *Queue) Get(id string) (*Job, bool) {
 	q.mu.Lock()

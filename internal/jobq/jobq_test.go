@@ -292,3 +292,40 @@ func TestShutdownForceCancels(t *testing.T) {
 		t.Fatalf("queued job state %s, want canceled", st)
 	}
 }
+
+// TestExternalInflight: the open-placement gauge counts external jobs that
+// have not reached a terminal state — local jobs and completed externals
+// never appear in it.
+func TestExternalInflight(t *testing.T) {
+	q := New(Config{Workers: 1, Capacity: 4})
+	defer q.Shutdown(t.Context())
+
+	if got := q.ExternalInflight(); got != 0 {
+		t.Fatalf("fresh queue: external inflight = %d, want 0", got)
+	}
+	if _, err := q.SubmitExternal("ext-a", 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := q.SubmitExternal("ext-b", 0); err != nil {
+		t.Fatal(err)
+	}
+	// A local job must not count.
+	j, err := q.Submit("", 0, func(ctx context.Context, j *Job) (any, error) { return 1, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitTerminal(t, j)
+	if got := q.ExternalInflight(); got != 2 {
+		t.Fatalf("external inflight = %d with two open placements, want 2", got)
+	}
+	if !q.CompleteExternal("ext-a", "done", nil) {
+		t.Fatal("CompleteExternal(ext-a) = false")
+	}
+	if got := q.ExternalInflight(); got != 1 {
+		t.Fatalf("external inflight = %d after one completion, want 1", got)
+	}
+	q.CompleteExternal("ext-b", nil, context.Canceled)
+	if got := q.ExternalInflight(); got != 0 {
+		t.Fatalf("external inflight = %d after both done, want 0", got)
+	}
+}

@@ -2,7 +2,9 @@ package simcache
 
 import (
 	"context"
+	"encoding/binary"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"net/http"
 	"os"
@@ -24,12 +26,13 @@ type PeerPicker interface {
 // TierStats counts the disk and peer tiers' traffic, exported by cdpd's
 // /metrics alongside the in-memory Stats.
 type TierStats struct {
-	DiskHits    uint64
-	DiskMisses  uint64
-	SpillWrites uint64
-	SpillErrors uint64
-	PeerHits    uint64
-	PeerMisses  uint64
+	DiskHits        uint64
+	DiskMisses      uint64
+	SpillWrites     uint64
+	SpillErrors     uint64
+	DiskQuarantines uint64
+	PeerHits        uint64
+	PeerMisses      uint64
 }
 
 const (
@@ -69,12 +72,13 @@ type TieredCache struct {
 	rootCtx    context.Context
 	rootCancel context.CancelFunc
 
-	diskHits    atomic.Uint64
-	diskMisses  atomic.Uint64
-	spillWrites atomic.Uint64
-	spillErrors atomic.Uint64
-	peerHits    atomic.Uint64
-	peerMisses  atomic.Uint64
+	diskHits        atomic.Uint64
+	diskMisses      atomic.Uint64
+	spillWrites     atomic.Uint64
+	spillErrors     atomic.Uint64
+	diskQuarantines atomic.Uint64
+	peerHits        atomic.Uint64
+	peerMisses      atomic.Uint64
 }
 
 // NewTiered wraps mem with a disk tier under dir ("" = none) and a peer
@@ -109,12 +113,13 @@ func (t *TieredCache) Stats() Stats { return t.mem.Stats() }
 // TierStats snapshots the disk and peer counters.
 func (t *TieredCache) TierStats() TierStats {
 	return TierStats{
-		DiskHits:    t.diskHits.Load(),
-		DiskMisses:  t.diskMisses.Load(),
-		SpillWrites: t.spillWrites.Load(),
-		SpillErrors: t.spillErrors.Load(),
-		PeerHits:    t.peerHits.Load(),
-		PeerMisses:  t.peerMisses.Load(),
+		DiskHits:        t.diskHits.Load(),
+		DiskMisses:      t.diskMisses.Load(),
+		SpillWrites:     t.spillWrites.Load(),
+		SpillErrors:     t.spillErrors.Load(),
+		DiskQuarantines: t.diskQuarantines.Load(),
+		PeerHits:        t.peerHits.Load(),
+		PeerMisses:      t.peerMisses.Load(),
 	}
 }
 
@@ -174,31 +179,71 @@ func (t *TieredCache) GetOrCompute(k Key, compute func() ([]byte, error)) ([]byt
 // diskPath is the content-addressed file for k.
 func (t *TieredCache) diskPath(k Key) string { return filepath.Join(t.dir, k.Hex()) }
 
-// diskGet reads k from the spill directory.
+// crcTrailerLen is the size of the big-endian IEEE CRC32 appended to every
+// spilled entry. Rename makes spills atomic against our own crashes, but
+// the filesystem underneath may still tear a write (power loss, a shared
+// NFS mount, an operator's stray truncate); the trailer lets a reader tell
+// a torn entry from a real payload.
+const crcTrailerLen = 4
+
+// diskGet reads k from the spill directory and verifies the CRC trailer.
+// A short or corrupt file is quarantined — renamed aside with a .corrupt
+// suffix so it stops matching the content address — and treated as a miss;
+// the caller recomputes and the next spill rewrites the entry cleanly.
 func (t *TieredCache) diskGet(k Key) ([]byte, bool) {
 	if t.dir == "" {
 		return nil, false
 	}
-	data, err := os.ReadFile(t.diskPath(k))
+	path := t.diskPath(k)
+	raw, err := os.ReadFile(path)
 	if err != nil {
 		t.diskMisses.Add(1)
+		return nil, false
+	}
+	if len(raw) < crcTrailerLen {
+		t.quarantine(path)
+		return nil, false
+	}
+	data, trailer := raw[:len(raw)-crcTrailerLen], raw[len(raw)-crcTrailerLen:]
+	if crc32.ChecksumIEEE(data) != binary.BigEndian.Uint32(trailer) {
+		t.quarantine(path)
 		return nil, false
 	}
 	t.diskHits.Add(1)
 	return data, true
 }
 
-// spill persists a payload to the disk tier (atomic: temp + rename, so a
-// crash mid-write leaves no torn entry; a concurrent spill of the same key
-// writes identical bytes anyway). Spill failures cost durability, never
-// the request.
+// quarantine moves a torn or corrupt entry out of the content-addressed
+// namespace and records the event as a miss. Renaming (rather than
+// deleting) keeps the evidence for operators; either way the entry stops
+// poisoning lookups.
+func (t *TieredCache) quarantine(path string) {
+	if err := os.Rename(path, path+".corrupt"); err != nil {
+		_ = os.Remove(path)
+	}
+	t.diskQuarantines.Add(1)
+	t.diskMisses.Add(1)
+}
+
+// spill persists a payload plus its CRC32 trailer to the disk tier
+// (atomic: temp + rename, so our own crash mid-write leaves no torn entry;
+// a concurrent spill of the same key writes identical bytes anyway). Spill
+// failures cost durability, never the request. The disk.cache.torn-write
+// fault point models the tear rename cannot prevent — a lower layer losing
+// the tail of the file — by truncating the payload mid-byte.
 func (t *TieredCache) spill(k Key, data []byte) {
 	if t.dir == "" {
 		return
 	}
+	framed := make([]byte, len(data)+crcTrailerLen)
+	copy(framed, data)
+	binary.BigEndian.PutUint32(framed[len(data):], crc32.ChecksumIEEE(data))
+	if faultinject.Should("disk.cache.torn-write") {
+		framed = framed[:len(framed)/2]
+	}
 	path := t.diskPath(k)
 	tmp := fmt.Sprintf("%s.tmp%d", path, os.Getpid())
-	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+	if err := os.WriteFile(tmp, framed, 0o644); err != nil {
 		t.spillErrors.Add(1)
 		return
 	}

@@ -158,6 +158,85 @@ func TestTieredPeerFetchFault(t *testing.T) {
 	}
 }
 
+// TestTieredDiskQuarantine: a spilled entry truncated mid-byte (a torn
+// write under the rename) fails its CRC check on the next read, is renamed
+// aside as .corrupt, and reads as a miss; the recompute rewrites a clean
+// entry over the content address.
+func TestTieredDiskQuarantine(t *testing.T) {
+	dir := t.TempDir()
+	k, payload := tierKey(7), []byte(`{"v":7,"pad":"xxxxxxxxxxxxxxxx"}`)
+	warm := NewTiered(New(1<<20), dir, nil)
+	if _, _, err := warm.GetOrCompute(k, func() ([]byte, error) { return payload, nil }); err != nil {
+		t.Fatal(err)
+	}
+	warm.Close()
+
+	// Tear the entry mid-payload, behind rename's back.
+	path := filepath.Join(dir, k.Hex())
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, raw[:len(raw)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	cold := NewTiered(New(1<<20), dir, nil)
+	defer cold.Close()
+	if _, ok := cold.Get(k); ok {
+		t.Fatal("torn entry served as a hit")
+	}
+	ts := cold.TierStats()
+	if ts.DiskQuarantines != 1 || ts.DiskMisses != 1 || ts.DiskHits != 0 {
+		t.Fatalf("tier counters after torn read = %+v, want one quarantine counted as a miss", ts)
+	}
+	if _, err := os.Stat(path + ".corrupt"); err != nil {
+		t.Fatalf("torn entry not renamed aside: %v", err)
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatalf("torn entry still at its content address: %v", err)
+	}
+
+	// The recompute heals the entry; the next cold read round-trips.
+	if _, _, err := cold.GetOrCompute(k, func() ([]byte, error) { return payload, nil }); err != nil {
+		t.Fatal(err)
+	}
+	again := NewTiered(New(1<<20), dir, nil)
+	defer again.Close()
+	if data, ok := again.Get(k); !ok || !bytes.Equal(data, payload) {
+		t.Fatalf("healed entry: %s %v", data, ok)
+	}
+}
+
+// TestTieredTornWriteFault: the disk.cache.torn-write fault point truncates
+// a spill in flight; a fresh cache over the same directory quarantines the
+// entry instead of serving garbage.
+func TestTieredTornWriteFault(t *testing.T) {
+	dir := t.TempDir()
+	k, payload := tierKey(8), []byte(`{"v":8,"pad":"yyyyyyyyyyyyyyyy"}`)
+
+	prev := faultinject.Enable(faultinject.MustParse(1, "disk.cache.torn-write:times=1"))
+	warm := NewTiered(New(1<<20), dir, nil)
+	if _, _, err := warm.GetOrCompute(k, func() ([]byte, error) { return payload, nil }); err != nil {
+		t.Fatal(err)
+	}
+	warm.Close()
+	faultinject.Enable(prev)
+
+	cold := NewTiered(New(1<<20), dir, nil)
+	defer cold.Close()
+	data, hit, err := cold.GetOrCompute(k, func() ([]byte, error) { return payload, nil })
+	if err != nil || hit || !bytes.Equal(data, payload) {
+		t.Fatalf("compute over torn spill: %s hit=%v err=%v", data, hit, err)
+	}
+	if ts := cold.TierStats(); ts.DiskQuarantines != 1 {
+		t.Fatalf("quarantines = %d, want 1", ts.DiskQuarantines)
+	}
+	if _, err := os.Stat(filepath.Join(dir, k.Hex()+".corrupt")); err != nil {
+		t.Fatalf("torn spill not quarantined: %v", err)
+	}
+}
+
 // TestTieredNoDirNoPicker: with no cold tiers configured the wrapper
 // degrades to the plain memory cache.
 func TestTieredNoDirNoPicker(t *testing.T) {
