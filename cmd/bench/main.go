@@ -1,151 +1,136 @@
-// Command bench runs the fixed reduced-budget benchmark matrix and appends
-// one schema-versioned telemetry file (BENCH_<n>.json) to the output
+// Command bench runs a declared benchmark suite and appends one
+// schema-versioned telemetry file (BENCH_<n>.json) to the output
 // directory, so the repository accumulates a performance trajectory over
-// time. CI runs it as a non-blocking job and uploads the report.
+// time — or gates a fresh report against the previous one.
 //
-//	go run ./cmd/bench                 # all experiments, report at repo root
-//	go run ./cmd/bench -run table2     # a subset
-//	go run ./cmd/bench -hotpath=false  # skip the end-to-end micro-benchmark
+//	go run ./cmd/bench -suite suites/default.toml                   # run, number automatically
+//	go run ./cmd/bench -suite suites/quick.toml -out BENCH_3.json   # run to an explicit path
+//	go run ./cmd/bench -verdict BENCH_3.json -against BENCH_2.json  # regression gate (exit 1 on breach)
+//
+// Suites declare jobs (experiment matrices, the hot-path micro-benchmark,
+// in-process cdpd cluster storms), per-job profilers (pprof CPU, heap,
+// runtime/trace — artifacts land under -profile-dir and are summarized
+// into the report), and the tolerances the verdict gates with. See
+// suites/ for the checked-in suites and DESIGN.md §15 for the format.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
-	"runtime"
+	"path/filepath"
 	"strings"
-	"testing"
-	"time"
 
 	"repro/internal/benchio"
-	"repro/internal/core"
-	"repro/internal/experiments"
-	"repro/internal/sim"
-	"repro/internal/workloads"
+	"repro/internal/benchsuite"
 )
 
-// hotPathBefore is BenchmarkSimulatorUopsPerSecond measured at the commit
-// named by hotPathBeforeRef — the last tree before the allocation-and-
-// dispatch pass over the simulation hot path. Keeping the baseline in the
-// report makes every BENCH file self-describing.
-var hotPathBefore = benchio.Metrics{
-	NsPerOp:     39_227_232,
-	BytesPerOp:  12_917_652,
-	AllocsPerOp: 421_396,
-}
-
-const hotPathBeforeRef = "3ec0134"
-
 func main() {
-	out := flag.String("out", ".", "directory for the BENCH_<n>.json report")
-	ops := flag.Int("ops", 60_000, "per-benchmark µop budget for the experiment matrix")
-	run := flag.String("run", "", "comma-separated experiment ids (default: all registered)")
-	hotpath := flag.Bool("hotpath", true, "run the end-to-end simulator micro-benchmark")
+	suitePath := flag.String("suite", "suites/default.toml", "suite declaration to run")
+	out := flag.String("out", ".", "output: a directory (next BENCH_<n>.json is chosen) or an explicit .json path")
+	profileDir := flag.String("profile-dir", "artifacts", "directory for pprof/trace artifacts")
+	verdict := flag.String("verdict", "", "compare this BENCH file against -against instead of running a suite")
+	against := flag.String("against", "", "baseline BENCH file for -verdict (default: its predecessor in the same directory)")
 	flag.Parse()
 
-	ids := experiments.IDs()
-	if *run != "" {
-		ids = strings.Split(*run, ",")
+	if *verdict != "" {
+		os.Exit(runVerdict(os.Stdout, *verdict, *against))
 	}
-
-	report := &benchio.Report{
-		Schema:      benchio.SchemaVersion,
-		CreatedUnix: time.Now().Unix(),
-		GoVersion:   runtime.Version(),
-		GOOS:        runtime.GOOS,
-		GOARCH:      runtime.GOARCH,
-		NumCPU:      runtime.NumCPU(),
-		Ops:         *ops,
-	}
-
-	if *hotpath {
-		fmt.Println("hot path: BenchmarkSimulatorUopsPerSecond ...")
-		report.HotPath = measureHotPath()
-		fmt.Printf("  before (%s): %.1f ms/op, %d B/op, %d allocs/op\n",
-			hotPathBeforeRef, report.HotPath.Before.NsPerOp/1e6,
-			report.HotPath.Before.BytesPerOp, report.HotPath.Before.AllocsPerOp)
-		fmt.Printf("  after:         %.1f ms/op, %d B/op, %d allocs/op\n",
-			report.HotPath.After.NsPerOp/1e6,
-			report.HotPath.After.BytesPerOp, report.HotPath.After.AllocsPerOp)
-	}
-
-	opt := experiments.Options{Ops: *ops, Reps: true}
-	for _, id := range ids {
-		r, err := experiments.Get(strings.TrimSpace(id))
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		var before, after runtime.MemStats
-		simsBefore := experiments.SimsRun()
-		runtime.ReadMemStats(&before)
-		start := time.Now()
-		rep, err := r.Run(opt)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		wall := time.Since(start)
-		runtime.ReadMemStats(&after)
-		if rep.Text == "" {
-			fmt.Fprintf(os.Stderr, "experiment %s produced no output\n", r.ID)
-			os.Exit(1)
-		}
-		sims := experiments.SimsRun() - simsBefore
-		e := benchio.Experiment{
-			ID:         r.ID,
-			Title:      r.Title,
-			WallMS:     float64(wall.Nanoseconds()) / 1e6,
-			Sims:       sims,
-			SimsPerSec: float64(sims) / wall.Seconds(),
-			AllocMB:    float64(after.TotalAlloc-before.TotalAlloc) / (1 << 20),
-			Allocs:     after.Mallocs - before.Mallocs,
-		}
-		report.Experiments = append(report.Experiments, e)
-		fmt.Printf("%-8s %8.0f ms  %3d sims  %6.1f sims/s  %8.1f MB alloc\n",
-			r.ID, e.WallMS, e.Sims, e.SimsPerSec, e.AllocMB)
-	}
-
-	report.PeakRSSKB = benchio.PeakRSSKB()
-
-	path, n, err := benchio.NextPath(*out)
-	if err != nil {
+	if err := runSuite(*suitePath, *out, *profileDir); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	if err := benchio.Write(path, report); err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
-	}
-	fmt.Printf("wrote %s (report #%d, peak RSS %d KiB)\n", path, n, report.PeakRSSKB)
 }
 
-// measureHotPath reruns bench_test.go's BenchmarkSimulatorUopsPerSecond
-// workload under testing.Benchmark and returns its allocation profile.
-func measureHotPath() *benchio.HotPath {
-	spec, err := workloads.ByName("tpcc-1")
+func runSuite(suitePath, out, profileDir string) error {
+	s, err := benchsuite.LoadSuite(suitePath)
 	if err != nil {
-		panic(err)
+		return err
 	}
-	ck := workloads.Checkpoint(spec, 150_000)
-	cfg := sim.Default().WithContent(core.DefaultConfig)
-	cfg.WarmupOps = 20_000
-	res := testing.Benchmark(func(b *testing.B) {
-		b.ReportAllocs()
-		for i := 0; i < b.N; i++ {
-			if r := sim.Run(ck, cfg); r.Core.Retired == 0 {
-				b.Fatal("nothing retired")
-			}
-		}
-	})
-	return &benchio.HotPath{
-		Benchmark: "BenchmarkSimulatorUopsPerSecond",
-		BeforeRef: hotPathBeforeRef,
-		Before:    hotPathBefore,
-		After: benchio.Metrics{
-			NsPerOp:     float64(res.NsPerOp()),
-			BytesPerOp:  uint64(res.AllocedBytesPerOp()),
-			AllocsPerOp: uint64(res.AllocsPerOp()),
+	fmt.Printf("suite %s: %d jobs\n", s.Name, len(s.Jobs))
+	report, err := benchsuite.RunSuite(s, benchsuite.RunOptions{
+		ProfileDir: profileDir,
+		Log: func(format string, args ...any) {
+			fmt.Printf(format+"\n", args...)
 		},
+	})
+	if err != nil {
+		return err
 	}
+
+	path := out
+	n := 0
+	if !strings.HasSuffix(out, ".json") {
+		if path, n, err = benchio.NextPath(out); err != nil {
+			return err
+		}
+	}
+	if err := benchio.Write(path, report); err != nil {
+		return err
+	}
+	if n > 0 {
+		fmt.Printf("wrote %s (report #%d)\n", path, n)
+	} else {
+		fmt.Printf("wrote %s\n", path)
+	}
+	return nil
+}
+
+// runVerdict prints the regression verdict to w and returns the process
+// exit code: 0 on pass, 1 on breach, 2 on operational errors.
+func runVerdict(w io.Writer, currentPath, againstPath string) int {
+	if againstPath == "" {
+		var err error
+		if againstPath, err = predecessor(currentPath); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 2
+		}
+	}
+	baseline, err := benchio.Read(againstPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	current, err := benchio.Read(currentPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	fmt.Fprintf(w, "comparing %s (schema %d) against %s (schema %d)\n",
+		filepath.Base(currentPath), current.Schema, filepath.Base(againstPath), baseline.Schema)
+	v := benchsuite.CompareReports(baseline, current)
+	io.WriteString(w, v.Render())
+	if !v.Pass {
+		return 1
+	}
+	return 0
+}
+
+// predecessor finds the BENCH file numerically before currentPath in the
+// same directory.
+func predecessor(currentPath string) (string, error) {
+	dir := filepath.Dir(currentPath)
+	paths, err := benchio.List(dir)
+	if err != nil {
+		return "", err
+	}
+	abs := func(p string) string {
+		a, err := filepath.Abs(p)
+		if err != nil {
+			return p
+		}
+		return a
+	}
+	prev := ""
+	for _, p := range paths {
+		if abs(p) == abs(currentPath) {
+			if prev == "" {
+				return "", fmt.Errorf("bench: %s has no predecessor in %s", currentPath, dir)
+			}
+			return prev, nil
+		}
+		prev = p
+	}
+	return "", fmt.Errorf("bench: %s not found among BENCH files in %s", currentPath, dir)
 }

@@ -1,0 +1,99 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden verdict files")
+
+// TestVerdictFixtures drives `bench -verdict` over synthetic trajectory
+// fixtures and pins both the exit code and the rendered verdict. The
+// breach fixtures are how CI proves the gate actually fails — by feeding
+// it a known regression, not by regressing the repo.
+func TestVerdictFixtures(t *testing.T) {
+	cases := []struct {
+		name     string
+		wantCode int
+	}{
+		{"improved", 0},      // everything got faster
+		{"drift", 0},         // slower, but inside every tolerance
+		{"sims_breach", 1},   // fig9 throughput -15% > 10% budget
+		{"alloc_breach", 1},  // hot-path allocs/op +3 > zero-growth budget
+		{"missing_field", 0}, // gates without baseline data skip, loudly
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var buf bytes.Buffer
+			code := runVerdict(&buf,
+				filepath.Join("testdata", tc.name+".json"),
+				filepath.Join("testdata", "BENCH_base.json"))
+			if code != tc.wantCode {
+				t.Errorf("exit code = %d, want %d\n%s", code, tc.wantCode, buf.String())
+			}
+			golden := filepath.Join("testdata", tc.name+".golden")
+			if *update {
+				if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+					t.Fatal(err)
+				}
+			}
+			want, err := os.ReadFile(golden)
+			if err != nil {
+				t.Fatalf("%v (run with -update to create)", err)
+			}
+			if !bytes.Equal(buf.Bytes(), want) {
+				t.Errorf("verdict output drifted from %s:\n--- got ---\n%s--- want ---\n%s",
+					golden, buf.String(), want)
+			}
+		})
+	}
+}
+
+func TestVerdictOperationalErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if code := runVerdict(&buf, "testdata/improved.json", "testdata/nope.json"); code != 2 {
+		t.Fatalf("missing baseline: code %d, want 2", code)
+	}
+	if code := runVerdict(&buf, "testdata/nope.json", "testdata/BENCH_base.json"); code != 2 {
+		t.Fatalf("missing current: code %d, want 2", code)
+	}
+}
+
+// TestVerdictDefaultBaseline checks that -verdict without -against picks
+// the numeric predecessor in the same directory.
+func TestVerdictDefaultBaseline(t *testing.T) {
+	dir := t.TempDir()
+	base, err := os.ReadFile("testdata/BENCH_base.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur, err := os.ReadFile("testdata/improved.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, data := range map[string][]byte{
+		"BENCH_1.json": base,
+		"BENCH_2.json": base,
+		"BENCH_3.json": cur,
+	} {
+		if err := os.WriteFile(filepath.Join(dir, name), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var buf bytes.Buffer
+	if code := runVerdict(&buf, filepath.Join(dir, "BENCH_3.json"), ""); code != 0 {
+		t.Fatalf("code %d\n%s", code, buf.String())
+	}
+	if !strings.Contains(buf.String(), "against BENCH_2.json") {
+		t.Fatalf("did not pick predecessor:\n%s", buf.String())
+	}
+
+	var errBuf bytes.Buffer
+	if code := runVerdict(&errBuf, filepath.Join(dir, "BENCH_1.json"), ""); code != 2 {
+		t.Fatalf("first report should have no predecessor, code %d", code)
+	}
+}

@@ -61,3 +61,89 @@ func (h *histogram) write(w io.Writer, name, help string) {
 func formatBound(b float64) string {
 	return strconv.FormatFloat(b, 'g', -1, 64)
 }
+
+// HistogramSnapshot is a point-in-time copy of one latency histogram, the
+// in-process analogue of scraping /metrics: cumulative-free per-bucket
+// counts plus sum and count. The bench suite's cluster jobs read these to
+// reconcile server-observed latency against client-side measurements
+// without an HTTP round trip perturbing what they measure.
+type HistogramSnapshot struct {
+	// Bounds are bucket upper limits in seconds, ascending; Counts[i] is
+	// the observations at or below Bounds[i] and above Bounds[i-1]. An
+	// implicit +Inf bucket holds Count minus the sum of Counts.
+	Bounds  []float64
+	Counts  []uint64
+	SumSecs float64
+	Count   uint64
+}
+
+// snapshot copies the histogram's atomics. Concurrent Observe calls may
+// land between loads, so the snapshot is consistent only to within the
+// traffic in flight at the instant of the call — fine for the bench
+// reconciliation, which snapshots quiesced servers.
+func (h *histogram) snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Bounds:  append([]float64(nil), h.bounds...),
+		Counts:  make([]uint64, len(h.bounds)),
+		SumSecs: float64(h.sumNs.Load()) / 1e9,
+		Count:   h.count.Load(),
+	}
+	for i := range h.counts {
+		s.Counts[i] = h.counts[i].Load()
+	}
+	return s
+}
+
+// Merge accumulates another snapshot with identical bounds into this one,
+// aggregating per-worker histograms into a cluster-wide view.
+func (s *HistogramSnapshot) Merge(o HistogramSnapshot) error {
+	if len(o.Bounds) != len(s.Bounds) {
+		return fmt.Errorf("histogram merge: %d buckets vs %d", len(o.Bounds), len(s.Bounds))
+	}
+	for i := range s.Counts {
+		s.Counts[i] += o.Counts[i]
+	}
+	s.SumSecs += o.SumSecs
+	s.Count += o.Count
+	return nil
+}
+
+// Quantile estimates the q-th quantile (0 < q <= 1) in seconds by linear
+// interpolation within the holding bucket, the same estimate PromQL's
+// histogram_quantile gives. Observations beyond the last bound clamp to
+// it. Returns 0 when the histogram is empty.
+func (s *HistogramSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	rank := q * float64(s.Count)
+	var cum uint64
+	for i, c := range s.Counts {
+		prev := cum
+		cum += c
+		if float64(cum) >= rank {
+			lo := 0.0
+			if i > 0 {
+				lo = s.Bounds[i-1]
+			}
+			hi := s.Bounds[i]
+			if c == 0 {
+				return hi
+			}
+			return lo + (hi-lo)*(rank-float64(prev))/float64(c)
+		}
+	}
+	// Rank falls in the +Inf bucket: the best bounded estimate is the
+	// largest finite bound.
+	return s.Bounds[len(s.Bounds)-1]
+}
+
+// LatencySnapshots exports the server's request-path histograms by their
+// /metrics series names (without the _seconds suffix).
+func (s *Server) LatencySnapshots() map[string]HistogramSnapshot {
+	return map[string]HistogramSnapshot{
+		"cdpd_queue_wait":   s.queueWait.snapshot(),
+		"cdpd_run_duration": s.runDur.snapshot(),
+		"cdpd_cache_lookup": s.cacheLookup.snapshot(),
+	}
+}

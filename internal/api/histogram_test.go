@@ -1,0 +1,91 @@
+package api
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/jobq"
+)
+
+func TestHistogramSnapshotAndQuantile(t *testing.T) {
+	h := newHistogram(latencyBuckets)
+	// 8 observations at ~10ms (bucket (0.005, 0.025]), 2 at ~300ms
+	// (bucket (0.1, 0.5]).
+	for i := 0; i < 8; i++ {
+		h.Observe(10 * time.Millisecond)
+	}
+	h.Observe(300 * time.Millisecond)
+	h.Observe(300 * time.Millisecond)
+
+	s := h.snapshot()
+	if s.Count != 10 {
+		t.Fatalf("count = %d", s.Count)
+	}
+	if got := s.SumSecs; math.Abs(got-0.68) > 1e-9 {
+		t.Fatalf("sum = %v", got)
+	}
+	// p50 rank 5 of 10 falls in the 10ms bucket: between 0.005 and 0.025.
+	if q := s.Quantile(0.5); q <= 0.005 || q > 0.025 {
+		t.Fatalf("p50 = %v, want within (0.005, 0.025]", q)
+	}
+	// p99 rank 9.9 falls in the 300ms bucket.
+	if q := s.Quantile(0.99); q <= 0.1 || q > 0.5 {
+		t.Fatalf("p99 = %v, want within (0.1, 0.5]", q)
+	}
+	if q := s.Quantile(1); q <= 0.1 || q > 0.5 {
+		t.Fatalf("p100 = %v", q)
+	}
+
+	var empty HistogramSnapshot
+	if q := (&empty).Quantile(0.5); q != 0 {
+		t.Fatalf("empty quantile = %v", q)
+	}
+}
+
+func TestHistogramSnapshotMerge(t *testing.T) {
+	a := newHistogram(latencyBuckets)
+	b := newHistogram(latencyBuckets)
+	a.Observe(2 * time.Millisecond)
+	b.Observe(40 * time.Millisecond)
+	b.Observe(40 * time.Millisecond)
+
+	sa, sb := a.snapshot(), b.snapshot()
+	if err := sa.Merge(sb); err != nil {
+		t.Fatal(err)
+	}
+	if sa.Count != 3 {
+		t.Fatalf("merged count = %d", sa.Count)
+	}
+	if math.Abs(sa.SumSecs-0.082) > 1e-9 {
+		t.Fatalf("merged sum = %v", sa.SumSecs)
+	}
+
+	mismatched := HistogramSnapshot{Bounds: []float64{1}, Counts: []uint64{0}}
+	if err := sa.Merge(mismatched); err == nil {
+		t.Fatal("expected merge error on mismatched bounds")
+	}
+}
+
+func TestHistogramQuantileBeyondLastBound(t *testing.T) {
+	h := newHistogram(latencyBuckets)
+	h.Observe(2 * time.Minute) // beyond the 60s bound: +Inf bucket
+	s := h.snapshot()
+	if q := s.Quantile(0.5); q != latencyBuckets[len(latencyBuckets)-1] {
+		t.Fatalf("quantile in +Inf bucket = %v, want clamp to last bound", q)
+	}
+}
+
+func TestServerLatencySnapshots(t *testing.T) {
+	srv, _ := newTestServer(t, jobq.Config{Workers: 1, Capacity: 4})
+	srv.runDur.Observe(15 * time.Millisecond)
+	snaps := srv.LatencySnapshots()
+	for _, name := range []string{"cdpd_queue_wait", "cdpd_run_duration", "cdpd_cache_lookup"} {
+		if _, ok := snaps[name]; !ok {
+			t.Fatalf("missing series %q in %v", name, snaps)
+		}
+	}
+	if snaps["cdpd_run_duration"].Count != 1 {
+		t.Fatalf("run_duration count = %d", snaps["cdpd_run_duration"].Count)
+	}
+}

@@ -101,4 +101,12 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	p("cdpd_gc_total", "Completed GC cycles.", "counter", ms.NumGC)
 	p("cdpd_peak_rss_kb", "Peak resident set size in KiB (0 when unavailable).", "gauge",
 		benchio.PeakRSSKB())
+
+	// The conventional always-1 info gauge: labels carry the identity, so
+	// dashboards can join any series against the toolchain and telemetry
+	// schema that produced it.
+	fmt.Fprintf(w, "# HELP cdpd_build_info Build identity; value is always 1.\n"+
+		"# TYPE cdpd_build_info gauge\n"+
+		"cdpd_build_info{go_version=%q,schema=\"%d\"} 1\n",
+		runtime.Version(), benchio.SchemaVersion)
 }

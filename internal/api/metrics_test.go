@@ -4,10 +4,12 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"runtime"
 	"strconv"
 	"strings"
 	"testing"
 
+	"repro/internal/benchio"
 	"repro/internal/jobq"
 	"repro/internal/promtest"
 	"repro/internal/simcache"
@@ -112,6 +114,27 @@ func TestMetricsExpositionFormat(t *testing.T) {
 		if countLine == fmt.Sprintf("%s_count 0", name) {
 			t.Errorf("%s observed nothing despite a completed simulation", name)
 		}
+	}
+}
+
+// TestMetricsBuildInfo pins the build-identity gauge: always-1 value with
+// the toolchain and telemetry schema in labels.
+func TestMetricsBuildInfo(t *testing.T) {
+	s, _ := newTestServer(t, jobq.Config{Workers: 1, Capacity: 4})
+	fams := promtest.ParseExposition(t, scrapeMetrics(t, s))
+	fam := fams["cdpd_build_info"]
+	if fam == nil || fam.Type != "gauge" || len(fam.Samples) != 1 {
+		t.Fatalf("cdpd_build_info family: %+v", fam)
+	}
+	sample := fam.Samples[0]
+	if !strings.Contains(sample, fmt.Sprintf("go_version=%q", runtime.Version())) {
+		t.Fatalf("go_version label missing: %q", sample)
+	}
+	if !strings.Contains(sample, fmt.Sprintf("schema=\"%d\"", benchio.SchemaVersion)) {
+		t.Fatalf("schema label missing: %q", sample)
+	}
+	if fam.Value(t, 0) != 1 {
+		t.Fatalf("build info value = %v, want 1", fam.Value(t, 0))
 	}
 }
 

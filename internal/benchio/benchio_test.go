@@ -3,6 +3,8 @@ package benchio
 import (
 	"os"
 	"path/filepath"
+	"reflect"
+	"strings"
 	"testing"
 )
 
@@ -13,8 +15,10 @@ func sampleReport() *Report {
 		GOOS:        "linux",
 		GOARCH:      "amd64",
 		NumCPU:      8,
+		Suite:       "default",
+		Tolerance:   &Tolerance{SimsPerSecDropPct: 10, NsPerOpGrowthPct: 25},
 		Ops:         60_000,
-		PeakRSSKB:   123_456,
+		PeakRSSKB:   U64(123_456),
 		HotPath: &HotPath{
 			Benchmark: "BenchmarkSimulatorUopsPerSecond",
 			BeforeRef: "abc1234",
@@ -22,8 +26,20 @@ func sampleReport() *Report {
 			After:     Metrics{NsPerOp: 2.4e7, BytesPerOp: 1_468_546, AllocsPerOp: 16_497},
 		},
 		Experiments: []Experiment{
-			{ID: "table2", Title: "Table 2", WallMS: 1234.5, Sims: 30, SimsPerSec: 24.3, AllocMB: 800, Allocs: 1_000_000},
+			{ID: "table2", Title: "Table 2", Job: "matrix", WallMS: 1234.5,
+				Sims: U64(30), SimsPerSec: F64(24.3), AllocMB: 800, Allocs: 1_000_000,
+				Profiles: []Profile{{
+					Kind: "cpu", Artifact: "artifacts/matrix-table2.cpu.pb.gz", Bytes: 512,
+					TopHot: []HotFunc{{Function: "repro/internal/sim.step", FlatPct: 41.5, Flat: 415}},
+				}}},
+			{ID: "table1", Title: "Table 1", Job: "matrix", WallMS: 0.06, AllocMB: 0.01, Allocs: 136},
 		},
+		Cluster: []ClusterRun{{
+			Job: "cluster", Workers: 2, Requests: 8, WallMS: 4000,
+			Client:     LatencySummary{Count: 8, P50MS: 450, P90MS: 600, P99MS: 700, MaxMS: 720},
+			Server:     LatencySummary{Count: 8, P50MS: 400, P90MS: 550, P99MS: 650},
+			Consistent: true,
+		}},
 	}
 }
 
@@ -41,11 +57,116 @@ func TestWriteReadRoundTrip(t *testing.T) {
 	if got.Schema != SchemaVersion {
 		t.Fatalf("schema %d, want %d", got.Schema, SchemaVersion)
 	}
-	if got.HotPath == nil || *got.HotPath != *want.HotPath {
+	if got.HotPath == nil || !reflect.DeepEqual(*got.HotPath, *want.HotPath) {
 		t.Fatalf("hot path round trip: %+v vs %+v", got.HotPath, want.HotPath)
 	}
-	if len(got.Experiments) != 1 || got.Experiments[0] != want.Experiments[0] {
+	if got.Suite != "default" || got.Tolerance == nil || got.Tolerance.SimsPerSecDropPct != 10 {
+		t.Fatalf("suite/tolerance round trip: %q %+v", got.Suite, got.Tolerance)
+	}
+	if got.PeakRSSKB == nil || *got.PeakRSSKB != 123_456 {
+		t.Fatalf("peak RSS round trip: %v", got.PeakRSSKB)
+	}
+	if len(got.Experiments) != 2 {
 		t.Fatalf("experiments round trip: %+v", got.Experiments)
+	}
+	e := got.Experiments[0]
+	if !e.Measured() || *e.Sims != 30 || *e.SimsPerSec != 24.3 {
+		t.Fatalf("measured experiment round trip: %+v", e)
+	}
+	if len(e.Profiles) != 1 || e.Profiles[0].TopHot[0].Function != "repro/internal/sim.step" {
+		t.Fatalf("profile round trip: %+v", e.Profiles)
+	}
+	if got.Experiments[1].Measured() {
+		t.Fatalf("wall-only experiment claims a throughput measurement: %+v", got.Experiments[1])
+	}
+	if len(got.Cluster) != 1 || !got.Cluster[0].Consistent || got.Cluster[0].Client.P99MS != 700 {
+		t.Fatalf("cluster round trip: %+v", got.Cluster)
+	}
+}
+
+// Wall-only experiments must serialize without rate fields at all: a v2
+// report never spells "not measured" as zero.
+func TestWallOnlyExperimentOmitsRates(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "BENCH_1.json")
+	if err := Write(path, sampleReport()); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(data), `"sims": 0`) || strings.Contains(string(data), `"sims_per_sec": 0`) {
+		t.Fatalf("zero-valued rate fields leaked into the report:\n%s", data)
+	}
+}
+
+// A report from a platform without VmHWM carries an explicit null and the
+// rss_unsupported note, not a zero.
+func TestUnsupportedRSSIsNull(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "BENCH_1.json")
+	r := sampleReport()
+	r.PeakRSSKB = nil
+	r.Notes = append(r.Notes, NoteRSSUnsupported)
+	if err := Write(path, r); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"peak_rss_kb": null`) {
+		t.Fatalf("expected explicit null peak_rss_kb:\n%s", data)
+	}
+	got, err := Read(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.PeakRSSKB != nil {
+		t.Fatalf("null peak_rss_kb decoded as %v", *got.PeakRSSKB)
+	}
+	if len(got.Notes) != 1 || got.Notes[0] != NoteRSSUnsupported {
+		t.Fatalf("notes round trip: %v", got.Notes)
+	}
+}
+
+// Read must keep accepting the v1 layout: the verdict compares fresh v2
+// reports against the checked-in trajectory, which starts at schema 1.
+func TestReadAcceptsSchemaV1(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "BENCH_1.json")
+	v1 := `{
+  "schema": 1,
+  "go_version": "go1.24.0", "goos": "linux", "goarch": "amd64", "num_cpu": 1,
+  "ops": 60000, "peak_rss_kb": 269808,
+  "hot_path": {"benchmark": "B", "before_ref": "abc",
+    "before": {"ns_per_op": 4e7, "bytes_per_op": 2, "allocs_per_op": 421396},
+    "after": {"ns_per_op": 2e7, "bytes_per_op": 1, "allocs_per_op": 16497}},
+  "experiments": [
+    {"id": "table1", "title": "T1", "wall_ms": 0.06, "sims": 0, "sims_per_sec": 0, "alloc_mb": 0.01, "allocs": 136},
+    {"id": "fig9", "title": "F9", "wall_ms": 2477, "sims": 258, "sims_per_sec": 104.1, "alloc_mb": 276, "allocs": 2116718}
+  ]
+}`
+	if err := os.WriteFile(path, []byte(v1), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	r, err := Read(path)
+	if err != nil {
+		t.Fatalf("Read(v1): %v", err)
+	}
+	if r.Schema != 1 {
+		t.Fatalf("schema = %d", r.Schema)
+	}
+	// v1 zeros decode as "unmeasured", real rates stay measured.
+	if r.Experiments[0].Measured() {
+		t.Fatalf("v1 zero-rate experiment treated as measured: %+v", r.Experiments[0])
+	}
+	if !r.Experiments[1].Measured() || *r.Experiments[1].SimsPerSec != 104.1 {
+		t.Fatalf("v1 measured experiment lost its rate: %+v", r.Experiments[1])
+	}
+	if r.PeakRSSKB == nil || *r.PeakRSSKB != 269808 {
+		t.Fatalf("v1 peak RSS: %v", r.PeakRSSKB)
 	}
 }
 
@@ -94,6 +215,10 @@ func TestNextPathNumbering(t *testing.T) {
 func TestPeakRSSReportsOnLinux(t *testing.T) {
 	if _, err := os.Stat("/proc/self/status"); err != nil {
 		t.Skip("no /proc/self/status on this platform")
+	}
+	kb, ok := PeakRSS()
+	if !ok || kb == 0 {
+		t.Fatalf("PeakRSS = (%d, %v) with /proc available", kb, ok)
 	}
 	if PeakRSSKB() == 0 {
 		t.Fatal("PeakRSSKB returned 0 with /proc available")

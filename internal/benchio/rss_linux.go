@@ -9,12 +9,14 @@ import (
 	"strings"
 )
 
-// PeakRSSKB reads the process's resident-set high-water mark (VmHWM) from
-// /proc/self/status, in KiB. Returns 0 if the field cannot be read.
-func PeakRSSKB() uint64 {
+// PeakRSS reads the process's resident-set high-water mark (VmHWM) from
+// /proc/self/status, in KiB. ok is false when the field cannot be read —
+// reports then record an explicit null rather than a zero a verdict would
+// mistake for a 100% regression.
+func PeakRSS() (kb uint64, ok bool) {
 	f, err := os.Open("/proc/self/status")
 	if err != nil {
-		return 0
+		return 0, false
 	}
 	defer f.Close()
 	sc := bufio.NewScanner(f)
@@ -23,11 +25,17 @@ func PeakRSSKB() uint64 {
 		if !strings.HasPrefix(line, "VmHWM:") {
 			continue
 		}
-		var kb uint64
 		if _, err := fmt.Sscanf(strings.TrimPrefix(line, "VmHWM:"), "%d kB", &kb); err == nil {
-			return kb
+			return kb, true
 		}
-		return 0
+		return 0, false
 	}
-	return 0
+	return 0, false
+}
+
+// PeakRSSKB is the legacy spelling kept for gauge exports (/metrics), where
+// 0 is an acceptable "unavailable" encoding.
+func PeakRSSKB() uint64 {
+	kb, _ := PeakRSS()
+	return kb
 }

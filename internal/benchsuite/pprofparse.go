@@ -1,0 +1,509 @@
+package benchsuite
+
+import (
+	"bytes"
+	"compress/gzip"
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/benchio"
+)
+
+// This file reads the pprof protobuf profiles runtime/pprof writes, with a
+// hand-rolled wire-format decoder (the container's zero-dependency stance
+// rules out google.golang.org/protobuf; the handful of fields a summary
+// needs decode in ~150 lines). Only the fields the summaries consume are
+// modeled: sample types, samples, locations, lines, functions, and the
+// string table. Unknown fields are skipped by wire type, so profiles from
+// newer runtimes keep parsing.
+
+// pprofProfile is the decoded slice of a profile the summaries need.
+type pprofProfile struct {
+	sampleTypes []pprofValueType
+	samples     []pprofSample
+	// locations maps location id -> function name of the innermost
+	// (leaf-most) line, the frame flat values attribute to.
+	locations     map[uint64]string
+	durationNanos int64
+}
+
+type pprofValueType struct {
+	Type string // "samples", "cpu", "alloc_space", ...
+	Unit string // "count", "nanoseconds", "bytes", ...
+}
+
+type pprofSample struct {
+	locationIDs []uint64
+	values      []int64
+}
+
+// parsePprof decodes a (possibly gzipped) pprof protobuf profile.
+func parsePprof(data []byte) (*pprofProfile, error) {
+	if len(data) >= 2 && data[0] == 0x1f && data[1] == 0x8b {
+		zr, err := gzip.NewReader(bytes.NewReader(data))
+		if err != nil {
+			return nil, fmt.Errorf("pprof gzip: %w", err)
+		}
+		data, err = io.ReadAll(zr)
+		if err != nil {
+			return nil, fmt.Errorf("pprof gunzip: %w", err)
+		}
+	}
+
+	var (
+		strTab    []string
+		functions = map[uint64]int64{}  // function id -> name string index
+		locFuncs  = map[uint64]uint64{} // location id -> leaf function id
+		p         = &pprofProfile{locations: map[uint64]string{}}
+		stIdx     []pprofValueTypeIdx
+	)
+
+	r := wire{data: data}
+	for !r.done() {
+		num, typ, err := r.tag()
+		if err != nil {
+			return nil, err
+		}
+		switch num {
+		case 1: // sample_type: ValueType
+			msg, err := r.bytesField(typ)
+			if err != nil {
+				return nil, err
+			}
+			vt, err := parseValueTypeIdx(msg)
+			if err != nil {
+				return nil, err
+			}
+			stIdx = append(stIdx, vt)
+		case 2: // sample
+			msg, err := r.bytesField(typ)
+			if err != nil {
+				return nil, err
+			}
+			s, err := parseSample(msg)
+			if err != nil {
+				return nil, err
+			}
+			p.samples = append(p.samples, s)
+		case 4: // location
+			msg, err := r.bytesField(typ)
+			if err != nil {
+				return nil, err
+			}
+			id, fid, err := parseLocation(msg)
+			if err != nil {
+				return nil, err
+			}
+			locFuncs[id] = fid
+		case 5: // function
+			msg, err := r.bytesField(typ)
+			if err != nil {
+				return nil, err
+			}
+			id, nameIdx, err := parseFunction(msg)
+			if err != nil {
+				return nil, err
+			}
+			functions[id] = nameIdx
+		case 6: // string_table
+			msg, err := r.bytesField(typ)
+			if err != nil {
+				return nil, err
+			}
+			strTab = append(strTab, string(msg))
+		case 10: // duration_nanos
+			v, err := r.varintField(typ)
+			if err != nil {
+				return nil, err
+			}
+			p.durationNanos = int64(v)
+		default:
+			if err := r.skip(typ); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	str := func(i int64) string {
+		if i < 0 || int(i) >= len(strTab) {
+			return fmt.Sprintf("?str%d", i)
+		}
+		return strTab[i]
+	}
+	for _, vt := range stIdx {
+		p.sampleTypes = append(p.sampleTypes, pprofValueType{Type: str(vt.typeIdx), Unit: str(vt.unitIdx)})
+	}
+	for id, fid := range locFuncs {
+		if nameIdx, ok := functions[fid]; ok {
+			p.locations[id] = str(nameIdx)
+		}
+	}
+	return p, nil
+}
+
+type pprofValueTypeIdx struct{ typeIdx, unitIdx int64 }
+
+func parseValueTypeIdx(msg []byte) (pprofValueTypeIdx, error) {
+	var vt pprofValueTypeIdx
+	r := wire{data: msg}
+	for !r.done() {
+		num, typ, err := r.tag()
+		if err != nil {
+			return vt, err
+		}
+		switch num {
+		case 1:
+			v, err := r.varintField(typ)
+			if err != nil {
+				return vt, err
+			}
+			vt.typeIdx = int64(v)
+		case 2:
+			v, err := r.varintField(typ)
+			if err != nil {
+				return vt, err
+			}
+			vt.unitIdx = int64(v)
+		default:
+			if err := r.skip(typ); err != nil {
+				return vt, err
+			}
+		}
+	}
+	return vt, nil
+}
+
+func parseSample(msg []byte) (pprofSample, error) {
+	var s pprofSample
+	r := wire{data: msg}
+	for !r.done() {
+		num, typ, err := r.tag()
+		if err != nil {
+			return s, err
+		}
+		switch num {
+		case 1: // location_id: repeated uint64 (packed or not)
+			ids, err := r.packedVarints(typ)
+			if err != nil {
+				return s, err
+			}
+			s.locationIDs = append(s.locationIDs, ids...)
+		case 2: // value: repeated int64
+			vs, err := r.packedVarints(typ)
+			if err != nil {
+				return s, err
+			}
+			for _, v := range vs {
+				s.values = append(s.values, int64(v))
+			}
+		default:
+			if err := r.skip(typ); err != nil {
+				return s, err
+			}
+		}
+	}
+	return s, nil
+}
+
+// parseLocation returns the location id and the function id of its
+// innermost line (line[0] is the leaf of any inline stack).
+func parseLocation(msg []byte) (id, funcID uint64, err error) {
+	r := wire{data: msg}
+	sawLine := false
+	for !r.done() {
+		num, typ, err := r.tag()
+		if err != nil {
+			return 0, 0, err
+		}
+		switch num {
+		case 1:
+			if id, err = r.varintField(typ); err != nil {
+				return 0, 0, err
+			}
+		case 4: // line
+			lmsg, err := r.bytesField(typ)
+			if err != nil {
+				return 0, 0, err
+			}
+			if sawLine {
+				continue // keep the first (innermost) line
+			}
+			sawLine = true
+			lr := wire{data: lmsg}
+			for !lr.done() {
+				lnum, ltyp, err := lr.tag()
+				if err != nil {
+					return 0, 0, err
+				}
+				if lnum == 1 {
+					if funcID, err = lr.varintField(ltyp); err != nil {
+						return 0, 0, err
+					}
+				} else if err := lr.skip(ltyp); err != nil {
+					return 0, 0, err
+				}
+			}
+		default:
+			if err := r.skip(typ); err != nil {
+				return 0, 0, err
+			}
+		}
+	}
+	return id, funcID, nil
+}
+
+func parseFunction(msg []byte) (id uint64, nameIdx int64, err error) {
+	r := wire{data: msg}
+	for !r.done() {
+		num, typ, err := r.tag()
+		if err != nil {
+			return 0, 0, err
+		}
+		switch num {
+		case 1:
+			if id, err = r.varintField(typ); err != nil {
+				return 0, 0, err
+			}
+		case 2:
+			v, err := r.varintField(typ)
+			if err != nil {
+				return 0, 0, err
+			}
+			nameIdx = int64(v)
+		default:
+			if err := r.skip(typ); err != nil {
+				return 0, 0, err
+			}
+		}
+	}
+	return id, nameIdx, nil
+}
+
+// valueIndex finds the sample-type column named typ, or -1.
+func (p *pprofProfile) valueIndex(typ string) int {
+	for i, st := range p.sampleTypes {
+		if st.Type == typ {
+			return i
+		}
+	}
+	return -1
+}
+
+// flatByFunction sums column vi of every sample into the leaf location's
+// function.
+func (p *pprofProfile) flatByFunction(vi int) map[string]int64 {
+	out := map[string]int64{}
+	for _, s := range p.samples {
+		if vi >= len(s.values) || len(s.locationIDs) == 0 {
+			continue
+		}
+		fn := p.locations[s.locationIDs[0]]
+		if fn == "" {
+			fn = "(unknown)"
+		}
+		out[fn] += s.values[vi]
+	}
+	return out
+}
+
+// topNProfileSummary caps the hot-function and alloc-site tables; enough
+// to name the hot path, small enough to keep BENCH files reviewable.
+const topNProfileSummary = 5
+
+// summarizeCPU builds the top-N flat% table of a CPU profile. The column
+// is the "cpu" nanoseconds sample type (falling back to the last column,
+// which runtime/pprof puts the weight in).
+func summarizeCPU(data []byte) ([]benchio.HotFunc, error) {
+	p, err := parsePprof(data)
+	if err != nil {
+		return nil, err
+	}
+	vi := p.valueIndex("cpu")
+	if vi < 0 {
+		if len(p.sampleTypes) == 0 {
+			return nil, fmt.Errorf("cpu profile has no sample types")
+		}
+		vi = len(p.sampleTypes) - 1
+	}
+	flat := p.flatByFunction(vi)
+	var total int64
+	for _, v := range flat {
+		total += v
+	}
+	if total == 0 {
+		return nil, nil // profile captured no samples (run too short)
+	}
+	out := make([]benchio.HotFunc, 0, len(flat))
+	for fn, v := range flat {
+		out = append(out, benchio.HotFunc{Function: fn, Flat: v,
+			FlatPct: 100 * float64(v) / float64(total)})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Flat != out[j].Flat {
+			return out[i].Flat > out[j].Flat
+		}
+		return out[i].Function < out[j].Function
+	})
+	if len(out) > topNProfileSummary {
+		out = out[:topNProfileSummary]
+	}
+	return out, nil
+}
+
+// summarizeHeap builds the top-N allocation-site table (alloc_space: bytes
+// allocated over the profile's lifetime, the column the allocs/op
+// trajectory cares about) and the total.
+func summarizeHeap(data []byte) ([]benchio.AllocSite, int64, error) {
+	p, err := parsePprof(data)
+	if err != nil {
+		return nil, 0, err
+	}
+	vi := p.valueIndex("alloc_space")
+	if vi < 0 {
+		return nil, 0, fmt.Errorf("heap profile has no alloc_space column")
+	}
+	flat := p.flatByFunction(vi)
+	var total int64
+	out := make([]benchio.AllocSite, 0, len(flat))
+	for fn, v := range flat {
+		total += v
+		if v > 0 {
+			out = append(out, benchio.AllocSite{Function: fn, Bytes: v})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Bytes != out[j].Bytes {
+			return out[i].Bytes > out[j].Bytes
+		}
+		return out[i].Function < out[j].Function
+	})
+	if len(out) > topNProfileSummary {
+		out = out[:topNProfileSummary]
+	}
+	return out, total, nil
+}
+
+// ---- protobuf wire-format reader -----------------------------------------
+
+const (
+	wtVarint  = 0
+	wtFixed64 = 1
+	wtBytes   = 2
+	wtFixed32 = 5
+)
+
+type wire struct {
+	data []byte
+	pos  int
+}
+
+func (r *wire) done() bool { return r.pos >= len(r.data) }
+
+func (r *wire) varint() (uint64, error) {
+	var v uint64
+	for shift := uint(0); shift < 64; shift += 7 {
+		if r.pos >= len(r.data) {
+			return 0, fmt.Errorf("pprof: truncated varint at %d", r.pos)
+		}
+		b := r.data[r.pos]
+		r.pos++
+		v |= uint64(b&0x7f) << shift
+		if b < 0x80 {
+			return v, nil
+		}
+	}
+	return 0, fmt.Errorf("pprof: varint overflow at %d", r.pos)
+}
+
+func (r *wire) tag() (num int, typ int, err error) {
+	k, err := r.varint()
+	if err != nil {
+		return 0, 0, err
+	}
+	return int(k >> 3), int(k & 7), nil
+}
+
+func (r *wire) lengthDelimited() ([]byte, error) {
+	n, err := r.varint()
+	if err != nil {
+		return nil, err
+	}
+	if uint64(len(r.data)-r.pos) < n {
+		return nil, fmt.Errorf("pprof: truncated field (%d bytes wanted, %d left)", n, len(r.data)-r.pos)
+	}
+	b := r.data[r.pos : r.pos+int(n)]
+	r.pos += int(n)
+	return b, nil
+}
+
+// bytesField expects a length-delimited field.
+func (r *wire) bytesField(typ int) ([]byte, error) {
+	if typ != wtBytes {
+		return nil, fmt.Errorf("pprof: wire type %d where bytes expected", typ)
+	}
+	return r.lengthDelimited()
+}
+
+// varintField expects a varint field.
+func (r *wire) varintField(typ int) (uint64, error) {
+	if typ != wtVarint {
+		return 0, fmt.Errorf("pprof: wire type %d where varint expected", typ)
+	}
+	return r.varint()
+}
+
+// packedVarints reads a repeated varint field in either encoding: packed
+// (one length-delimited blob) or one-per-tag.
+func (r *wire) packedVarints(typ int) ([]uint64, error) {
+	switch typ {
+	case wtVarint:
+		v, err := r.varint()
+		if err != nil {
+			return nil, err
+		}
+		return []uint64{v}, nil
+	case wtBytes:
+		blob, err := r.lengthDelimited()
+		if err != nil {
+			return nil, err
+		}
+		sub := wire{data: blob}
+		var out []uint64
+		for !sub.done() {
+			v, err := sub.varint()
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, v)
+		}
+		return out, nil
+	default:
+		return nil, fmt.Errorf("pprof: wire type %d where repeated varint expected", typ)
+	}
+}
+
+func (r *wire) skip(typ int) error {
+	switch typ {
+	case wtVarint:
+		_, err := r.varint()
+		return err
+	case wtFixed64:
+		if len(r.data)-r.pos < 8 {
+			return fmt.Errorf("pprof: truncated fixed64")
+		}
+		r.pos += 8
+		return nil
+	case wtBytes:
+		_, err := r.lengthDelimited()
+		return err
+	case wtFixed32:
+		if len(r.data)-r.pos < 4 {
+			return fmt.Errorf("pprof: truncated fixed32")
+		}
+		r.pos += 4
+		return nil
+	default:
+		return fmt.Errorf("pprof: unsupported wire type %d", typ)
+	}
+}

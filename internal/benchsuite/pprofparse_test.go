@@ -1,0 +1,242 @@
+package benchsuite
+
+import (
+	"bytes"
+	"compress/gzip"
+	"os"
+	"path/filepath"
+	"runtime/pprof"
+	"strings"
+	"testing"
+)
+
+// ---- protobuf wire-format writer (test-only) ------------------------------
+
+type pbw struct{ bytes.Buffer }
+
+func (w *pbw) varint(v uint64) {
+	for v >= 0x80 {
+		w.WriteByte(byte(v) | 0x80)
+		v >>= 7
+	}
+	w.WriteByte(byte(v))
+}
+
+func (w *pbw) field(num int, typ int) { w.varint(uint64(num)<<3 | uint64(typ)) }
+
+func (w *pbw) varintField(num int, v uint64) {
+	w.field(num, wtVarint)
+	w.varint(v)
+}
+
+func (w *pbw) bytesField(num int, b []byte) {
+	w.field(num, wtBytes)
+	w.varint(uint64(len(b)))
+	w.Write(b)
+}
+
+func (w *pbw) packed(num int, vs ...uint64) {
+	var inner pbw
+	for _, v := range vs {
+		inner.varint(v)
+	}
+	w.bytesField(num, inner.Bytes())
+}
+
+// buildProfile hand-encodes a pprof Profile message:
+//
+//	sample types: (samples, count), (cpu, nanoseconds)
+//	functions:    1=main.hot 2=main.warm 3=main.cold
+//	locations:    1->hot 2->warm 3->cold
+//	samples:      [1]      values (3, 600)  leaf hot
+//	              [2, 1]   values (2, 300)  leaf warm (hot is its caller frame)
+//	              [3]      values (1, 100)  leaf cold
+//
+// So flat cpu: hot=600 (60%), warm=300 (30%), cold=100 (10%).
+func buildProfile(t *testing.T, gzipped bool) []byte {
+	t.Helper()
+	var st []string
+	strIdx := func(s string) uint64 {
+		for i, v := range st {
+			if v == s {
+				return uint64(i)
+			}
+		}
+		st = append(st, s)
+		return uint64(len(st) - 1)
+	}
+	strIdx("") // index 0 must be the empty string
+
+	var p pbw
+	vt := func(typ, unit string) []byte {
+		var m pbw
+		m.varintField(1, strIdx(typ))
+		m.varintField(2, strIdx(unit))
+		return m.Bytes()
+	}
+	sampleTypes := [][]byte{vt("samples", "count"), vt("cpu", "nanoseconds")}
+
+	fn := func(id uint64, name string) []byte {
+		var m pbw
+		m.varintField(1, id)
+		m.varintField(2, strIdx(name))
+		return m.Bytes()
+	}
+	funcs := [][]byte{fn(1, "main.hot"), fn(2, "main.warm"), fn(3, "main.cold")}
+
+	loc := func(id, funcID uint64) []byte {
+		var line pbw
+		line.varintField(1, funcID)
+		var m pbw
+		m.varintField(1, id)
+		m.bytesField(4, line.Bytes())
+		return m.Bytes()
+	}
+	locs := [][]byte{loc(1, 1), loc(2, 2), loc(3, 3)}
+
+	sample := func(locIDs []uint64, vals ...uint64) []byte {
+		var m pbw
+		m.packed(1, locIDs...)
+		m.packed(2, vals...)
+		return m.Bytes()
+	}
+	samples := [][]byte{
+		sample([]uint64{1}, 3, 600),
+		sample([]uint64{2, 1}, 2, 300),
+		sample([]uint64{3}, 1, 100),
+	}
+
+	// string_table must come after the indices are assigned, but field
+	// order within a protobuf message is free, so emit in any order.
+	for _, b := range sampleTypes {
+		p.bytesField(1, b)
+	}
+	for _, b := range samples {
+		p.bytesField(2, b)
+	}
+	for _, b := range locs {
+		p.bytesField(4, b)
+	}
+	for _, b := range funcs {
+		p.bytesField(5, b)
+	}
+	for _, s := range st {
+		p.bytesField(6, []byte(s))
+	}
+	p.varintField(10, 2_000_000_000) // duration_nanos
+
+	raw := p.Bytes()
+	if !gzipped {
+		return raw
+	}
+	var gz bytes.Buffer
+	zw := gzip.NewWriter(&gz)
+	if _, err := zw.Write(raw); err != nil {
+		t.Fatal(err)
+	}
+	if err := zw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return gz.Bytes()
+}
+
+func TestParsePprofHandEncoded(t *testing.T) {
+	for _, gzipped := range []bool{false, true} {
+		p, err := parsePprof(buildProfile(t, gzipped))
+		if err != nil {
+			t.Fatalf("gzipped=%v: %v", gzipped, err)
+		}
+		if len(p.sampleTypes) != 2 || p.sampleTypes[1].Type != "cpu" || p.sampleTypes[1].Unit != "nanoseconds" {
+			t.Fatalf("sample types: %+v", p.sampleTypes)
+		}
+		if len(p.samples) != 3 {
+			t.Fatalf("samples: %+v", p.samples)
+		}
+		if p.locations[1] != "main.hot" || p.locations[2] != "main.warm" || p.locations[3] != "main.cold" {
+			t.Fatalf("locations: %+v", p.locations)
+		}
+		if p.durationNanos != 2_000_000_000 {
+			t.Fatalf("duration: %d", p.durationNanos)
+		}
+	}
+}
+
+func TestSummarizeCPUExactMath(t *testing.T) {
+	hot, err := summarizeCPU(buildProfile(t, true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hot) != 3 {
+		t.Fatalf("hot funcs: %+v", hot)
+	}
+	want := []struct {
+		fn   string
+		flat int64
+		pct  float64
+	}{
+		{"main.hot", 600, 60},
+		{"main.warm", 300, 30},
+		{"main.cold", 100, 10},
+	}
+	for i, w := range want {
+		h := hot[i]
+		if h.Function != w.fn || h.Flat != w.flat || h.FlatPct != w.pct {
+			t.Fatalf("hot[%d] = %+v, want %+v", i, h, w)
+		}
+	}
+}
+
+func TestSummarizeHeapErrorsWithoutAllocSpace(t *testing.T) {
+	// The hand-built profile is a CPU profile; alloc_space is absent.
+	if _, _, err := summarizeHeap(buildProfile(t, true)); err == nil ||
+		!strings.Contains(err.Error(), "alloc_space") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestParsePprofTruncated(t *testing.T) {
+	raw := buildProfile(t, false)
+	if _, err := parsePprof(raw[:len(raw)/2]); err == nil {
+		t.Fatal("expected error on truncated profile")
+	}
+}
+
+// TestSummarizeHeapRealProfile exercises the parser against a genuine
+// runtime-written heap profile, the format the suite actually consumes.
+func TestSummarizeHeapRealProfile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "heap.pb.gz")
+	// Allocate something attributable, then capture.
+	sink := make([][]byte, 0, 64)
+	for i := 0; i < 64; i++ {
+		sink = append(sink, make([]byte, 64<<10))
+	}
+	_ = sink
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sites, total, err := summarizeHeap(data)
+	if err != nil {
+		t.Fatalf("summarizeHeap on real profile: %v", err)
+	}
+	if total <= 0 {
+		t.Fatalf("total alloc bytes = %d", total)
+	}
+	if len(sites) == 0 || len(sites) > topNProfileSummary {
+		t.Fatalf("sites = %+v", sites)
+	}
+	// Sorted descending by bytes.
+	for i := 1; i < len(sites); i++ {
+		if sites[i].Bytes > sites[i-1].Bytes {
+			t.Fatalf("sites not sorted: %+v", sites)
+		}
+	}
+}

@@ -1,0 +1,188 @@
+package benchsuite
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"runtime/pprof"
+	"runtime/trace"
+
+	"repro/internal/benchio"
+)
+
+// A profiler wraps one measured run: start before, stop after, then
+// summarize the artifact it wrote into a benchio.Profile. Profilers are
+// process-global (runtime/pprof and runtime/trace allow one capture at a
+// time), so the runner attaches them to sequential runs only — never to
+// two runs concurrently.
+type profiler interface {
+	// start begins capture, writing to path.
+	start(path string) error
+	// stop ends capture and flushes the artifact.
+	stop() error
+	// summarize reads the artifact back into report fields.
+	summarize(data []byte, p *benchio.Profile) error
+	// ext is the artifact filename extension.
+	ext() string
+}
+
+func newProfiler(kind string) (profiler, error) {
+	switch kind {
+	case ProfileCPU:
+		return &cpuProfiler{}, nil
+	case ProfileHeap:
+		return &heapProfiler{}, nil
+	case ProfileTrace:
+		return &traceProfiler{}, nil
+	default:
+		return nil, fmt.Errorf("unknown profiler %q", kind)
+	}
+}
+
+type cpuProfiler struct{ f *os.File }
+
+func (c *cpuProfiler) ext() string { return "cpu.pb.gz" }
+
+func (c *cpuProfiler) start(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		f.Close()
+		return err
+	}
+	c.f = f
+	return nil
+}
+
+func (c *cpuProfiler) stop() error {
+	pprof.StopCPUProfile()
+	return c.f.Close()
+}
+
+func (c *cpuProfiler) summarize(data []byte, p *benchio.Profile) error {
+	hot, err := summarizeCPU(data)
+	if err != nil {
+		return err
+	}
+	if len(hot) == 0 {
+		p.Note = "no cpu samples captured (run too short)"
+		return nil
+	}
+	p.TopHot = hot
+	return nil
+}
+
+// heapProfiler is stop-only: the heap profile is a snapshot, so there is
+// nothing to begin at start time beyond remembering the path.
+type heapProfiler struct{ path string }
+
+func (h *heapProfiler) ext() string { return "heap.pb.gz" }
+
+func (h *heapProfiler) start(path string) error {
+	h.path = path
+	return nil
+}
+
+func (h *heapProfiler) stop() error {
+	f, err := os.Create(h.path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	// Flush recently-freed objects into the profile so alloc_space reflects
+	// everything the run allocated, not just what is still live.
+	runtime.GC()
+	return pprof.WriteHeapProfile(f)
+}
+
+func (h *heapProfiler) summarize(data []byte, p *benchio.Profile) error {
+	sites, total, err := summarizeHeap(data)
+	if err != nil {
+		return err
+	}
+	p.AllocSites = sites
+	p.TotalAllocBytes = total
+	return nil
+}
+
+type traceProfiler struct{ f *os.File }
+
+func (t *traceProfiler) ext() string { return "trace.out" }
+
+func (t *traceProfiler) start(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := trace.Start(f); err != nil {
+		f.Close()
+		return err
+	}
+	t.f = f
+	return nil
+}
+
+func (t *traceProfiler) stop() error {
+	trace.Stop()
+	return t.f.Close()
+}
+
+func (t *traceProfiler) summarize(data []byte, p *benchio.Profile) error {
+	// Execution traces have no flat summary worth inventing here; the
+	// artifact is the deliverable (go tool trace <file>). Record its size
+	// so a truncated capture is visible in the report.
+	if len(data) == 0 {
+		return fmt.Errorf("empty trace artifact")
+	}
+	return nil
+}
+
+// profiledRun executes fn with the named profilers attached one at a time
+// (the runtime allows a single CPU profile and a single trace at once, and
+// sequential captures keep each artifact clean of the others' overhead).
+// fn runs once per profiler, plus once unprofiled when kinds is empty.
+// Artifacts land in dir as <stem>.<ext>. Capture failures degrade to a
+// Profile with a Note rather than failing the suite.
+func profiledRun(dir, stem string, kinds []string, fn func() error) ([]benchio.Profile, error) {
+	if len(kinds) == 0 {
+		return nil, fn()
+	}
+	var out []benchio.Profile
+	for _, kind := range kinds {
+		prof := benchio.Profile{Kind: kind}
+		pr, err := newProfiler(kind)
+		if err != nil {
+			return out, err
+		}
+		path := filepath.Join(dir, stem+"."+pr.ext())
+		if err := pr.start(path); err != nil {
+			prof.Note = fmt.Sprintf("start failed: %v", err)
+			out = append(out, prof)
+			if err := fn(); err != nil {
+				return out, err
+			}
+			continue
+		}
+		runErr := fn()
+		if err := pr.stop(); err != nil && runErr == nil {
+			runErr = fmt.Errorf("stop %s profiler: %w", kind, err)
+		}
+		if runErr != nil {
+			return out, runErr
+		}
+		prof.Artifact = path
+		if data, err := os.ReadFile(path); err != nil {
+			prof.Note = fmt.Sprintf("artifact unreadable: %v", err)
+		} else {
+			prof.Bytes = int64(len(data))
+			if err := pr.summarize(data, &prof); err != nil {
+				prof.Note = fmt.Sprintf("summarize failed: %v", err)
+			}
+		}
+		out = append(out, prof)
+	}
+	return out, nil
+}

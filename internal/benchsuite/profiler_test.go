@@ -1,0 +1,105 @@
+package benchsuite
+
+import (
+	"crypto/sha256"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// burn keeps the CPU busy long enough for the 100Hz profiler to land a few
+// samples, with allocations the heap profiler can attribute.
+func burn(d time.Duration) {
+	deadline := time.Now().Add(d)
+	buf := make([]byte, 4096)
+	for time.Now().Before(deadline) {
+		for i := 0; i < 64; i++ {
+			sum := sha256.Sum256(buf)
+			copy(buf, sum[:])
+			buf = append(buf[:0:0], buf...) // force a fresh allocation
+		}
+	}
+}
+
+func TestProfiledRunNoProfilers(t *testing.T) {
+	ran := 0
+	profs, err := profiledRun(t.TempDir(), "x", nil, func() error { ran++; return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ran != 1 || profs != nil {
+		t.Fatalf("ran=%d profs=%v", ran, profs)
+	}
+}
+
+func TestProfiledRunAllKinds(t *testing.T) {
+	dir := t.TempDir()
+	ran := 0
+	profs, err := profiledRun(dir, "job-wl", []string{ProfileCPU, ProfileHeap, ProfileTrace},
+		func() error {
+			ran++
+			burn(250 * time.Millisecond)
+			return nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ran != 3 {
+		t.Fatalf("fn ran %d times, want one per profiler", ran)
+	}
+	if len(profs) != 3 {
+		t.Fatalf("profiles: %+v", profs)
+	}
+	wantExt := map[string]string{
+		ProfileCPU:   "cpu.pb.gz",
+		ProfileHeap:  "heap.pb.gz",
+		ProfileTrace: "trace.out",
+	}
+	for _, p := range profs {
+		if p.Artifact == "" {
+			t.Fatalf("profile %q has no artifact: %+v", p.Kind, p)
+		}
+		if got := filepath.Base(p.Artifact); got != "job-wl."+wantExt[p.Kind] {
+			t.Fatalf("artifact name %q for kind %q", got, p.Kind)
+		}
+		st, err := os.Stat(p.Artifact)
+		if err != nil {
+			t.Fatalf("artifact missing: %v", err)
+		}
+		if st.Size() == 0 || p.Bytes != st.Size() {
+			t.Fatalf("artifact size %d, report says %d", st.Size(), p.Bytes)
+		}
+		switch p.Kind {
+		case ProfileHeap:
+			if p.Note != "" {
+				t.Fatalf("heap summarize note: %q", p.Note)
+			}
+			if p.TotalAllocBytes <= 0 || len(p.AllocSites) == 0 {
+				t.Fatalf("heap summary empty: %+v", p)
+			}
+		case ProfileCPU:
+			// A quarter-second of hashing should land samples, but a heavily
+			// shared CI machine may starve the profiler; accept the explicit
+			// "no samples" note, reject real failures.
+			if p.Note != "" && p.Note != "no cpu samples captured (run too short)" {
+				t.Fatalf("cpu summarize note: %q", p.Note)
+			}
+			if p.Note == "" && len(p.TopHot) == 0 {
+				t.Fatalf("cpu summary empty with no note: %+v", p)
+			}
+		case ProfileTrace:
+			if p.Note != "" {
+				t.Fatalf("trace note: %q", p.Note)
+			}
+		}
+	}
+}
+
+func TestProfiledRunPropagatesRunError(t *testing.T) {
+	_, err := profiledRun(t.TempDir(), "x", []string{ProfileHeap},
+		func() error { return os.ErrDeadlineExceeded })
+	if err == nil {
+		t.Fatal("expected the run's error back")
+	}
+}

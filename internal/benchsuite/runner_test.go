@@ -1,0 +1,150 @@
+package benchsuite
+
+import (
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"testing"
+
+	"repro/internal/benchio"
+)
+
+// TestRunSuiteExperiments covers the experiments kind end to end: a
+// wall-only workload (table1 runs no simulations) and a measured one
+// (fig4 simulates), with profilers attached to the measured job.
+func TestRunSuiteExperiments(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real simulations")
+	}
+	s, err := ParseSuite([]byte(`
+[suite]
+name = "runner-test"
+ops = 4000
+
+[[job]]
+name = "wallonly"
+kind = "experiments"
+workloads = ["table1"]
+
+[[job]]
+name = "measured"
+kind = "experiments"
+workloads = ["fig4"]
+profilers = ["heap"]
+`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	rep, err := RunSuite(s, RunOptions{ProfileDir: dir, Log: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Schema != benchio.SchemaVersion || rep.Suite != "runner-test" {
+		t.Fatalf("report header: %+v", rep)
+	}
+	if rep.Tolerance == nil || rep.Tolerance.SimsPerSecDropPct != benchio.DefaultTolerance.SimsPerSecDropPct {
+		t.Fatalf("tolerance: %+v", rep.Tolerance)
+	}
+	if len(rep.Experiments) != 2 {
+		t.Fatalf("experiments: %+v", rep.Experiments)
+	}
+	wall := rep.Experiments[0]
+	if wall.ID != "table1" || wall.Job != "wallonly" || wall.Measured() {
+		t.Fatalf("wall-only run: %+v", wall)
+	}
+	if wall.Sims != nil || wall.SimsPerSec != nil {
+		t.Fatalf("wall-only run carries rates: %+v", wall)
+	}
+	meas := rep.Experiments[1]
+	if meas.ID != "fig4" || !meas.Measured() {
+		t.Fatalf("measured run: %+v", meas)
+	}
+	if len(meas.Profiles) != 1 || meas.Profiles[0].Kind != ProfileHeap {
+		t.Fatalf("profiles: %+v", meas.Profiles)
+	}
+	p := meas.Profiles[0]
+	if p.TotalAllocBytes <= 0 || len(p.AllocSites) == 0 {
+		t.Fatalf("heap summary: %+v", p)
+	}
+	if filepath.Base(p.Artifact) != "measured-fig4.heap.pb.gz" {
+		t.Fatalf("artifact: %q", p.Artifact)
+	}
+	if _, err := os.Stat(p.Artifact); err != nil {
+		t.Fatal(err)
+	}
+	if runtime.GOOS == "linux" {
+		if rep.PeakRSSKB == nil || *rep.PeakRSSKB == 0 {
+			t.Fatalf("peak rss: %+v", rep.PeakRSSKB)
+		}
+	} else if rep.PeakRSSKB != nil || !hasNote(rep.Notes, benchio.NoteRSSUnsupported) {
+		t.Fatalf("off-linux rss: %+v notes %v", rep.PeakRSSKB, rep.Notes)
+	}
+}
+
+// TestRunSuiteCluster exercises the cluster kind: a one-worker cdpd
+// cluster, concurrent submits, and the client/server reconciliation.
+func TestRunSuiteCluster(t *testing.T) {
+	if testing.Short() {
+		t.Skip("brings up a cluster")
+	}
+	s, err := ParseSuite([]byte(`
+[suite]
+name = "cluster-test"
+
+[[job]]
+name = "storm"
+kind = "cluster"
+ops = 2000
+workers = 1
+requests = 4
+concurrency = 2
+`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := RunSuite(s, RunOptions{ProfileDir: t.TempDir(), Log: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Cluster) != 1 {
+		t.Fatalf("cluster runs: %+v", rep.Cluster)
+	}
+	cr := rep.Cluster[0]
+	if cr.Job != "storm" || cr.Workers != 1 || cr.Requests != 4 {
+		t.Fatalf("cluster shape: %+v", cr)
+	}
+	if cr.Errors != 0 {
+		t.Fatalf("errors: %+v", cr)
+	}
+	if !cr.Consistent {
+		t.Fatalf("inconsistent cluster run: %+v", cr)
+	}
+	if cr.Client.Count != 4 || cr.Server.Count != 4 {
+		t.Fatalf("counts: client %d server %d (%+v)", cr.Client.Count, cr.Server.Count, cr)
+	}
+	if cr.Client.P50MS <= 0 || cr.Server.P50MS <= 0 {
+		t.Fatalf("percentiles: %+v", cr)
+	}
+	if cr.Client.P90MS < cr.Client.P50MS || cr.Server.P99MS < cr.Server.P50MS {
+		t.Fatalf("percentile ordering: %+v", cr)
+	}
+}
+
+func TestRunSuiteRejectsFailingJobName(t *testing.T) {
+	s := &Suite{Name: "x", Jobs: []Job{{Name: "bad", Kind: KindExperiments, Workloads: []string{"nope"}}}}
+	_, err := RunSuite(s, RunOptions{ProfileDir: t.TempDir()})
+	if err == nil || !strings.Contains(err.Error(), `job "bad"`) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func hasNote(notes []string, want string) bool {
+	for _, n := range notes {
+		if n == want {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,345 @@
+// Package benchsuite turns the repository's performance trajectory into a
+// declared, self-certifying observability surface. A suite file (a TOML
+// subset, see toml.go) names jobs — experiment-matrix runs, the hot-path
+// micro-benchmark, and in-process cdpd cluster scenarios — together with
+// op budgets, repetitions, the profilers to attach per run (pprof CPU,
+// heap, runtime/trace), and the regression tolerances `bench -verdict`
+// gates with. Running a suite yields one schema-v2 benchio.Report:
+// wall/sims-per-sec/MemStats/VmHWM telemetry plus per-run profile
+// summaries and artifact paths, comparable against the previous BENCH
+// file in the trajectory.
+//
+// The vocabulary follows felixge/go-observability-bench: a workload is a
+// small measured function (here: one registered experiment, the hot-path
+// benchmark, or one cluster request storm), a job is a named set of runs
+// with the profilers to enable, and a suite is the set of jobs one bench
+// invocation executes.
+package benchsuite
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"repro/internal/benchio"
+	"repro/internal/experiments"
+)
+
+// Job kinds.
+const (
+	KindExperiments = "experiments" // registered experiment matrix runs
+	KindHotPath     = "hotpath"     // the end-to-end simulator micro-benchmark
+	KindCluster     = "cluster"     // in-process coordinator+workers latency storm
+)
+
+// Profiler kinds attachable per run.
+const (
+	ProfileCPU   = "cpu"   // pprof CPU profile
+	ProfileHeap  = "heap"  // pprof heap profile (alloc_space summarized)
+	ProfileTrace = "trace" // runtime/trace capture
+)
+
+// Suite is one parsed suite file.
+type Suite struct {
+	// Name tags the report ("default", "quick", "nightly").
+	Name string
+	// Ops is the per-benchmark µop budget jobs inherit (0 = 60000).
+	Ops int
+	// Repeat is how many times each job's runs execute (0 = 1). Every
+	// repetition lands in the report, tagged with its 1-based index.
+	Repeat int
+	// Representatives restricts multi-config sweeps to one benchmark per
+	// suite, the same knob cmd/bench always ran with (default true).
+	Representatives bool
+	// Tolerance is the regression budget recorded into the report and
+	// used by the verdict.
+	Tolerance benchio.Tolerance
+	Jobs      []Job
+}
+
+// Job is one named set of runs.
+type Job struct {
+	Name string
+	Kind string
+	// Profilers to attach to every run of this job (cpu, heap, trace).
+	Profilers []string
+	// Ops and Repeat override the suite defaults when positive.
+	Ops    int
+	Repeat int
+
+	// KindExperiments: the registered experiment ids to run; empty means
+	// all registered.
+	Workloads []string
+
+	// KindCluster: cluster shape and load.
+	Workers     int      // worker processes (default 2)
+	Requests    int      // distinct sim requests to drive (default 4)
+	Concurrency int      // concurrent submitting clients (default 2)
+	Benchmarks  []string // workload benchmarks to draw requests from (default ["b2c"])
+}
+
+func (j *Job) ops(s *Suite) int {
+	if j.Ops > 0 {
+		return j.Ops
+	}
+	if s.Ops > 0 {
+		return s.Ops
+	}
+	return 60_000
+}
+
+func (j *Job) repeat(s *Suite) int {
+	if j.Repeat > 0 {
+		return j.Repeat
+	}
+	if s.Repeat > 0 {
+		return s.Repeat
+	}
+	return 1
+}
+
+// LoadSuite reads and parses one suite file.
+func LoadSuite(path string) (*Suite, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	s, err := ParseSuite(data)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", filepath.Base(path), err)
+	}
+	return s, nil
+}
+
+// ParseSuite parses and validates suite TOML.
+func ParseSuite(data []byte) (*Suite, error) {
+	doc, err := parseTOML(data)
+	if err != nil {
+		return nil, err
+	}
+	d := &decoder{}
+	s := &Suite{Representatives: true, Tolerance: benchio.DefaultTolerance}
+
+	st := d.table(doc, "suite")
+	if st == nil {
+		return nil, fmt.Errorf("missing [suite] table")
+	}
+	s.Name = d.str(st, "suite", "name", "")
+	s.Ops = int(d.num(st, "suite", "ops", 0))
+	s.Repeat = int(d.num(st, "suite", "repeat", 0))
+	s.Representatives = d.boolean(st, "suite", "representatives", true)
+	if tt := d.table(st, "tolerance"); tt != nil {
+		s.Tolerance.SimsPerSecDropPct = d.num(tt, "suite.tolerance", "sims_per_sec_drop_pct", s.Tolerance.SimsPerSecDropPct)
+		s.Tolerance.HotpathAllocGrowthPct = d.num(tt, "suite.tolerance", "hotpath_alloc_growth_pct", s.Tolerance.HotpathAllocGrowthPct)
+		s.Tolerance.NsPerOpGrowthPct = d.num(tt, "suite.tolerance", "ns_per_op_growth_pct", s.Tolerance.NsPerOpGrowthPct)
+		d.checkKnown(tt, "suite.tolerance",
+			"sims_per_sec_drop_pct", "hotpath_alloc_growth_pct", "ns_per_op_growth_pct")
+	}
+	d.checkKnown(st, "suite", "name", "ops", "repeat", "representatives", "tolerance")
+
+	jobs, _ := doc["job"].([]map[string]any)
+	for i, jt := range jobs {
+		where := fmt.Sprintf("job[%d]", i)
+		j := Job{
+			Name:        d.str(jt, where, "name", ""),
+			Kind:        d.str(jt, where, "kind", KindExperiments),
+			Profilers:   d.strs(jt, where, "profilers"),
+			Ops:         int(d.num(jt, where, "ops", 0)),
+			Repeat:      int(d.num(jt, where, "repeat", 0)),
+			Workloads:   d.strs(jt, where, "workloads"),
+			Workers:     int(d.num(jt, where, "workers", 0)),
+			Requests:    int(d.num(jt, where, "requests", 0)),
+			Concurrency: int(d.num(jt, where, "concurrency", 0)),
+			Benchmarks:  d.strs(jt, where, "benchmarks"),
+		}
+		d.checkKnown(jt, where, "name", "kind", "profilers", "ops", "repeat",
+			"workloads", "workers", "requests", "concurrency", "benchmarks")
+		s.Jobs = append(s.Jobs, j)
+	}
+	d.checkKnown(doc, "", "suite", "job")
+
+	if len(d.errs) > 0 {
+		return nil, fmt.Errorf("%s", strings.Join(d.errs, "; "))
+	}
+	if err := s.validate(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// validate applies the cross-field rules a decoder can't.
+func (s *Suite) validate() error {
+	if s.Name == "" {
+		return fmt.Errorf("suite.name is required")
+	}
+	if len(s.Jobs) == 0 {
+		return fmt.Errorf("suite %q declares no [[job]]", s.Name)
+	}
+	seen := map[string]bool{}
+	for i := range s.Jobs {
+		j := &s.Jobs[i]
+		if j.Name == "" {
+			return fmt.Errorf("job[%d]: name is required", i)
+		}
+		if seen[j.Name] {
+			return fmt.Errorf("duplicate job name %q", j.Name)
+		}
+		seen[j.Name] = true
+		for _, p := range j.Profilers {
+			switch p {
+			case ProfileCPU, ProfileHeap, ProfileTrace:
+			default:
+				return fmt.Errorf("job %q: unknown profiler %q (valid: cpu, heap, trace)", j.Name, p)
+			}
+		}
+		switch j.Kind {
+		case KindExperiments:
+			for _, id := range j.Workloads {
+				if _, err := experiments.Get(id); err != nil {
+					return fmt.Errorf("job %q: %w", j.Name, err)
+				}
+			}
+		case KindHotPath:
+			if len(j.Workloads) > 0 || j.Workers > 0 || j.Requests > 0 {
+				return fmt.Errorf("job %q: hotpath jobs take no workloads or cluster shape", j.Name)
+			}
+		case KindCluster:
+			if j.Workers == 0 {
+				j.Workers = 2
+			}
+			if j.Requests == 0 {
+				j.Requests = 4
+			}
+			if j.Concurrency == 0 {
+				j.Concurrency = 2
+			}
+			if len(j.Benchmarks) == 0 {
+				j.Benchmarks = []string{"b2c"}
+			}
+			if j.Workers < 1 || j.Workers > 8 {
+				return fmt.Errorf("job %q: workers must be in [1,8], got %d", j.Name, j.Workers)
+			}
+			if j.Concurrency > j.Requests {
+				j.Concurrency = j.Requests
+			}
+			if len(j.Profilers) > 0 {
+				// The interesting profile of a cluster job is the workers'
+				// own pprof endpoints; a whole-process profile of the bench
+				// binary would mix client and N servers into one stream.
+				return fmt.Errorf("job %q: cluster jobs take no profilers", j.Name)
+			}
+		default:
+			return fmt.Errorf("job %q: unknown kind %q (valid: %s, %s, %s)",
+				j.Name, j.Kind, KindExperiments, KindHotPath, KindCluster)
+		}
+	}
+	return nil
+}
+
+// decoder accumulates type errors while pulling fields out of the generic
+// TOML document, so a malformed suite reports every problem at once.
+type decoder struct{ errs []string }
+
+func (d *decoder) errf(format string, args ...any) {
+	d.errs = append(d.errs, fmt.Sprintf(format, args...))
+}
+
+func (d *decoder) table(m map[string]any, key string) map[string]any {
+	switch v := m[key].(type) {
+	case nil:
+		return nil
+	case map[string]any:
+		return v
+	default:
+		d.errf("%s: expected a table, got %T", key, v)
+		return nil
+	}
+}
+
+func (d *decoder) str(m map[string]any, where, key, def string) string {
+	switch v := m[key].(type) {
+	case nil:
+		return def
+	case string:
+		return v
+	default:
+		d.errf("%s.%s: expected a string, got %T", where, key, v)
+		return def
+	}
+}
+
+func (d *decoder) num(m map[string]any, where, key string, def float64) float64 {
+	switch v := m[key].(type) {
+	case nil:
+		return def
+	case int64:
+		return float64(v)
+	case float64:
+		return v
+	default:
+		d.errf("%s.%s: expected a number, got %T", where, key, v)
+		return def
+	}
+}
+
+func (d *decoder) boolean(m map[string]any, where, key string, def bool) bool {
+	switch v := m[key].(type) {
+	case nil:
+		return def
+	case bool:
+		return v
+	default:
+		d.errf("%s.%s: expected a boolean, got %T", where, key, v)
+		return def
+	}
+}
+
+func (d *decoder) strs(m map[string]any, where, key string) []string {
+	switch v := m[key].(type) {
+	case nil:
+		return nil
+	case []any:
+		out := make([]string, 0, len(v))
+		for _, e := range v {
+			s, ok := e.(string)
+			if !ok {
+				d.errf("%s.%s: expected strings, got %T", where, key, e)
+				return nil
+			}
+			out = append(out, s)
+		}
+		return out
+	default:
+		d.errf("%s.%s: expected an array of strings, got %T", where, key, v)
+		return nil
+	}
+}
+
+// checkKnown flags keys the schema does not define — a typo'd key silently
+// defaulting is how a "profilers = [...]" that never attaches slips into a
+// nightly.
+func (d *decoder) checkKnown(m map[string]any, where string, known ...string) {
+	var unknown []string
+	for k := range m {
+		found := false
+		for _, ok := range known {
+			if k == ok {
+				found = true
+				break
+			}
+		}
+		if !found {
+			unknown = append(unknown, k)
+		}
+	}
+	sort.Strings(unknown)
+	for _, k := range unknown {
+		if where == "" {
+			d.errf("unknown top-level key %q", k)
+		} else {
+			d.errf("%s: unknown key %q", where, k)
+		}
+	}
+}

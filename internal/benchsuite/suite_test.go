@@ -1,0 +1,171 @@
+package benchsuite
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleSuite = `
+[suite]
+name = "test"
+ops = 50000
+repeat = 2
+
+[suite.tolerance]
+sims_per_sec_drop_pct = 12.5
+hotpath_alloc_growth_pct = 0.0
+
+[[job]]
+name = "matrix"
+kind = "experiments"
+workloads = ["table1", "fig1"]
+
+[[job]]
+name = "profiled"
+kind = "experiments"
+workloads = ["limit"]
+profilers = ["cpu", "heap", "trace"]
+repeat = 1
+
+[[job]]
+name = "hot"
+kind = "hotpath"
+ops = 150000
+
+[[job]]
+name = "cluster"
+kind = "cluster"
+workers = 2
+requests = 6
+benchmarks = ["b2c"]
+`
+
+func TestParseSuite(t *testing.T) {
+	s, err := ParseSuite([]byte(sampleSuite))
+	if err != nil {
+		t.Fatalf("ParseSuite: %v", err)
+	}
+	if s.Name != "test" || s.Ops != 50000 || s.Repeat != 2 || !s.Representatives {
+		t.Fatalf("suite header: %+v", s)
+	}
+	if s.Tolerance.SimsPerSecDropPct != 12.5 || s.Tolerance.HotpathAllocGrowthPct != 0 {
+		t.Fatalf("tolerance: %+v", s.Tolerance)
+	}
+	// Unset tolerance fields keep their defaults.
+	if s.Tolerance.NsPerOpGrowthPct != 25 {
+		t.Fatalf("ns/op tolerance default: %+v", s.Tolerance)
+	}
+	if len(s.Jobs) != 4 {
+		t.Fatalf("jobs: %+v", s.Jobs)
+	}
+	m := s.Jobs[0]
+	if m.Kind != KindExperiments || len(m.Workloads) != 2 || m.ops(s) != 50000 || m.repeat(s) != 2 {
+		t.Fatalf("matrix job: %+v", m)
+	}
+	p := s.Jobs[1]
+	if len(p.Profilers) != 3 || p.repeat(s) != 1 {
+		t.Fatalf("profiled job: %+v", p)
+	}
+	h := s.Jobs[2]
+	if h.Kind != KindHotPath || h.ops(s) != 150000 {
+		t.Fatalf("hotpath job: %+v", h)
+	}
+	c := s.Jobs[3]
+	if c.Kind != KindCluster || c.Workers != 2 || c.Requests != 6 || c.Concurrency != 2 {
+		t.Fatalf("cluster job defaults: %+v", c)
+	}
+}
+
+func TestParseSuiteClusterDefaults(t *testing.T) {
+	s, err := ParseSuite([]byte(`
+[suite]
+name = "c"
+[[job]]
+name = "cl"
+kind = "cluster"
+`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := s.Jobs[0]
+	if c.Workers != 2 || c.Requests != 4 || c.Concurrency != 2 || len(c.Benchmarks) != 1 || c.Benchmarks[0] != "b2c" {
+		t.Fatalf("cluster defaults: %+v", c)
+	}
+}
+
+func TestParseSuiteErrors(t *testing.T) {
+	cases := []struct {
+		name, in, want string
+	}{
+		{"no suite table", `[[job]]` + "\n" + `name = "x"`, "missing [suite]"},
+		{"no name", "[suite]\nops = 1\n[[job]]\nname = \"x\"\nkind = \"hotpath\"", "suite.name is required"},
+		{"no jobs", "[suite]\nname = \"x\"", "declares no [[job]]"},
+		{"dup job", "[suite]\nname = \"x\"\n[[job]]\nname = \"a\"\nkind = \"hotpath\"\n[[job]]\nname = \"a\"\nkind = \"hotpath\"", "duplicate job name"},
+		{"bad kind", "[suite]\nname = \"x\"\n[[job]]\nname = \"a\"\nkind = \"quake3\"", "unknown kind"},
+		{"bad profiler", "[suite]\nname = \"x\"\n[[job]]\nname = \"a\"\nkind = \"hotpath\"\nprofilers = [\"flamegraph\"]", "unknown profiler"},
+		{"bad workload", "[suite]\nname = \"x\"\n[[job]]\nname = \"a\"\nworkloads = [\"quake3\"]", "unknown id"},
+		{"typo'd key", "[suite]\nname = \"x\"\nrepitions = 3\n[[job]]\nname = \"a\"\nkind = \"hotpath\"", `unknown key "repitions"`},
+		{"typo'd job key", "[suite]\nname = \"x\"\n[[job]]\nname = \"a\"\nkind = \"hotpath\"\nprofiler = [\"cpu\"]", `unknown key "profiler"`},
+		{"cluster profilers", "[suite]\nname = \"x\"\n[[job]]\nname = \"a\"\nkind = \"cluster\"\nprofilers = [\"cpu\"]", "cluster jobs take no profilers"},
+		{"hotpath workloads", "[suite]\nname = \"x\"\n[[job]]\nname = \"a\"\nkind = \"hotpath\"\nworkloads = [\"fig1\"]", "hotpath jobs take no workloads"},
+		{"wrong type", "[suite]\nname = 7\n[[job]]\nname = \"a\"\nkind = \"hotpath\"", "expected a string"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ParseSuite([]byte(tc.in))
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("err = %v, want substring %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestShippedSuitesParse loads the suite files the repo actually ships —
+// CI and the nightly workflow reference them by path, so a typo'd key or
+// an unregistered workload must fail here, not at 3am.
+func TestShippedSuitesParse(t *testing.T) {
+	dir := filepath.Join("..", "..", "suites")
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var n int
+	for _, e := range entries {
+		if !strings.HasSuffix(e.Name(), ".toml") {
+			continue
+		}
+		n++
+		s, err := LoadSuite(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Errorf("%s: %v", e.Name(), err)
+			continue
+		}
+		var hotpaths int
+		for i := range s.Jobs {
+			j := &s.Jobs[i]
+			if j.Kind != KindHotPath {
+				continue
+			}
+			hotpaths++
+			// The allocation ratchet compares allocs/op across reports;
+			// that only means anything if every suite measures the
+			// identical workload.
+			if got := j.ops(s); got != 150_000 {
+				t.Errorf("%s job %q: hotpath ops = %d, want 150000 (allocs/op comparability)",
+					e.Name(), j.Name, got)
+			}
+			if i != 0 {
+				t.Errorf("%s: hotpath job %q is not first (must run on a quiet heap)",
+					e.Name(), j.Name)
+			}
+		}
+		if hotpaths != 1 {
+			t.Errorf("%s: %d hotpath jobs, want exactly 1", e.Name(), hotpaths)
+		}
+	}
+	if n != 3 {
+		t.Errorf("found %d suite files, want 3 (default, quick, nightly)", n)
+	}
+}

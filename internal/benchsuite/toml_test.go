@@ -1,0 +1,114 @@
+package benchsuite
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestParseTOMLScalarsAndTables(t *testing.T) {
+	doc, err := parseTOML([]byte(`
+# top comment
+title = "hello \"world\"" # trailing comment
+count = 1_000
+ratio = 2.5
+neg = -3
+on = true
+off = false
+
+[outer.inner]
+key = "v"
+
+[[item]]
+name = "a"
+tags = ["x", "y"]
+
+[[item]]
+name = "b"
+nums = [1, 2, 3]
+`))
+	if err != nil {
+		t.Fatalf("parseTOML: %v", err)
+	}
+	if doc["title"] != `hello "world"` {
+		t.Fatalf("title = %q", doc["title"])
+	}
+	if doc["count"] != int64(1000) || doc["ratio"] != 2.5 || doc["neg"] != int64(-3) {
+		t.Fatalf("numbers = %v %v %v", doc["count"], doc["ratio"], doc["neg"])
+	}
+	if doc["on"] != true || doc["off"] != false {
+		t.Fatalf("booleans = %v %v", doc["on"], doc["off"])
+	}
+	inner := doc["outer"].(map[string]any)["inner"].(map[string]any)
+	if inner["key"] != "v" {
+		t.Fatalf("dotted table: %v", inner)
+	}
+	items := doc["item"].([]map[string]any)
+	if len(items) != 2 || items[0]["name"] != "a" || items[1]["name"] != "b" {
+		t.Fatalf("array of tables: %v", items)
+	}
+	if !reflect.DeepEqual(items[0]["tags"], []any{"x", "y"}) {
+		t.Fatalf("string array: %v", items[0]["tags"])
+	}
+	if !reflect.DeepEqual(items[1]["nums"], []any{int64(1), int64(2), int64(3)}) {
+		t.Fatalf("int array: %v", items[1]["nums"])
+	}
+}
+
+func TestParseTOMLMultilineArray(t *testing.T) {
+	doc, err := parseTOML([]byte(`
+[suite]
+workloads = [
+  "table1", # the config table
+  "fig1",
+  "fig9",
+]
+`))
+	if err != nil {
+		t.Fatalf("parseTOML: %v", err)
+	}
+	got := doc["suite"].(map[string]any)["workloads"]
+	if !reflect.DeepEqual(got, []any{"table1", "fig1", "fig9"}) {
+		t.Fatalf("multiline array = %v", got)
+	}
+}
+
+func TestParseTOMLErrors(t *testing.T) {
+	cases := []struct {
+		name, in, want string
+	}{
+		{"bare junk", "not a kv", "expected `key = value`"},
+		{"bad value", "k = nope", "cannot parse value"},
+		{"dup key", "k = 1\nk = 2", "duplicate key"},
+		{"unterminated string", `k = "abc`, "unterminated string"},
+		{"unterminated array", "k = [1, 2", "unterminated array"},
+		{"literal string", "k = 'abc'", "outside the suite TOML subset"},
+		{"nested array", `k = [[1], [2]]`, "nested arrays"},
+		{"table over value", "k = 1\n[k]\nx = 2", "already holds a value"},
+		{"array over table", "[k]\nx = 1\n[[k]]\ny = 2", "not an array of tables"},
+		{"bad key", "a b = 1", "invalid key"},
+		{"unterminated header", "[table\nk = 1", "unterminated table header"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := parseTOML([]byte(tc.in))
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("err = %v, want substring %q", err, tc.want)
+			}
+			// Every parse error names a line.
+			if err != nil && !strings.Contains(err.Error(), "line ") {
+				t.Fatalf("error carries no line number: %v", err)
+			}
+		})
+	}
+}
+
+func TestParseTOMLCommentInsideString(t *testing.T) {
+	doc, err := parseTOML([]byte(`k = "a # not a comment"`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc["k"] != "a # not a comment" {
+		t.Fatalf("k = %q", doc["k"])
+	}
+}

@@ -1,0 +1,217 @@
+package benchsuite
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/benchio"
+)
+
+// Verdict is the outcome of comparing a fresh BENCH report against the
+// previous one in the trajectory. Failures are tolerance breaches; Skipped
+// records every gate that could not be applied and why, so a verdict that
+// passed because nothing was comparable is visibly different from one that
+// passed on the merits.
+type Verdict struct {
+	Pass     bool
+	Failures []string
+	Skipped  []string
+	Infos    []string
+}
+
+func (v *Verdict) failf(format string, args ...any) {
+	v.Failures = append(v.Failures, fmt.Sprintf(format, args...))
+}
+
+func (v *Verdict) skipf(format string, args ...any) {
+	v.Skipped = append(v.Skipped, fmt.Sprintf(format, args...))
+}
+
+func (v *Verdict) infof(format string, args ...any) {
+	v.Infos = append(v.Infos, fmt.Sprintf(format, args...))
+}
+
+// Render formats the verdict for terminal and CI logs, one line per
+// finding, ending with the PASS/FAIL summary line.
+func (v *Verdict) Render() string {
+	var b strings.Builder
+	for _, f := range v.Failures {
+		fmt.Fprintf(&b, "FAIL  %s\n", f)
+	}
+	for _, s := range v.Skipped {
+		fmt.Fprintf(&b, "skip  %s\n", s)
+	}
+	for _, i := range v.Infos {
+		fmt.Fprintf(&b, "ok    %s\n", i)
+	}
+	if v.Pass {
+		fmt.Fprintf(&b, "verdict: PASS (%d checks skipped)\n", len(v.Skipped))
+	} else {
+		fmt.Fprintf(&b, "verdict: FAIL (%d breaches, %d checks skipped)\n", len(v.Failures), len(v.Skipped))
+	}
+	return b.String()
+}
+
+// CompareReports gates current against baseline with the tolerances the
+// current report was declared with (its suite's, or the defaults for
+// reports that predate suites).
+//
+// Two classes of metric gate differently:
+//
+//   - Allocation counts (hot-path allocs/op) are deterministic — the same
+//     tree allocates the same number of objects on any machine — so they
+//     gate unconditionally.
+//   - Wall-derived metrics (sims/sec, ns/op) only gate when the two
+//     reports come from comparable environments (same toolchain, OS,
+//     arch, core count); otherwise the drop is as likely a slower CI
+//     machine as a slower tree, and the gate is skipped loudly.
+//
+// Cluster runs self-gate: a current report whose cluster reconciliation
+// came back inconsistent fails regardless of the baseline.
+func CompareReports(baseline, current *benchio.Report) *Verdict {
+	v := &Verdict{}
+	tol := benchio.DefaultTolerance
+	if current.Tolerance != nil {
+		tol = *current.Tolerance
+	}
+	env := benchio.EnvComparable(baseline, current)
+	if !env {
+		v.skipf("environments differ (%s/%s/%s/%dcpu vs %s/%s/%s/%dcpu): wall-derived gates disabled",
+			baseline.GoVersion, baseline.GOOS, baseline.GOARCH, baseline.NumCPU,
+			current.GoVersion, current.GOOS, current.GOARCH, current.NumCPU)
+	}
+
+	compareHotPath(v, baseline, current, tol, env)
+	compareExperiments(v, baseline, current, tol, env)
+	compareRSS(v, baseline, current)
+
+	for _, cr := range current.Cluster {
+		if cr.Consistent {
+			v.infof("cluster %s: %d/%d requests, client p50 %.1fms vs server p50 %.1fms, reconciled",
+				cr.Job, cr.Requests-cr.Errors, cr.Requests, cr.Client.P50MS, cr.Server.P50MS)
+			continue
+		}
+		v.failf("cluster %s: client/server latency reconciliation failed: %s",
+			cr.Job, strings.Join(cr.Notes, "; "))
+	}
+
+	v.Pass = len(v.Failures) == 0
+	return v
+}
+
+func compareHotPath(v *Verdict, baseline, current *benchio.Report, tol benchio.Tolerance, env bool) {
+	switch {
+	case current.HotPath == nil:
+		v.skipf("hot path: not measured in current report")
+		return
+	case baseline.HotPath == nil:
+		v.skipf("hot path: baseline carries no measurement")
+		return
+	}
+	b, c := baseline.HotPath.After, current.HotPath.After
+
+	if b.AllocsPerOp == 0 {
+		v.skipf("hot path allocs/op: baseline value missing")
+	} else {
+		growth := pctChange(float64(b.AllocsPerOp), float64(c.AllocsPerOp))
+		// allocCountSlack absorbs testing.Benchmark's counting noise: the
+		// mallocs delta spans the whole process during the timed window, so
+		// a background allocation (GC worker, timer) amortized over b.N can
+		// shift the truncated per-op count by ±1–2 even on an identical
+		// tree. Real growth — one new allocation on the per-µop path —
+		// moves the count by thousands and sails past this.
+		const allocCountSlack = 2
+		if growth > tol.HotpathAllocGrowthPct && c.AllocsPerOp > b.AllocsPerOp+allocCountSlack {
+			v.failf("hot path allocs/op grew %.2f%% (%d -> %d, tolerance %.0f%% + %d count noise)",
+				growth, b.AllocsPerOp, c.AllocsPerOp, tol.HotpathAllocGrowthPct, allocCountSlack)
+		} else {
+			v.infof("hot path allocs/op: %d -> %d (%+.2f%%)", b.AllocsPerOp, c.AllocsPerOp, growth)
+		}
+	}
+
+	switch {
+	case !env:
+		v.skipf("hot path ns/op: environments differ")
+	case b.NsPerOp == 0:
+		v.skipf("hot path ns/op: baseline value missing")
+	default:
+		growth := pctChange(b.NsPerOp, c.NsPerOp)
+		if growth > tol.NsPerOpGrowthPct {
+			v.failf("hot path ns/op grew %.1f%% (%.1fms -> %.1fms, tolerance %.0f%%)",
+				growth, b.NsPerOp/1e6, c.NsPerOp/1e6, tol.NsPerOpGrowthPct)
+		} else {
+			v.infof("hot path ns/op: %.1fms -> %.1fms (%+.1f%%)", b.NsPerOp/1e6, c.NsPerOp/1e6, growth)
+		}
+	}
+}
+
+func compareExperiments(v *Verdict, baseline, current *benchio.Report, tol benchio.Tolerance, env bool) {
+	base := bestRates(baseline.Experiments)
+	cur := bestRates(current.Experiments)
+	// Walk current order so the verdict reads like the run did.
+	seen := map[string]bool{}
+	for _, e := range current.Experiments {
+		if seen[e.ID] {
+			continue
+		}
+		seen[e.ID] = true
+		c, measured := cur[e.ID]
+		if !measured {
+			continue // wall-only: nothing to gate
+		}
+		b, ok := base[e.ID]
+		if !ok {
+			v.skipf("%s: baseline has no measured sims/sec", e.ID)
+			continue
+		}
+		if !env {
+			continue // covered by the one environment skip line
+		}
+		drop := pctChange(b, c) * -1
+		if drop > tol.SimsPerSecDropPct {
+			v.failf("%s sims/sec dropped %.1f%% (%.1f -> %.1f, tolerance %.0f%%)",
+				e.ID, drop, b, c, tol.SimsPerSecDropPct)
+		} else {
+			v.infof("%s sims/sec: %.1f -> %.1f (%+.1f%%)", e.ID, b, c, -drop)
+		}
+	}
+}
+
+// bestRates indexes the best (highest) measured sims/sec per experiment
+// id: with repetitions, the fastest rep is the least-noisy estimate of
+// what the tree can do.
+func bestRates(exps []benchio.Experiment) map[string]float64 {
+	out := map[string]float64{}
+	for i := range exps {
+		e := &exps[i]
+		if !e.Measured() {
+			continue
+		}
+		if r := *e.SimsPerSec; r > out[e.ID] {
+			out[e.ID] = r
+		}
+	}
+	return out
+}
+
+// compareRSS is informational only: the resident-set high-water mark folds
+// in every job the suite ran, so its trajectory is worth printing but too
+// load-shaped to gate on.
+func compareRSS(v *Verdict, baseline, current *benchio.Report) {
+	switch {
+	case current.PeakRSSKB == nil:
+		v.skipf("peak RSS: unsupported on this platform (%s)", benchio.NoteRSSUnsupported)
+	case baseline.PeakRSSKB == nil || *baseline.PeakRSSKB == 0:
+		v.skipf("peak RSS: baseline value missing")
+	default:
+		v.infof("peak RSS: %d KiB -> %d KiB (%+.1f%%)",
+			*baseline.PeakRSSKB, *current.PeakRSSKB,
+			pctChange(float64(*baseline.PeakRSSKB), float64(*current.PeakRSSKB)))
+	}
+}
+
+// pctChange is the signed percent change from base to cur (positive =
+// grew).
+func pctChange(base, cur float64) float64 {
+	return (cur - base) / base * 100
+}

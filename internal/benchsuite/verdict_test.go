@@ -1,0 +1,187 @@
+package benchsuite
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/benchio"
+)
+
+func baseReport() *benchio.Report {
+	return &benchio.Report{
+		Schema: 1, GoVersion: "go1.24.0", GOOS: "linux", GOARCH: "amd64", NumCPU: 1,
+		PeakRSSKB: benchio.U64(250_000),
+		HotPath: &benchio.HotPath{
+			After: benchio.Metrics{NsPerOp: 22e6, BytesPerOp: 1.6e6, AllocsPerOp: 16_497},
+		},
+		Experiments: []benchio.Experiment{
+			{ID: "fig9", Sims: benchio.U64(900), SimsPerSec: benchio.F64(100)},
+			{ID: "table1"}, // wall-only
+		},
+	}
+}
+
+func curReport(mutate func(*benchio.Report)) *benchio.Report {
+	r := baseReport()
+	r.Schema = benchio.SchemaVersion
+	if mutate != nil {
+		mutate(r)
+	}
+	return r
+}
+
+func TestVerdictPassesOnIdenticalReports(t *testing.T) {
+	v := CompareReports(baseReport(), curReport(nil))
+	if !v.Pass || len(v.Failures) != 0 {
+		t.Fatalf("verdict: %+v", v)
+	}
+}
+
+func TestVerdictSimsPerSecBreach(t *testing.T) {
+	v := CompareReports(baseReport(), curReport(func(r *benchio.Report) {
+		r.Experiments[0].SimsPerSec = benchio.F64(85) // -15% > default 10%
+	}))
+	if v.Pass || len(v.Failures) != 1 || !strings.Contains(v.Failures[0], "fig9 sims/sec dropped 15.0%") {
+		t.Fatalf("verdict: %+v", v)
+	}
+}
+
+func TestVerdictSimsPerSecWithinTolerance(t *testing.T) {
+	v := CompareReports(baseReport(), curReport(func(r *benchio.Report) {
+		r.Experiments[0].SimsPerSec = benchio.F64(95) // -5%
+	}))
+	if !v.Pass {
+		t.Fatalf("verdict: %+v", v)
+	}
+}
+
+func TestVerdictAllocBreachGatesAcrossEnvs(t *testing.T) {
+	// A different machine disables wall-derived gates, but allocation
+	// counts are deterministic and still gate.
+	v := CompareReports(baseReport(), curReport(func(r *benchio.Report) {
+		r.NumCPU = 8
+		r.HotPath.After.AllocsPerOp = 16_500
+		r.Experiments[0].SimsPerSec = benchio.F64(10) // would breach, but env differs
+	}))
+	if v.Pass {
+		t.Fatalf("verdict passed: %+v", v)
+	}
+	if len(v.Failures) != 1 || !strings.Contains(v.Failures[0], "allocs/op grew") {
+		t.Fatalf("failures: %+v", v.Failures)
+	}
+	found := false
+	for _, s := range v.Skipped {
+		if strings.Contains(s, "environments differ") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no environment skip: %+v", v.Skipped)
+	}
+}
+
+func TestVerdictAllocCountNoiseSlack(t *testing.T) {
+	// ±2 allocs/op is testing.Benchmark counting noise (a background
+	// allocation amortized over b.N), not growth; the zero-tolerance
+	// ratchet must not trip on it. +3 is past the slack and fails.
+	v := CompareReports(baseReport(), curReport(func(r *benchio.Report) {
+		r.HotPath.After.AllocsPerOp = 16_499
+	}))
+	if !v.Pass {
+		t.Fatalf("+2 allocs/op should be inside counting-noise slack: %+v", v.Failures)
+	}
+	v = CompareReports(baseReport(), curReport(func(r *benchio.Report) {
+		r.HotPath.After.AllocsPerOp = 16_500
+	}))
+	if v.Pass {
+		t.Fatalf("+3 allocs/op should breach the zero-growth ratchet")
+	}
+}
+
+func TestVerdictCustomTolerance(t *testing.T) {
+	v := CompareReports(baseReport(), curReport(func(r *benchio.Report) {
+		r.Tolerance = &benchio.Tolerance{SimsPerSecDropPct: 20, HotpathAllocGrowthPct: 1, NsPerOpGrowthPct: 25}
+		r.Experiments[0].SimsPerSec = benchio.F64(85) // -15% < 20%
+		r.HotPath.After.AllocsPerOp = 16_500          // +0.02% < 1%
+	}))
+	if !v.Pass {
+		t.Fatalf("verdict: %+v", v)
+	}
+}
+
+func TestVerdictSkipsMissingBaselineExperiment(t *testing.T) {
+	v := CompareReports(baseReport(), curReport(func(r *benchio.Report) {
+		r.Experiments = append(r.Experiments, benchio.Experiment{
+			ID: "tlb", Sims: benchio.U64(10), SimsPerSec: benchio.F64(5)})
+	}))
+	if !v.Pass {
+		t.Fatalf("verdict: %+v", v)
+	}
+	found := false
+	for _, s := range v.Skipped {
+		if strings.Contains(s, "tlb: baseline has no measured sims/sec") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("skips: %+v", v.Skipped)
+	}
+}
+
+func TestVerdictSkipsNullRSS(t *testing.T) {
+	v := CompareReports(baseReport(), curReport(func(r *benchio.Report) {
+		r.PeakRSSKB = nil
+		r.Notes = []string{benchio.NoteRSSUnsupported}
+	}))
+	if !v.Pass {
+		t.Fatalf("verdict: %+v", v)
+	}
+	found := false
+	for _, s := range v.Skipped {
+		if strings.Contains(s, benchio.NoteRSSUnsupported) {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("skips: %+v", v.Skipped)
+	}
+}
+
+func TestVerdictFailsInconsistentClusterRun(t *testing.T) {
+	v := CompareReports(baseReport(), curReport(func(r *benchio.Report) {
+		r.Cluster = []benchio.ClusterRun{{
+			Job: "storm", Workers: 2, Requests: 4,
+			Consistent: false, Notes: []string{"server ran 5 simulations for 4 successful requests"},
+		}}
+	}))
+	if v.Pass || !strings.Contains(v.Failures[0], "reconciliation failed") {
+		t.Fatalf("verdict: %+v", v)
+	}
+}
+
+func TestVerdictBestRepWins(t *testing.T) {
+	v := CompareReports(baseReport(), curReport(func(r *benchio.Report) {
+		// Rep 1 breaches, rep 2 is fine: the best rep is the estimate.
+		r.Experiments[0] = benchio.Experiment{ID: "fig9", Rep: 1,
+			Sims: benchio.U64(900), SimsPerSec: benchio.F64(70)}
+		r.Experiments = append(r.Experiments, benchio.Experiment{ID: "fig9", Rep: 2,
+			Sims: benchio.U64(900), SimsPerSec: benchio.F64(98)})
+	}))
+	if !v.Pass {
+		t.Fatalf("verdict: %+v", v)
+	}
+}
+
+func TestVerdictRender(t *testing.T) {
+	v := &Verdict{Failures: []string{"x dropped"}, Skipped: []string{"y missing"}, Infos: []string{"z ok"}}
+	out := v.Render()
+	for _, want := range []string{"FAIL  x dropped", "skip  y missing", "ok    z ok", "verdict: FAIL (1 breaches, 1 checks skipped)"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+	v = &Verdict{Pass: true}
+	if !strings.Contains(v.Render(), "verdict: PASS") {
+		t.Fatalf("render: %s", v.Render())
+	}
+}

@@ -1,0 +1,95 @@
+package promtest
+
+import (
+	"runtime"
+	"strings"
+	"testing"
+)
+
+// fatalTB records Fatalf instead of failing the real test, so the parser's
+// rejection paths are testable. Goexit mirrors testing.T's Fatalf contract
+// (the parse must not continue past a fatal line).
+type fatalTB struct {
+	testing.TB
+	failed  bool
+	message string
+}
+
+func (f *fatalTB) Helper() {}
+func (f *fatalTB) Fatalf(format string, args ...any) {
+	f.failed = true
+	f.message = format
+	runtime.Goexit()
+}
+
+// parseExpectingFatal runs ParseExposition against a payload that must be
+// rejected and returns the recorded failure.
+func parseExpectingFatal(t *testing.T, body string) *fatalTB {
+	t.Helper()
+	rec := &fatalTB{TB: t}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		ParseExposition(rec, body)
+	}()
+	<-done
+	if !rec.failed {
+		t.Fatalf("parser accepted invalid payload:\n%s", body)
+	}
+	return rec
+}
+
+func TestParseExpositionPlainAndLabelled(t *testing.T) {
+	fams := ParseExposition(t, `# HELP cdpd_queue_depth Jobs queued.
+# TYPE cdpd_queue_depth gauge
+cdpd_queue_depth 3
+# HELP cdpd_build_info Build identity; value is always 1.
+# TYPE cdpd_build_info gauge
+cdpd_build_info{go_version="go1.24.0",schema="2"} 1
+`)
+	if fams["cdpd_queue_depth"].Value(t, 0) != 3 {
+		t.Fatalf("plain gauge: %+v", fams["cdpd_queue_depth"])
+	}
+	info := fams["cdpd_build_info"]
+	if info == nil || info.Type != "gauge" || len(info.Samples) != 1 {
+		t.Fatalf("info gauge family: %+v", info)
+	}
+	if !strings.Contains(info.Samples[0], `go_version="go1.24.0"`) ||
+		!strings.Contains(info.Samples[0], `schema="2"`) {
+		t.Fatalf("info gauge labels: %q", info.Samples[0])
+	}
+	if info.Value(t, 0) != 1 {
+		t.Fatalf("info gauge value: %v", info.Value(t, 0))
+	}
+}
+
+func TestParseExpositionHistogramSuffixes(t *testing.T) {
+	fams := ParseExposition(t, `# HELP lat_seconds Latency.
+# TYPE lat_seconds histogram
+lat_seconds_bucket{le="0.1"} 2
+lat_seconds_bucket{le="+Inf"} 3
+lat_seconds_sum 0.42
+lat_seconds_count 3
+`)
+	fam := fams["lat_seconds"]
+	if fam == nil || fam.Type != "histogram" || len(fam.Samples) != 4 {
+		t.Fatalf("histogram family: %+v", fam)
+	}
+}
+
+func TestParseExpositionRejections(t *testing.T) {
+	cases := []struct{ name, body string }{
+		{"sample without declarations", "orphan 1\n"},
+		{"TYPE before HELP", "# TYPE x gauge\nx 1\n"},
+		{"bad type", "# HELP x h\n# TYPE x summary\nx 1\n"},
+		{"unparsable value", "# HELP x h\n# TYPE x gauge\nx banana\n"},
+		{"HELP without text", "# HELP x\nx 1\n"},
+		{"unknown comment", "# NOTE x h\n"},
+		{"TYPE after samples", "# HELP x h\n# TYPE x gauge\nx 1\n# TYPE x gauge\n"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			parseExpectingFatal(t, tc.body)
+		})
+	}
+}
